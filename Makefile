@@ -1,0 +1,42 @@
+# mlvfpga — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce the paper's evaluation with side-by-side published values.
+repro:
+	$(GO) run ./cmd/mlv-bench
+
+# Short fuzz passes over the RTL frontend.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/rtl
+	$(GO) test -fuzz=FuzzLexer -fuzztime=15s ./internal/rtl
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lstm-inference
+	$(GO) run ./examples/multi-tenant-cloud
+	$(GO) run ./examples/scaleout-overlap
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,98 @@
+// mlv-asm is the AS ISA toolchain front end: it assembles, disassembles
+// and statically validates BrainWave-like instruction chains.
+//
+// Usage:
+//
+//	mlv-asm -c prog.asm -o prog.bin      # assemble text -> machine code
+//	mlv-asm -d prog.bin                  # disassemble machine code
+//	mlv-asm -check prog.asm              # static validation (registers,
+//	                                     # read-before-write, DRAM bounds,
+//	                                     # buffer fit, termination)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlvfpga/internal/isa"
+	"mlvfpga/internal/kernels"
+)
+
+func main() {
+	asmPath := flag.String("c", "", "assemble this source file")
+	binPath := flag.String("d", "", "disassemble this machine-code file")
+	checkPath := flag.String("check", "", "validate this source file")
+	out := flag.String("o", "", "output file (default stdout)")
+	vregs := flag.Int("vregs", 16, "vector register file size for -check")
+	mregs := flag.Int("mregs", 8, "matrix register file size for -check")
+	dram := flag.Int("dram", 64<<20, "DRAM words for -check")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mlv-asm:", err)
+		os.Exit(1)
+	}
+	emit := func(data []byte) {
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	switch {
+	case *asmPath != "":
+		src, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		emit(isa.EncodeProgram(prog))
+		fmt.Fprintf(os.Stderr, "assembled %d instructions (%d bytes)\n", len(prog), prog.Bytes())
+
+	case *binPath != "":
+		data, err := os.ReadFile(*binPath)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := isa.DecodeProgram(data)
+		if err != nil {
+			fail(err)
+		}
+		emit([]byte(prog.Disassemble()))
+
+	case *checkPath != "":
+		src, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		issues := isa.Validate(prog, isa.MachineSpec{
+			VRegs:         *vregs,
+			MRegs:         *mregs,
+			DRAMWords:     *dram,
+			InstrBufBytes: kernels.InstrBufBytes,
+		})
+		if len(issues) == 0 {
+			fmt.Printf("%s: %d instructions, no issues\n", *checkPath, len(prog))
+			return
+		}
+		for _, is := range issues {
+			fmt.Printf("%s: %s\n", *checkPath, is)
+		}
+		os.Exit(1)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

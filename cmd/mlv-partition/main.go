@@ -1,0 +1,90 @@
+// mlv-partition runs the §2.2.2 partitioning tool over a decomposed
+// accelerator (JSON from mlv-decompose, or the built-in accelerator) and
+// prints the Fig. 6 partition tree with its cut bandwidths.
+//
+// Usage:
+//
+//	mlv-partition -in accel.json -n 2
+//	mlv-partition -tiles 8 -n 2       # decompose the built-in design first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlvfpga/internal/bwrtl"
+	"mlvfpga/internal/decompose"
+	"mlvfpga/internal/partition"
+	"mlvfpga/internal/rtl"
+	"mlvfpga/internal/softblock"
+)
+
+func main() {
+	in := flag.String("in", "", "decomposed accelerator JSON (default: decompose the built-in design)")
+	tiles := flag.Int("tiles", 8, "tile engines for the built-in design")
+	n := flag.Int("n", 2, "partition iterations (deployments up to 2^n devices)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mlv-partition:", err)
+		os.Exit(1)
+	}
+
+	var acc *softblock.Accelerator
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fail(err)
+		}
+		acc, err = softblock.Decode(data)
+		if err != nil {
+			fail(err)
+		}
+		if err := acc.Validate(); err != nil {
+			fail(err)
+		}
+	} else {
+		src, err := bwrtl.Generate(bwrtl.Profile{Tiles: *tiles, UseURAM: true})
+		if err != nil {
+			fail(err)
+		}
+		design, err := rtl.ParseDesign(src, bwrtl.TopModule)
+		if err != nil {
+			fail(err)
+		}
+		res, err := decompose.Decompose(design, bwrtl.TopModule, nil, decompose.Options{
+			ControlModules: bwrtl.ControlModules(),
+			Seed:           1,
+		})
+		if err != nil {
+			fail(err)
+		}
+		acc = res.Accelerator
+	}
+
+	res, err := partition.Partition(acc.Data, *n)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("partition tree (%d iterations, up to %d pieces):\n", *n, res.MaxPieces())
+	res.Walk(func(node *partition.Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if node.IsLeaf() {
+			fmt.Printf("%s- piece %s: %d leaves, %s\n",
+				indent, node.Block.ID, node.Block.NumLeaves(), node.Block.Resources)
+			return
+		}
+		fmt.Printf("%s- %s split of %s (cut %d bits)\n",
+			indent, node.CutKind, node.Block.ID, node.CutBits)
+	})
+	for k := 1; k <= res.MaxPieces(); k++ {
+		fr, err := res.Frontier(k)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("deployment onto %d device(s): total cut bandwidth %d bits\n",
+			k, res.TotalCutBits(fr))
+	}
+}

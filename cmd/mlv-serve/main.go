@@ -1,0 +1,44 @@
+// mlv-serve runs the framework's system controller as a JSON HTTP service
+// (the Fig. 7 integration API): a hypervisor or orchestrator deploys and
+// releases AS ISA-based accelerators on the simulated heterogeneous
+// cluster and observes virtual-block occupancy.
+//
+// Usage:
+//
+//	mlv-serve -addr :8080
+//
+//	curl -X POST localhost:8080/deploy -d '{"kind":"LSTM","hidden":512,"timesteps":25}'
+//	curl localhost:8080/status
+//	curl -X POST localhost:8080/release -d '{"id":1}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	restricted := flag.Bool("restricted", false, "use the same-type-only runtime policy")
+	flag.Parse()
+
+	mode := rms.Flexible
+	if *restricted {
+		mode = rms.SameTypeOnly
+	}
+	db := rms.NewDatabase(mode, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(resource.PaperCluster(), db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s\n",
+		mode, *addr)
+	log.Fatal(http.ListenAndServe(*addr, rms.Handler(svc)))
+}

@@ -1,0 +1,75 @@
+// mlv-sim runs the system-level simulation (§4.4): a Table 1 workload set
+// on the paper's 3x XCVU37P + 1x XCKU115 cluster under the AS ISA-only
+// baseline, the restricted policy and the proposed framework.
+//
+// Usage:
+//
+//	mlv-sim -set 7 -tasks 300
+//	mlv-sim -set 3 -tasks 500 -interarrival 50us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/workload"
+)
+
+func main() {
+	setIdx := flag.Int("set", 7, "Table 1 workload set (1-10)")
+	tasks := flag.Int("tasks", 300, "number of tasks")
+	inter := flag.Duration("interarrival", 20*time.Microsecond, "mean interarrival time")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mlv-sim:", err)
+		os.Exit(1)
+	}
+
+	comps := workload.Table1()
+	if *setIdx < 1 || *setIdx > len(comps) {
+		fail(fmt.Errorf("set %d out of range [1,%d]", *setIdx, len(comps)))
+	}
+	comp := comps[*setIdx-1]
+	seq, err := workload.Generate(comp, workload.Options{
+		NumTasks: *tasks, MeanInterarrival: *inter, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	s, m, l := workload.Mix(seq)
+	fmt.Printf("%s (realized %.0f%%/%.0f%%/%.0f%%), %d tasks, mean interarrival %v\n\n",
+		comp, 100*s, 100*m, 100*l, *tasks, *inter)
+
+	p := perf.DefaultParams()
+	cluster := resource.PaperCluster()
+
+	base, err := rms.SimulateBaseline(seq, cluster, p)
+	if err != nil {
+		fail(err)
+	}
+	report := func(name string, r rms.Result) {
+		fmt.Printf("%-22s throughput %8.0f tasks/s  completed %d  rejected %d  avg latency %v  peak queue %d\n",
+			name, r.ThroughputPerSec, r.Completed, r.Rejected, r.AvgLatency.Round(time.Microsecond), r.PeakQueue)
+	}
+	report("baseline (AS ISA only)", base)
+
+	for _, mode := range []rms.PolicyMode{rms.SameTypeOnly, rms.StaticTarget, rms.Flexible} {
+		res, err := rms.Simulate(seq, rms.Config{
+			Cluster: cluster,
+			Mode:    mode,
+			DB:      rms.NewDatabase(mode, p, scaleout.DefaultOptions()),
+		})
+		if err != nil {
+			fail(err)
+		}
+		report(mode.String(), res)
+	}
+}

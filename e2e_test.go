@@ -1,0 +1,89 @@
+package mlvfpga
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example end to end, asserting
+// clean exits and a recognizable line of output. This is the "does a new
+// user's first command work" check.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"examples/quickstart", "max |err| vs float64 reference"},
+		{"examples/lstm-inference", "modelled latency"},
+		{"examples/multi-tenant-cloud", "throughput gain"},
+		{"examples/scaleout-overlap", "Fig. 11 sweep"},
+	}
+	bin := t.TempDir()
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.dir), func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, filepath.Base(c.dir))
+			build := exec.Command("go", "build", "-o", exe, "./"+c.dir)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(exe).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}
+
+// TestCLISmoke runs each CLI tool's cheapest invocation.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke is slow under -short")
+	}
+	bin := t.TempDir()
+	asm := filepath.Join(t.TempDir(), "p.asm")
+	if err := os.WriteFile(asm, []byte("v_const r0, 0\nend_chain\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		tool string
+		args []string
+		want string
+	}{
+		{"mlv-decompose", []string{"-tiles", "2"}, "data-path tree"},
+		{"mlv-partition", []string{"-tiles", "2", "-n", "1"}, "partition tree"},
+		{"mlv-compile", []string{"-tiles", "2", "-n", "1"}, "mapping results"},
+		{"mlv-sim", []string{"-set", "1", "-tasks", "40"}, "baseline (AS ISA only)"},
+		{"mlv-bench", []string{"-only", "table2"}, "BW-V37"},
+		{"mlv-asm", []string{"-check", asm}, "no issues"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.tool, func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, c.tool)
+			build := exec.Command("go", "build", "-o", exe, "./cmd/"+c.tool)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(exe, c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// LSTM inference on the BrainWave-like AS ISA accelerator — the workload
+// the paper's case study targets (§3): low-latency DNN inference with
+// block-floating-point matrix math and float16 vector operations.
+//
+//	go run ./examples/lstm-inference
+//
+// The example assembles the per-step instruction chain, executes it on the
+// functional simulator, validates against a float64 reference, and prints
+// the modelled deployment latency on both cluster device types (Table 4's
+// methodology).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mlvfpga"
+	"mlvfpga/internal/isa"
+	"mlvfpga/internal/kernels"
+)
+
+func main() {
+	const hidden, steps = 128, 8
+	w := kernels.RandomWeights(kernels.LSTM, hidden, 2024)
+	k, err := kernels.Build(w, steps, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LSTM h=%d, %d timesteps\n", hidden, steps)
+	fmt.Printf("machine code: %d instructions (%d bytes; buffer %d bytes)\n",
+		len(k.Prog), k.Prog.Bytes(), k.Cfg.InstrBufBytes)
+	fmt.Println("\nfirst timestep's chain:")
+	for _, ins := range k.Prog[13:20] { // skip the weight-load prologue
+		fmt.Printf("  %s\n", ins)
+	}
+	fmt.Println("  ...")
+
+	// Execute on the functional simulator with a 9-bit BFP mantissa.
+	k.Cfg.MantissaBits = 9
+	m, err := k.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	ref := kernels.NewReference(w)
+	inputs := make([][]float64, steps)
+	for t := range inputs {
+		x := make([]float64, hidden)
+		for i := range x {
+			x[i] = r.NormFloat64() * 0.5
+		}
+		inputs[t] = x
+		if err := k.SetInput(m, t, x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := m.Run(k.Prog); err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for t := range inputs {
+		want, err := ref.Step(inputs[t])
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := k.ReadOutput(m, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range want {
+			if d := got[i] - want[i]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	st := m.Stats()
+	fmt.Printf("\nexecuted %d instructions, %d MACs, %d MFU element ops\n",
+		st.Instructions, st.MACs, st.VectorOps)
+	fmt.Printf("per-op counts: mv_mul=%d vv_add=%d v_sigm=%d v_tanh=%d\n",
+		st.ByOp[isa.OpMVMul], st.ByOp[isa.OpVVAdd], st.ByOp[isa.OpVSigm], st.ByOp[isa.OpVTanh])
+	fmt.Printf("max |error| vs float64 reference: %.4f\n", worst)
+
+	// Modelled deployment latency for the Table 4 layers.
+	fmt.Println("\nmodelled latency (Table 4 methodology):")
+	for _, spec := range []mlvfpga.LayerSpec{
+		{Kind: mlvfpga.LSTM, Hidden: 512, TimeSteps: 25},
+		{Kind: mlvfpga.LSTM, Hidden: 1024, TimeSteps: 25},
+		{Kind: mlvfpga.LSTM, Hidden: 1536, TimeSteps: 50},
+	} {
+		for _, dev := range []string{"XCVU37P", "XCKU115"} {
+			base, virt, ovh, err := mlvfpga.PredictLatency(spec, dev)
+			if err != nil {
+				fmt.Printf("  %-20s %-8s cannot fit (the Table 4 '-')\n", spec, dev)
+				continue
+			}
+			fmt.Printf("  %-20s %-8s baseline %8.4f ms, virtualized %8.4f ms (+%.1f%%)\n",
+				spec, dev, base*1e3, virt*1e3, 100*ovh)
+		}
+	}
+}

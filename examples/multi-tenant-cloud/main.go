@@ -1,0 +1,83 @@
+// Multi-tenant cloud: the system-level scenario of the paper's
+// introduction — many tenants submit GRU/LSTM inference tasks of mixed
+// sizes to a heterogeneous FPGA cluster, and the operator cares about
+// aggregated throughput.
+//
+//	go run ./examples/multi-tenant-cloud
+//
+// The example generates a mixed workload (Table 1 set 7), runs it through
+// the AS ISA-only baseline (whole-FPGA allocation) and the proposed
+// framework (virtual-block sharing, heterogeneous multi-FPGA deployment),
+// and reports how the 2.54x-class gain arises.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlvfpga"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+func main() {
+	const setIndex, tasks = 7, 240
+	proposed, baseline, err := mlvfpga.SimulateCluster(setIndex, tasks, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: Table 1 set %d (33%% S + 33%% M + 34%% L), %d tasks\n", setIndex, tasks)
+	fmt.Println("cluster: 3x XCVU37P + 1x XCKU115 (paper section 4.2)")
+
+	report := func(name string, r rms.Result) {
+		fmt.Printf("\n%s:\n", name)
+		fmt.Printf("  aggregated throughput: %8.0f tasks/s\n", r.ThroughputPerSec)
+		fmt.Printf("  completed:             %d (rejected %d)\n", r.Completed, r.Rejected)
+		fmt.Printf("  average task latency:  %v\n", r.AvgLatency.Round(time.Microsecond))
+		fmt.Printf("  average sojourn:       %v\n", r.AvgSojourn.Round(time.Microsecond))
+		fmt.Printf("  peak queue depth:      %d\n", r.PeakQueue)
+	}
+	report("AS ISA-only baseline (one task owns a whole FPGA)", baseline)
+	report("proposed framework (virtual-block sharing + heterogeneous multi-FPGA)", proposed)
+	fmt.Printf("\nthroughput gain: x%.2f (paper Fig. 12 average: x2.54)\n",
+		proposed.ThroughputPerSec/baseline.ThroughputPerSec)
+
+	// Show why: the mapping database for one small and one large tenant.
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	for _, spec := range []mlvfpga.LayerSpec{
+		{Kind: mlvfpga.LSTM, Hidden: 512, TimeSteps: 25},
+		{Kind: mlvfpga.GRU, Hidden: 2560, TimeSteps: 100},
+	} {
+		opts, err := db.Options(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmapping results for %v (greedy order):\n", spec)
+		for i, dep := range opts {
+			if i == 4 {
+				fmt.Printf("  ... %d more\n", len(opts)-4)
+				break
+			}
+			fmt.Printf("  %d piece(s), %2d virtual blocks total, modelled latency %v:",
+				dep.NumPieces(), dep.TotalBlocks(), dep.Latency.Round(time.Microsecond))
+			for _, piece := range dep.Pieces {
+				fmt.Printf(" [%s x%d]", piece.Device, piece.Blocks)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Tasks too large for one FPGA stream weights from DRAM in the
+	// baseline; the framework scales them out instead.
+	big := mlvfpga.LayerSpec{Kind: mlvfpga.GRU, Hidden: 3072, TimeSteps: 80}
+	p := perf.DefaultParams()
+	stream, err := perf.StreamingLatency(big, "XCVU37P", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%v in the baseline (DRAM weight streaming): %v per inference\n",
+		big, stream.Total.Round(time.Microsecond))
+}

@@ -1,0 +1,3 @@
+module mlvfpga
+
+go 1.22

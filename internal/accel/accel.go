@@ -1,0 +1,439 @@
+// Package accel is a functional (instruction-level) simulator of the
+// BrainWave-like AS ISA accelerator from the paper's case study (§3): tile
+// engines perform matrix-vector multiplication in block floating point,
+// multi-function units perform float16 point-wise operations and
+// activations, and an instruction buffer holds the machine code on-chip to
+// minimize DRAM accesses (§4.4).
+//
+// The simulator validates numerics and programs; timing is modelled
+// separately in internal/perf. The DRAM port is an interface so the
+// scale-out sync template module (§2.3, internal/scaleout) can interpose on
+// reads and writes to predefined addresses.
+package accel
+
+import (
+	"errors"
+	"fmt"
+
+	"mlvfpga/internal/bfp"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/isa"
+)
+
+// Config sizes one accelerator instance. The number of tile engines is the
+// knob the paper adjusts to generate instances with different computing
+// capabilities (§3), and the knob the scale-down transform reduces (§2.3).
+type Config struct {
+	// Name identifies the instance, e.g. "bw_v37_t21".
+	Name string
+	// NativeDim is the hardware vector granularity (BFP block size).
+	NativeDim int
+	// NumTiles is the number of tile engines (SIMD data processing units).
+	NumTiles int
+	// VRegs and MRegs size the vector and matrix register files.
+	VRegs, MRegs int
+	// VecLen is the logical vector length (the model's hidden dimension);
+	// v_rd and v_const produce vectors of this length.
+	VecLen int
+	// DRAMWords is the on-board DRAM capacity in float16 words.
+	DRAMWords int
+	// InstrBufBytes is the on-chip instruction buffer capacity.
+	InstrBufBytes int
+	// MantissaBits is the BFP mantissa width (default bfp.DefaultMantissaBits).
+	MantissaBits int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NativeDim <= 0:
+		return fmt.Errorf("accel: NativeDim = %d", c.NativeDim)
+	case c.NumTiles <= 0:
+		return fmt.Errorf("accel: NumTiles = %d", c.NumTiles)
+	case c.VRegs <= 0 || c.VRegs > 256 || c.MRegs <= 0 || c.MRegs > 256:
+		return fmt.Errorf("accel: register files VRegs=%d MRegs=%d", c.VRegs, c.MRegs)
+	case c.VecLen <= 0:
+		return fmt.Errorf("accel: VecLen = %d", c.VecLen)
+	case c.DRAMWords <= 0:
+		return fmt.Errorf("accel: DRAMWords = %d", c.DRAMWords)
+	}
+	return nil
+}
+
+// DRAM is the accelerator's memory port. The scale-out optimization wraps
+// it to trap predefined addresses (§2.3 Fig. 8b).
+type DRAM interface {
+	ReadWords(addr, n int) ([]fp16.Num, error)
+	WriteWords(addr int, vals []fp16.Num) error
+}
+
+// Memory is a plain in-memory DRAM.
+type Memory struct {
+	words []fp16.Num
+}
+
+// NewMemory allocates a DRAM of n float16 words.
+func NewMemory(n int) *Memory { return &Memory{words: make([]fp16.Num, n)} }
+
+// Size returns the capacity in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// ErrDRAMRange is returned for out-of-range accesses.
+var ErrDRAMRange = errors.New("accel: DRAM access out of range")
+
+// ReadWords copies n words starting at addr.
+func (m *Memory) ReadWords(addr, n int) ([]fp16.Num, error) {
+	if addr < 0 || n < 0 || addr+n > len(m.words) {
+		return nil, fmt.Errorf("%w: read [%d,%d) of %d", ErrDRAMRange, addr, addr+n, len(m.words))
+	}
+	out := make([]fp16.Num, n)
+	copy(out, m.words[addr:addr+n])
+	return out, nil
+}
+
+// WriteWords stores vals starting at addr.
+func (m *Memory) WriteWords(addr int, vals []fp16.Num) error {
+	if addr < 0 || addr+len(vals) > len(m.words) {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrDRAMRange, addr, addr+len(vals), len(m.words))
+	}
+	copy(m.words[addr:], vals)
+	return nil
+}
+
+// matrixReg is one matrix register: the BFP-quantized tile contents plus
+// shape.
+type matrixReg struct {
+	rows, cols int
+	mat        *bfp.Matrix
+}
+
+// ExecStats counts executed work, consumed by the timing model and the
+// instruction-buffer experiment.
+type ExecStats struct {
+	Instructions int
+	ByOp         map[isa.Opcode]int
+	MACs         int64 // multiply-accumulates performed by mv_mul
+	VectorOps    int64 // element-wise operations performed by the MFUs
+	DRAMReads    int64 // words read
+	DRAMWrites   int64 // words written
+}
+
+// Machine is one simulated accelerator instance.
+type Machine struct {
+	cfg    Config
+	codec  *bfp.Codec
+	vrf    [][]fp16.Num
+	mshape []struct{ rows, cols int } // configured shapes for m_rd
+	mrf    []*matrixReg
+	dram   DRAM
+	stats  ExecStats
+}
+
+// New builds a machine with a fresh private DRAM.
+func New(cfg Config) (*Machine, error) {
+	return NewWithDRAM(cfg, nil)
+}
+
+// NewWithDRAM builds a machine over the given DRAM port (nil allocates a
+// private Memory of cfg.DRAMWords).
+func NewWithDRAM(cfg Config, dram DRAM) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MantissaBits == 0 {
+		cfg.MantissaBits = bfp.DefaultMantissaBits
+	}
+	codec, err := bfp.NewCodec(cfg.MantissaBits)
+	if err != nil {
+		return nil, err
+	}
+	if dram == nil {
+		dram = NewMemory(cfg.DRAMWords)
+	}
+	m := &Machine{
+		cfg:    cfg,
+		codec:  codec,
+		vrf:    make([][]fp16.Num, cfg.VRegs),
+		mshape: make([]struct{ rows, cols int }, cfg.MRegs),
+		mrf:    make([]*matrixReg, cfg.MRegs),
+		dram:   dram,
+	}
+	m.stats.ByOp = map[isa.Opcode]int{}
+	return m, nil
+}
+
+// Config returns the instance configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// DRAMPort returns the machine's DRAM.
+func (m *Machine) DRAMPort() DRAM { return m.dram }
+
+// Stats returns execution statistics so far.
+func (m *Machine) Stats() ExecStats { return m.stats }
+
+// ResetStats zeroes the statistics.
+func (m *Machine) ResetStats() {
+	m.stats = ExecStats{ByOp: map[isa.Opcode]int{}}
+}
+
+// ConfigureMatrix sets the shape m_rd loads into matrix register reg; this
+// models the control registers the host programs before launching a chain.
+func (m *Machine) ConfigureMatrix(reg, rows, cols int) error {
+	if reg < 0 || reg >= m.cfg.MRegs {
+		return fmt.Errorf("accel: matrix register %d out of range", reg)
+	}
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("accel: matrix shape %dx%d", rows, cols)
+	}
+	m.mshape[reg] = struct{ rows, cols int }{rows, cols}
+	return nil
+}
+
+// ReadVector returns a copy of a vector register (for tests and the host
+// interface).
+func (m *Machine) ReadVector(reg int) ([]fp16.Num, error) {
+	if reg < 0 || reg >= m.cfg.VRegs {
+		return nil, fmt.Errorf("accel: vector register %d out of range", reg)
+	}
+	if m.vrf[reg] == nil {
+		return nil, fmt.Errorf("accel: vector register %d is empty", reg)
+	}
+	return append([]fp16.Num{}, m.vrf[reg]...), nil
+}
+
+// ErrProgramTooLarge is returned when a program exceeds the instruction
+// buffer.
+var ErrProgramTooLarge = errors.New("accel: program exceeds instruction buffer")
+
+// Run executes the program to completion (through end_chain or the end of
+// the sequence).
+func (m *Machine) Run(p isa.Program) error {
+	if m.cfg.InstrBufBytes > 0 && p.Bytes() > m.cfg.InstrBufBytes {
+		return fmt.Errorf("%w: %d > %d bytes", ErrProgramTooLarge, p.Bytes(), m.cfg.InstrBufBytes)
+	}
+	for pc, ins := range p {
+		done, err := m.step(ins)
+		if err != nil {
+			return fmt.Errorf("accel: pc %d (%s): %w", pc, ins, err)
+		}
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *Machine) vreg(r uint8) (int, error) {
+	if int(r) >= m.cfg.VRegs {
+		return 0, fmt.Errorf("vector register r%d out of range (%d)", r, m.cfg.VRegs)
+	}
+	return int(r), nil
+}
+
+func (m *Machine) loadedV(r uint8) ([]fp16.Num, error) {
+	idx, err := m.vreg(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.vrf[idx] == nil {
+		return nil, fmt.Errorf("vector register r%d read before write", r)
+	}
+	return m.vrf[idx], nil
+}
+
+// shardLen decodes a length-register selector: 0 = VecLen, 1 = VecLen/2,
+// 2 = VecLen/4.
+func (m *Machine) shardLen(mode uint8) (int, error) {
+	switch mode {
+	case 0:
+		return m.cfg.VecLen, nil
+	case 1:
+		return m.cfg.VecLen / 2, nil
+	case 2:
+		return m.cfg.VecLen / 4, nil
+	}
+	return 0, fmt.Errorf("unknown vector length mode %d", mode)
+}
+
+// step executes one instruction; done reports end_chain.
+func (m *Machine) step(ins isa.Instr) (done bool, err error) {
+	m.stats.Instructions++
+	m.stats.ByOp[ins.Op]++
+	switch ins.Op {
+	case isa.OpVRead:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		// Src2 selects the vector length register: 0 = full VecLen,
+		// 1 = VecLen/2, 2 = VecLen/4 (scaled-down accelerators operate on
+		// 1/n shards of the hidden dimension, §2.3).
+		n, err := m.shardLen(ins.Src2)
+		if err != nil {
+			return false, err
+		}
+		vals, err := m.dram.ReadWords(int(ins.Imm), n)
+		if err != nil {
+			return false, err
+		}
+		m.vrf[dst] = vals
+		m.stats.DRAMReads += int64(n)
+
+	case isa.OpVWrite:
+		src, err := m.loadedV(ins.Src1)
+		if err != nil {
+			return false, err
+		}
+		if err := m.dram.WriteWords(int(ins.Imm), src); err != nil {
+			return false, err
+		}
+		m.stats.DRAMWrites += int64(len(src))
+
+	case isa.OpMRead:
+		if int(ins.Dst) >= m.cfg.MRegs {
+			return false, fmt.Errorf("matrix register r%d out of range (%d)", ins.Dst, m.cfg.MRegs)
+		}
+		shape := m.mshape[ins.Dst]
+		if shape.rows == 0 {
+			return false, fmt.Errorf("matrix register r%d has no configured shape", ins.Dst)
+		}
+		words, err := m.dram.ReadWords(int(ins.Imm), shape.rows*shape.cols)
+		if err != nil {
+			return false, err
+		}
+		mat, err := m.codec.QuantizeMatrix(fp16.ToSlice64(words), shape.rows, shape.cols, m.cfg.NativeDim)
+		if err != nil {
+			return false, err
+		}
+		m.mrf[ins.Dst] = &matrixReg{rows: shape.rows, cols: shape.cols, mat: mat}
+		m.stats.DRAMReads += int64(shape.rows * shape.cols)
+
+	case isa.OpMVMul:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		if int(ins.Src1) >= m.cfg.MRegs || m.mrf[ins.Src1] == nil {
+			return false, fmt.Errorf("matrix register r%d not loaded", ins.Src1)
+		}
+		vec, err := m.loadedV(ins.Src2)
+		if err != nil {
+			return false, err
+		}
+		mr := m.mrf[ins.Src1]
+		if len(vec) != mr.cols {
+			return false, fmt.Errorf("mv_mul shape mismatch: matrix %dx%d, vector %d", mr.rows, mr.cols, len(vec))
+		}
+		vb, err := m.codec.QuantizeVector(fp16.ToSlice64(vec), m.cfg.NativeDim)
+		if err != nil {
+			return false, err
+		}
+		prod, err := bfp.MatVec(mr.mat, vb)
+		if err != nil {
+			return false, err
+		}
+		m.vrf[dst] = fp16.FromSlice64(prod)
+		m.stats.MACs += int64(mr.rows) * int64(mr.cols)
+
+	case isa.OpVVAdd, isa.OpVVSub, isa.OpVVMul:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		a, err := m.loadedV(ins.Src1)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.loadedV(ins.Src2)
+		if err != nil {
+			return false, err
+		}
+		if len(a) != len(b) {
+			return false, fmt.Errorf("%s length mismatch: %d vs %d", ins.Op, len(a), len(b))
+		}
+		out := make([]fp16.Num, len(a))
+		for i := range a {
+			switch ins.Op {
+			case isa.OpVVAdd:
+				out[i] = fp16.Add(a[i], b[i])
+			case isa.OpVVSub:
+				out[i] = fp16.Sub(a[i], b[i])
+			case isa.OpVVMul:
+				out[i] = fp16.Mul(a[i], b[i])
+			}
+		}
+		m.vrf[dst] = out
+		m.stats.VectorOps += int64(len(a))
+
+	case isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		a, err := m.loadedV(ins.Src1)
+		if err != nil {
+			return false, err
+		}
+		out := make([]fp16.Num, len(a))
+		for i, x := range a {
+			switch ins.Op {
+			case isa.OpVSigm:
+				out[i] = fp16.Sigmoid(x)
+			case isa.OpVTanh:
+				out[i] = fp16.Tanh(x)
+			case isa.OpVRelu:
+				if fp16.Less(x, fp16.PositiveZero) {
+					out[i] = fp16.PositiveZero
+				} else {
+					out[i] = x
+				}
+			case isa.OpVPass:
+				out[i] = x
+			}
+		}
+		m.vrf[dst] = out
+		m.stats.VectorOps += int64(len(a))
+
+	case isa.OpVConst:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		// Src1 selects the length register, as for v_rd.
+		n, err := m.shardLen(ins.Src1)
+		if err != nil {
+			return false, err
+		}
+		out := make([]fp16.Num, n)
+		c := fp16.Num(ins.Imm)
+		for i := range out {
+			out[i] = c
+		}
+		m.vrf[dst] = out
+		m.stats.VectorOps += int64(len(out))
+
+	case isa.OpVRsub:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return false, err
+		}
+		a, err := m.loadedV(ins.Src1)
+		if err != nil {
+			return false, err
+		}
+		c := fp16.Num(ins.Imm)
+		out := make([]fp16.Num, len(a))
+		for i, x := range a {
+			out[i] = fp16.Sub(c, x)
+		}
+		m.vrf[dst] = out
+		m.stats.VectorOps += int64(len(a))
+
+	case isa.OpEndChain:
+		return true, nil
+
+	default:
+		return false, fmt.Errorf("unimplemented opcode %v", ins.Op)
+	}
+	return false, nil
+}

@@ -1,0 +1,241 @@
+// Package bfp implements block floating-point (BFP) arithmetic, the number
+// format the BrainWave-like accelerator uses for matrix-vector
+// multiplication (paper §3). A block of values shares a single exponent;
+// each value keeps only a narrow two's-complement mantissa. Multiplying two
+// blocks therefore reduces to cheap integer multiply-accumulate plus one
+// exponent addition, which is what lets the accelerator pack thousands of
+// multipliers into the FPGA's DSP slices.
+//
+// The format implemented here matches the BrainWave publications: a shared
+// 8-bit exponent per block with sign-magnitude-style narrow mantissas
+// (default 5 bits including sign, "ms-fp9"-like when paired with blocks of
+// the native dimension). Mantissa width is configurable so experiments can
+// trade accuracy for density.
+package bfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultMantissaBits is the mantissa width (including the sign bit) used by
+// the accelerator's MVM tiles. 5 bits matches the BrainWave ms-fp9 style
+// format when combined with the shared 8-bit exponent.
+const DefaultMantissaBits = 5
+
+// ErrBadWidth is returned when constructing a codec with an unsupported
+// mantissa width.
+var ErrBadWidth = errors.New("bfp: mantissa width must be in [2,24]")
+
+// Codec quantizes float vectors into shared-exponent blocks.
+type Codec struct {
+	mantBits int   // total mantissa bits including sign
+	maxMag   int32 // largest representable magnitude, 2^(mantBits-1)-1
+}
+
+// NewCodec returns a codec with the given mantissa width (including sign
+// bit). Width must be between 2 and 24.
+func NewCodec(mantissaBits int) (*Codec, error) {
+	if mantissaBits < 2 || mantissaBits > 24 {
+		return nil, fmt.Errorf("%w: %d", ErrBadWidth, mantissaBits)
+	}
+	return &Codec{
+		mantBits: mantissaBits,
+		maxMag:   int32(1)<<(mantissaBits-1) - 1,
+	}, nil
+}
+
+// MustCodec is like NewCodec but panics on error; for package-level defaults.
+func MustCodec(mantissaBits int) *Codec {
+	c, err := NewCodec(mantissaBits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MantissaBits returns the configured mantissa width including the sign bit.
+func (c *Codec) MantissaBits() int { return c.mantBits }
+
+// Block is a quantized vector: integer mantissas scaled by 2^Exp.
+// value[i] = Mant[i] * 2^Exp.
+type Block struct {
+	Mant []int32
+	Exp  int
+}
+
+// Len returns the number of elements in the block.
+func (b Block) Len() int { return len(b.Mant) }
+
+// Quantize converts xs into one shared-exponent block. The exponent is
+// chosen so the largest magnitude uses the full mantissa range; all other
+// elements are rounded to nearest (ties away from zero, matching a simple
+// hardware rounder).
+func (c *Codec) Quantize(xs []float64) Block {
+	maxAbs := 0.0
+	for _, x := range xs {
+		a := math.Abs(x)
+		if a > maxAbs && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			maxAbs = a
+		}
+	}
+	b := Block{Mant: make([]int32, len(xs))}
+	if maxAbs == 0 {
+		return b
+	}
+	// Choose exp so that maxAbs/2^exp fits in maxMag:
+	// exp = ceil(log2(maxAbs / maxMag)).
+	exp := int(math.Ceil(math.Log2(maxAbs / float64(c.maxMag))))
+	// Guard against boundary rounding pushing past the max magnitude.
+	for math.Round(maxAbs/math.Pow(2, float64(exp))) > float64(c.maxMag) {
+		exp++
+	}
+	scale := math.Pow(2, float64(-exp))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue // encode as zero: hardware flushes non-finite input
+		}
+		m := math.Round(x * scale)
+		if m > float64(c.maxMag) {
+			m = float64(c.maxMag)
+		}
+		if m < -float64(c.maxMag) {
+			m = -float64(c.maxMag)
+		}
+		b.Mant[i] = int32(m)
+	}
+	b.Exp = exp
+	return b
+}
+
+// Dequantize converts a block back to float64.
+func (b Block) Dequantize() []float64 {
+	scale := math.Pow(2, float64(b.Exp))
+	out := make([]float64, len(b.Mant))
+	for i, m := range b.Mant {
+		out[i] = float64(m) * scale
+	}
+	return out
+}
+
+// Dot computes the inner product of two blocks exactly in the integer
+// domain: sum(a.Mant[i]*b.Mant[i]) * 2^(a.Exp+b.Exp). This is the operation
+// one BFP dot-product lane performs. It returns an error if lengths differ.
+func Dot(a, b Block) (float64, error) {
+	if len(a.Mant) != len(b.Mant) {
+		return 0, fmt.Errorf("bfp: dot length mismatch %d vs %d", len(a.Mant), len(b.Mant))
+	}
+	var acc int64
+	for i := range a.Mant {
+		acc += int64(a.Mant[i]) * int64(b.Mant[i])
+	}
+	return float64(acc) * math.Pow(2, float64(a.Exp+b.Exp)), nil
+}
+
+// Matrix is a row-major matrix quantized row-block-wise: each row is split
+// into blocks of BlockSize elements sharing one exponent. This mirrors the
+// accelerator's tile layout, where one MVM tile holds a native-dimension
+// slice of the weight matrix.
+type Matrix struct {
+	Rows, Cols int
+	BlockSize  int
+	// Blocks[r][j] covers row r, columns [j*BlockSize, (j+1)*BlockSize).
+	Blocks [][]Block
+}
+
+// QuantizeMatrix converts a row-major rows x cols float matrix into a
+// block-quantized Matrix with the given block size. The final block in a row
+// may be shorter when cols is not a multiple of blockSize.
+func (c *Codec) QuantizeMatrix(data []float64, rows, cols, blockSize int) (*Matrix, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("bfp: matrix shape %dx%d does not match %d values", rows, cols, len(data))
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("bfp: block size must be positive, got %d", blockSize)
+	}
+	m := &Matrix{Rows: rows, Cols: cols, BlockSize: blockSize}
+	m.Blocks = make([][]Block, rows)
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		nb := (cols + blockSize - 1) / blockSize
+		m.Blocks[r] = make([]Block, nb)
+		for j := 0; j < nb; j++ {
+			lo := j * blockSize
+			hi := lo + blockSize
+			if hi > cols {
+				hi = cols
+			}
+			m.Blocks[r][j] = c.Quantize(row[lo:hi])
+		}
+	}
+	return m, nil
+}
+
+// QuantizeVector converts a vector into blocks matching a matrix's column
+// blocking, so MatVec can pair them up.
+func (c *Codec) QuantizeVector(xs []float64, blockSize int) ([]Block, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("bfp: block size must be positive, got %d", blockSize)
+	}
+	nb := (len(xs) + blockSize - 1) / blockSize
+	out := make([]Block, nb)
+	for j := 0; j < nb; j++ {
+		lo := j * blockSize
+		hi := lo + blockSize
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out[j] = c.Quantize(xs[lo:hi])
+	}
+	return out, nil
+}
+
+// MatVec multiplies a block-quantized matrix by a block-quantized vector,
+// accumulating per-block dot products in float64 (the accelerator
+// accumulates in a wide fixed-point format; float64 is a superset). The
+// vector blocking must match the matrix blocking.
+func MatVec(m *Matrix, v []Block) ([]float64, error) {
+	nb := (m.Cols + m.BlockSize - 1) / m.BlockSize
+	if len(v) != nb {
+		return nil, fmt.Errorf("bfp: vector has %d blocks, matrix needs %d", len(v), nb)
+	}
+	for j := 0; j < nb; j++ {
+		want := m.BlockSize
+		if j == nb-1 {
+			want = m.Cols - j*m.BlockSize
+		}
+		if v[j].Len() != want {
+			return nil, fmt.Errorf("bfp: vector block %d has %d elements, want %d", j, v[j].Len(), want)
+		}
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var sum float64
+		for j := 0; j < nb; j++ {
+			d, err := Dot(m.Blocks[r][j], v[j])
+			if err != nil {
+				return nil, err
+			}
+			sum += d
+		}
+		out[r] = sum
+	}
+	return out, nil
+}
+
+// QuantError returns the max absolute error introduced by quantizing xs with
+// this codec, useful for accuracy experiments.
+func (c *Codec) QuantError(xs []float64) float64 {
+	back := c.Quantize(xs).Dequantize()
+	max := 0.0
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if d := math.Abs(back[i] - x); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mlvfpga/internal/core"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/perf"
+)
+
+// AblationPartitionRow contrasts the framework's pattern-aware partition
+// tool against ViTAL's pattern-oblivious one when mapping onto virtual
+// blocks (§4.3 explains that the low Table 4 overhead comes from the
+// pattern-aware tool avoiding cuts through a SIMD lane's pipeline).
+type AblationPartitionRow struct {
+	Spec          kernels.LayerSpec
+	Device        string
+	HopsAware     int
+	HopsNaive     int
+	OverheadAware float64
+	OverheadNaive float64
+}
+
+// AblationPartition measures the virtualization overhead under both
+// partitioners for every Table 4 layer on the XCVU37P.
+func AblationPartition() ([]AblationPartitionRow, error) {
+	p := perf.DefaultParams()
+	const dev = "XCVU37P"
+	var rows []AblationPartitionRow
+	for _, spec := range kernels.DeepBenchSuite() {
+		inst, err := perf.ChooseInstance(spec, dev)
+		if err != nil {
+			continue
+		}
+		aware, err := core.CompileAccelerator(core.Options{
+			Tiles: inst.Tiles, PartitionIterations: 0, Seed: 1, PatternAware: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := core.CompileAccelerator(core.Options{
+			Tiles: inst.Tiles, PartitionIterations: 0, Seed: 1, PatternAware: false,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hopsA := aware.Images[dev][0].Image.Hops
+		hopsN := naive.Images[dev][0].Image.Hops
+		base := perf.Baseline(spec, inst, p)
+		va, err := perf.Virtualized(spec, inst, hopsA, p)
+		if err != nil {
+			return nil, err
+		}
+		vn, err := perf.Virtualized(spec, inst, hopsN, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationPartitionRow{
+			Spec: spec, Device: dev,
+			HopsAware: hopsA, HopsNaive: hopsN,
+			OverheadAware: perf.OverheadFrac(base, va),
+			OverheadNaive: perf.OverheadFrac(base, vn),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationPartition renders the comparison.
+func FormatAblationPartition(rows []AblationPartitionRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: pattern-aware partitioning vs ViTAL's pattern-oblivious tool (XCVU37P)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-18s hops %d vs %d  overhead %4.1f%% vs %4.1f%%\n",
+			r.Spec, r.HopsAware, r.HopsNaive, 100*r.OverheadAware, 100*r.OverheadNaive)
+	}
+	return sb.String()
+}

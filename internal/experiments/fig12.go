@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/workload"
+)
+
+// Fig12Row is one workload set's aggregated throughput under the four
+// systems.
+type Fig12Row struct {
+	Composition workload.Composition
+	// Throughputs in tasks/second.
+	Baseline     float64
+	Restricted   float64 // same-type-only multi-FPGA (literal Fig. 12 policy)
+	StaticTarget float64 // additionally pinned to the offline compile target
+	Proposed     float64
+	// Ratios.
+	VsBaseline   float64
+	VsRestricted float64
+	VsStatic     float64
+}
+
+// Fig12Options tunes the system-level simulation.
+type Fig12Options struct {
+	NumTasks         int
+	MeanInterarrival time.Duration
+	Seed             int64
+}
+
+// DefaultFig12Options saturates the paper cluster so throughput reflects
+// capacity rather than the arrival rate.
+func DefaultFig12Options() Fig12Options {
+	return Fig12Options{NumTasks: 300, MeanInterarrival: 20 * time.Microsecond, Seed: 1}
+}
+
+// Fig12Summary aggregates the per-set rows.
+type Fig12Summary struct {
+	Rows []Fig12Row
+	// AvgVsBaseline is the headline number (paper: 2.54x).
+	AvgVsBaseline float64
+	// AvgVsRestricted / AvgVsStatic bracket the paper's +16% restricted
+	// comparison (see EXPERIMENTS.md for the interpretation discussion).
+	AvgVsRestricted float64
+	AvgVsStatic     float64
+}
+
+// Fig12 reproduces the aggregated-throughput comparison over the ten
+// Table 1 workload sets.
+func Fig12(opt Fig12Options) (*Fig12Summary, error) {
+	p := perf.DefaultParams()
+	net := scaleout.DefaultOptions()
+	cluster := resource.PaperCluster()
+	sum := &Fig12Summary{}
+	for _, comp := range workload.Table1() {
+		tasks, err := workload.Generate(comp, workload.Options{
+			NumTasks:         opt.NumTasks,
+			MeanInterarrival: opt.MeanInterarrival,
+			Seed:             opt.Seed + int64(comp.Index),
+		})
+		if err != nil {
+			return nil, err
+		}
+		base, err := rms.SimulateBaseline(tasks, cluster, p)
+		if err != nil {
+			return nil, err
+		}
+		run := func(mode rms.PolicyMode) (rms.Result, error) {
+			return rms.Simulate(tasks, rms.Config{
+				Cluster: cluster, Mode: mode,
+				DB: rms.NewDatabase(mode, p, net),
+			})
+		}
+		restr, err := run(rms.SameTypeOnly)
+		if err != nil {
+			return nil, err
+		}
+		pinned, err := run(rms.StaticTarget)
+		if err != nil {
+			return nil, err
+		}
+		flex, err := run(rms.Flexible)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{
+			Composition:  comp,
+			Baseline:     base.ThroughputPerSec,
+			Restricted:   restr.ThroughputPerSec,
+			StaticTarget: pinned.ThroughputPerSec,
+			Proposed:     flex.ThroughputPerSec,
+		}
+		if row.Baseline > 0 {
+			row.VsBaseline = row.Proposed / row.Baseline
+		}
+		if row.Restricted > 0 {
+			row.VsRestricted = row.Proposed / row.Restricted
+		}
+		if row.StaticTarget > 0 {
+			row.VsStatic = row.Proposed / row.StaticTarget
+		}
+		sum.Rows = append(sum.Rows, row)
+		sum.AvgVsBaseline += row.VsBaseline
+		sum.AvgVsRestricted += row.VsRestricted
+		sum.AvgVsStatic += row.VsStatic
+	}
+	n := float64(len(sum.Rows))
+	sum.AvgVsBaseline /= n
+	sum.AvgVsRestricted /= n
+	sum.AvgVsStatic /= n
+	return sum, nil
+}
+
+// FormatFig12 renders the summary as text.
+func FormatFig12(s *Fig12Summary) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 12: aggregated system throughput (tasks/s) per workload set\n")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&sb, "%-32s base=%8.0f restricted=%8.0f static=%8.0f proposed=%8.0f  x%.2f vs base, x%.2f vs restricted\n",
+			r.Composition, r.Baseline, r.Restricted, r.StaticTarget, r.Proposed,
+			r.VsBaseline, r.VsRestricted)
+	}
+	fmt.Fprintf(&sb, "average: x%.2f vs baseline (paper: 2.54x), x%.2f vs restricted / x%.2f vs static-target (paper: 1.16x)\n",
+		s.AvgVsBaseline, s.AvgVsRestricted, s.AvgVsStatic)
+	return sb.String()
+}

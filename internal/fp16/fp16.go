@@ -1,0 +1,210 @@
+// Package fp16 implements IEEE-754 binary16 ("half precision") arithmetic in
+// software. The BrainWave-like accelerator (paper §3) uses float16 for all
+// secondary vector operations — point-wise multiplication, addition and
+// activation functions — to avoid the quantization noise of block floating
+// point while keeping the datapath narrow.
+//
+// Values are stored in their 16-bit wire format (type Num). Arithmetic is
+// performed by converting through float32, which is exact for binary16
+// operands, and rounding the result back to binary16 with round-to-nearest-
+// even. This matches the behaviour of a hardware FP16 unit with a single
+// rounding at the end of each operation.
+package fp16
+
+import "math"
+
+// Num is an IEEE-754 binary16 value in wire format:
+// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Num uint16
+
+// Special values.
+const (
+	PositiveZero     Num = 0x0000
+	NegativeZero     Num = 0x8000
+	PositiveInfinity Num = 0x7C00
+	NegativeInfinity Num = 0xFC00
+	// QuietNaN is the canonical quiet NaN produced by this package.
+	QuietNaN Num = 0x7E00
+	// MaxValue is the largest finite binary16 value, 65504.
+	MaxValue Num = 0x7BFF
+	// SmallestSubnormal is the smallest positive value, 2^-24.
+	SmallestSubnormal Num = 0x0001
+)
+
+// FromFloat32 rounds a float32 to the nearest binary16 value using
+// round-to-nearest-even, the IEEE default rounding mode.
+func FromFloat32(f float32) Num {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xFF
+	man := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if man != 0 {
+			return Num(sign | 0x7E00) // quiet NaN, preserve sign
+		}
+		return Num(sign | 0x7C00)
+	case exp == 0 && man == 0:
+		return Num(sign) // signed zero
+	}
+
+	// Unbias float32 exponent, re-bias for binary16 (bias 15).
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1F:
+		// Overflow to infinity.
+		return Num(sign | 0x7C00)
+	case e <= 0:
+		// Subnormal (or underflow to zero). Shift the 24-bit significand
+		// (implicit leading 1) right so the exponent becomes 1-15.
+		if e < -10 {
+			return Num(sign) // underflows below the smallest subnormal
+		}
+		m := man | 0x800000 // add implicit bit
+		shift := uint32(14 - e)
+		half := uint32(1) << (shift - 1)
+		rounded := m + half
+		// Round-to-nearest-even: if exactly halfway, clear the LSB.
+		if m&(2*half-1) == half && rounded>>shift&1 == 1 {
+			rounded--
+		}
+		return Num(sign | uint16(rounded>>shift))
+	default:
+		// Normal number: round 23-bit mantissa to 10 bits.
+		const shift = 13
+		half := uint32(1) << (shift - 1)
+		rounded := man + half
+		if man&(2*half-1) == half {
+			rounded = man // tie: round to even below
+			if man>>shift&1 == 1 {
+				rounded = man + half
+			} else {
+				rounded = man
+			}
+		}
+		m16 := rounded >> shift
+		if m16 == 0x400 { // mantissa overflowed into exponent
+			m16 = 0
+			e++
+			if e >= 0x1F {
+				return Num(sign | 0x7C00)
+			}
+		}
+		return Num(sign | uint16(e)<<10 | uint16(m16))
+	}
+}
+
+// Float32 converts a binary16 value to float32 exactly.
+func (n Num) Float32() float32 {
+	sign := uint32(n&0x8000) << 16
+	exp := uint32(n>>10) & 0x1F
+	man := uint32(n) & 0x3FF
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7FC00000 | man<<13)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | man<<13)
+	}
+}
+
+// FromFloat64 rounds a float64 to binary16. The double rounding through
+// float32 is harmless here because float32 has more than twice the mantissa
+// bits of binary16.
+func FromFloat64(f float64) Num { return FromFloat32(float32(f)) }
+
+// Float64 converts to float64 exactly.
+func (n Num) Float64() float64 { return float64(n.Float32()) }
+
+// IsNaN reports whether n is a NaN.
+func (n Num) IsNaN() bool { return n&0x7C00 == 0x7C00 && n&0x3FF != 0 }
+
+// IsInf reports whether n is +Inf (sign>0), -Inf (sign<0) or either (sign=0).
+func (n Num) IsInf(sign int) bool {
+	if n&0x7FFF != 0x7C00 {
+		return false
+	}
+	neg := n&0x8000 != 0
+	return sign == 0 || (sign > 0 && !neg) || (sign < 0 && neg)
+}
+
+// IsZero reports whether n is +0 or -0.
+func (n Num) IsZero() bool { return n&0x7FFF == 0 }
+
+// Neg returns -n.
+func (n Num) Neg() Num { return n ^ 0x8000 }
+
+// Abs returns |n|.
+func (n Num) Abs() Num { return n &^ 0x8000 }
+
+// Add returns a+b rounded to binary16.
+func Add(a, b Num) Num { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Sub returns a-b rounded to binary16.
+func Sub(a, b Num) Num { return FromFloat32(a.Float32() - b.Float32()) }
+
+// Mul returns a*b rounded to binary16.
+func Mul(a, b Num) Num { return FromFloat32(a.Float32() * b.Float32()) }
+
+// Div returns a/b rounded to binary16.
+func Div(a, b Num) Num { return FromFloat32(a.Float32() / b.Float32()) }
+
+// FMA returns a*b+c with a single rounding, matching a fused hardware
+// multiply-accumulate (the MFU's vv_madd path).
+func FMA(a, b, c Num) Num {
+	return FromFloat64(float64(a.Float32())*float64(b.Float32()) + float64(c.Float32()))
+}
+
+// Sigmoid returns 1/(1+exp(-n)) rounded to binary16, the accelerator's
+// v_sigm activation.
+func Sigmoid(n Num) Num {
+	return FromFloat64(1 / (1 + math.Exp(-n.Float64())))
+}
+
+// Tanh returns tanh(n) rounded to binary16, the accelerator's v_tanh
+// activation.
+func Tanh(n Num) Num {
+	return FromFloat64(math.Tanh(n.Float64()))
+}
+
+// Less reports a < b with IEEE semantics (NaN compares false).
+func Less(a, b Num) bool {
+	if a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	return a.Float32() < b.Float32()
+}
+
+// FromSlice64 converts a float64 slice to binary16, rounding each element.
+func FromSlice64(xs []float64) []Num {
+	out := make([]Num, len(xs))
+	for i, x := range xs {
+		out[i] = FromFloat64(x)
+	}
+	return out
+}
+
+// ToSlice64 converts a binary16 slice to float64.
+func ToSlice64(ns []Num) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		out[i] = n.Float64()
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Num
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},          // largest finite
+		{65536, 0x7C00},          // overflows to +Inf
+		{-70000, 0xFC00},         // overflows to -Inf
+		{5.9604645e-8, 0x0001},   // smallest subnormal 2^-24
+		{6.097555e-5, 0x03FF},    // largest subnormal
+		{6.103515625e-5, 0x0400}, // smallest normal 2^-14
+		{0.333251953125, 0x3555}, // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.f); got != c.want {
+			t.Errorf("FromFloat64(%v) = %#04x, want %#04x", c.f, got, c.want)
+		}
+	}
+}
+
+func TestDecodeKnown(t *testing.T) {
+	cases := []struct {
+		n    Num
+		want float64
+	}{
+		{0x3C00, 1},
+		{0xC000, -2},
+		{0x7BFF, 65504},
+		{0x0001, math.Pow(2, -24)},
+		{0x0400, math.Pow(2, -14)},
+		{0x3555, 0.333251953125},
+	}
+	for _, c := range cases {
+		if got := c.n.Float64(); got != c.want {
+			t.Errorf("%#04x.Float64() = %v, want %v", uint16(c.n), got, c.want)
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if !PositiveInfinity.IsInf(1) || !NegativeInfinity.IsInf(-1) || !PositiveInfinity.IsInf(0) {
+		t.Error("IsInf misclassifies infinities")
+	}
+	if PositiveInfinity.IsInf(-1) || NegativeInfinity.IsInf(1) {
+		t.Error("IsInf sign confusion")
+	}
+	if !QuietNaN.IsNaN() || PositiveInfinity.IsNaN() {
+		t.Error("IsNaN misclassifies")
+	}
+	if !PositiveZero.IsZero() || !NegativeZero.IsZero() || Num(0x3C00).IsZero() {
+		t.Error("IsZero misclassifies")
+	}
+	if !FromFloat64(math.NaN()).IsNaN() {
+		t.Error("NaN must round-trip to NaN")
+	}
+	if !math.IsNaN(QuietNaN.Float64()) {
+		t.Error("NaN must decode to NaN")
+	}
+	if !FromFloat64(math.Inf(1)).IsInf(1) {
+		t.Error("+Inf must encode to +Inf")
+	}
+	if FromFloat64(math.Copysign(0, -1)) != NegativeZero {
+		t.Error("-0 must encode to negative zero")
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	one := FromFloat64(1)
+	if one.Neg().Float64() != -1 {
+		t.Error("Neg(1) != -1")
+	}
+	if one.Neg().Abs() != one {
+		t.Error("Abs(-1) != 1")
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 (0x3C00) and the next half
+	// (0x3C01); round-to-even keeps 0x3C00.
+	f := 1 + math.Pow(2, -11)
+	if got := FromFloat64(f); got != 0x3C00 {
+		t.Errorf("halfway tie rounded to %#04x, want 0x3C00 (even)", uint16(got))
+	}
+	// 1 + 3*2^-11 is halfway between 0x3C01 and 0x3C02; round-to-even picks
+	// 0x3C02.
+	f = 1 + 3*math.Pow(2, -11)
+	if got := FromFloat64(f); got != 0x3C02 {
+		t.Errorf("odd tie rounded to %#04x, want 0x3C02 (even)", uint16(got))
+	}
+	// Just above the tie must round up.
+	f = 1 + math.Pow(2, -11) + math.Pow(2, -20)
+	if got := FromFloat64(f); got != 0x3C01 {
+		t.Errorf("above-tie rounded to %#04x, want 0x3C01", uint16(got))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := FromFloat64(1.5), FromFloat64(2.25)
+	if got := Add(a, b).Float64(); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := Sub(a, b).Float64(); got != -0.75 {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if got := Mul(a, b).Float64(); got != 3.375 {
+		t.Errorf("1.5*2.25 = %v", got)
+	}
+	if got := Div(FromFloat64(1), FromFloat64(4)).Float64(); got != 0.25 {
+		t.Errorf("1/4 = %v", got)
+	}
+	if got := FMA(a, b, FromFloat64(1)).Float64(); got != 4.375 {
+		t.Errorf("fma(1.5,2.25,1) = %v", got)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if got := Sigmoid(PositiveZero).Float64(); got != 0.5 {
+		t.Errorf("sigmoid(0) = %v", got)
+	}
+	if got := Tanh(PositiveZero).Float64(); got != 0 {
+		t.Errorf("tanh(0) = %v", got)
+	}
+	// Saturation behaviour.
+	if got := Sigmoid(FromFloat64(20)).Float64(); got != 1 {
+		t.Errorf("sigmoid(20) = %v, want 1 after rounding", got)
+	}
+	if got := Tanh(FromFloat64(-20)).Float64(); got != -1 {
+		t.Errorf("tanh(-20) = %v", got)
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !Less(FromFloat64(1), FromFloat64(2)) || Less(FromFloat64(2), FromFloat64(1)) {
+		t.Error("Less ordering wrong")
+	}
+	if Less(QuietNaN, FromFloat64(1)) || Less(FromFloat64(1), QuietNaN) {
+		t.Error("NaN must compare false")
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	xs := []float64{0, 1, -2, 0.5}
+	back := ToSlice64(FromSlice64(xs))
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Errorf("slice round trip [%d] = %v, want %v", i, back[i], xs[i])
+		}
+	}
+}
+
+// Property: every 16-bit pattern that is not NaN survives a
+// Num -> float32 -> Num round trip exactly.
+func TestExhaustiveRoundTrip(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		n := Num(i)
+		if n.IsNaN() {
+			if !FromFloat32(n.Float32()).IsNaN() {
+				t.Fatalf("NaN pattern %#04x lost", i)
+			}
+			continue
+		}
+		if got := FromFloat32(n.Float32()); got != n {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", i, n.Float32(), uint16(got))
+		}
+	}
+}
+
+// Property: FromFloat32 returns the nearest representable half for random
+// finite inputs (checked against a brute-force nearest search within one ulp).
+func TestQuickNearest(t *testing.T) {
+	f := func(u uint16, frac uint16) bool {
+		n := Num(u)
+		if n.IsNaN() || n.IsInf(0) {
+			return true
+		}
+		// Perturb within half an ulp: result must round back to n or a
+		// neighbour whose distance is not larger.
+		x := n.Float32()
+		eps := float32(math.Abs(float64(x)))*1e-4 + 1e-9
+		y := x + eps*(float32(frac%128)/128-0.5)
+		g := FromFloat32(y)
+		if g.IsNaN() || g.IsInf(0) {
+			return true
+		}
+		// The error of the chosen representation must be minimal vs its
+		// adjacent representable values.
+		d := math.Abs(float64(g.Float32()) - float64(y))
+		for delta := -1; delta <= 1; delta += 2 {
+			alt := Num(uint16(int(g) + delta))
+			if alt.IsNaN() || alt.IsInf(0) || (g&0x8000) != (alt&0x8000) {
+				continue
+			}
+			if math.Abs(float64(alt.Float32())-float64(y)) < d-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and Mul by 1 is identity.
+func TestQuickAlgebra(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Num(a), Num(b)
+		if x.IsNaN() || y.IsNaN() {
+			return true
+		}
+		if Add(x, y) != Add(y, x) && !Add(x, y).IsNaN() {
+			return false
+		}
+		one := FromFloat64(1)
+		if !x.IsNaN() && Mul(x, one) != x && !x.IsZero() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a program. Syntax is one instruction
+// per line, comments start with '#' or ';', registers are written rN,
+// immediates are decimal or 0x-prefixed hex:
+//
+//	m_rd r0, 4096        # load matrix
+//	v_rd r1, 0           # load input vector
+//	mv_mul r2, r0, r1
+//	v_sigm r3, r2
+//	v_wr r3, 128
+//	end_chain
+func Assemble(src string) (Program, error) {
+	var prog Program
+	for lineNo, rawLine := range strings.Split(src, "\n") {
+		line := rawLine
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		instr, err := assembleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		prog = append(prog, instr)
+	}
+	return prog, nil
+}
+
+func assembleLine(line string) (Instr, error) {
+	fields := strings.Fields(line)
+	mnemonic := fields[0]
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, mnemonic))
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+
+	reg := func(s string) (uint8, error) {
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.ParseUint(s[1:], 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (uint32, error) {
+		n, err := strconv.ParseUint(s, 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return uint32(n), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	var i Instr
+	i.Op = op
+	var err error
+	switch op {
+	case OpVRead, OpMRead:
+		if err = need(2); err != nil {
+			return i, err
+		}
+		if i.Dst, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		i.Imm, err = imm(args[1])
+		return i, err
+	case OpVWrite:
+		if err = need(2); err != nil {
+			return i, err
+		}
+		if i.Src1, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		i.Imm, err = imm(args[1])
+		return i, err
+	case OpMVMul, OpVVAdd, OpVVSub, OpVVMul:
+		if err = need(3); err != nil {
+			return i, err
+		}
+		if i.Dst, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		if i.Src1, err = reg(args[1]); err != nil {
+			return i, err
+		}
+		i.Src2, err = reg(args[2])
+		return i, err
+	case OpVSigm, OpVTanh, OpVRelu, OpVPass:
+		if err = need(2); err != nil {
+			return i, err
+		}
+		if i.Dst, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		i.Src1, err = reg(args[1])
+		return i, err
+	case OpVConst:
+		if err = need(2); err != nil {
+			return i, err
+		}
+		if i.Dst, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		i.Imm, err = imm(args[1])
+		return i, err
+	case OpVRsub:
+		if err = need(3); err != nil {
+			return i, err
+		}
+		if i.Dst, err = reg(args[0]); err != nil {
+			return i, err
+		}
+		if i.Src1, err = reg(args[1]); err != nil {
+			return i, err
+		}
+		i.Imm, err = imm(args[2])
+		return i, err
+	case OpEndChain:
+		return i, need(0)
+	}
+	return i, fmt.Errorf("unhandled opcode %v", op)
+}

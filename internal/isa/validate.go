@@ -1,0 +1,127 @@
+package isa
+
+import "fmt"
+
+// MachineSpec is the static contract a program is validated against.
+type MachineSpec struct {
+	// VRegs and MRegs size the register files.
+	VRegs, MRegs int
+	// DRAMWords bounds direct DRAM addresses. Zero disables the check.
+	DRAMWords int
+	// TrappedAddrs are addresses outside DRAM that the §2.3 sync template
+	// module handles; accesses to them are legal.
+	TrappedAddrs []uint32
+	// InstrBufBytes bounds the program's machine-code size. Zero disables
+	// the check.
+	InstrBufBytes int
+}
+
+// Issue is one static-validation finding.
+type Issue struct {
+	PC    int
+	Instr Instr
+	Msg   string
+}
+
+func (i Issue) String() string {
+	if !i.Instr.Op.Valid() {
+		return fmt.Sprintf("pc %d: %s", i.PC, i.Msg)
+	}
+	return fmt.Sprintf("pc %d (%s): %s", i.PC, i.Instr, i.Msg)
+}
+
+// Validate statically checks a program: register indices in range, no
+// read-before-write, DRAM addresses in bounds (modulo trapped sync
+// addresses), instruction-buffer fit, and termination by end_chain with no
+// dead code after it. It returns every issue found (empty = clean).
+func Validate(p Program, spec MachineSpec) []Issue {
+	var issues []Issue
+	add := func(pc int, ins Instr, format string, args ...any) {
+		issues = append(issues, Issue{PC: pc, Instr: ins, Msg: fmt.Sprintf(format, args...)})
+	}
+	if spec.InstrBufBytes > 0 && p.Bytes() > spec.InstrBufBytes {
+		issues = append(issues, Issue{PC: 0, Msg: fmt.Sprintf(
+			"program is %d bytes, instruction buffer holds %d", p.Bytes(), spec.InstrBufBytes)})
+	}
+
+	trapped := map[uint32]bool{}
+	for _, a := range spec.TrappedAddrs {
+		trapped[a] = true
+	}
+	checkAddr := func(pc int, ins Instr) {
+		if spec.DRAMWords <= 0 || trapped[ins.Imm] {
+			return
+		}
+		if ins.Imm >= uint32(spec.DRAMWords) {
+			add(pc, ins, "DRAM address %d out of range (%d words)", ins.Imm, spec.DRAMWords)
+		}
+	}
+
+	written := map[int]bool{}
+	ended := false
+	for pc, ins := range p {
+		if !ins.Op.Valid() {
+			add(pc, ins, "invalid opcode %d", uint8(ins.Op))
+			continue
+		}
+		if ended {
+			add(pc, ins, "unreachable: follows end_chain")
+			continue
+		}
+		// Register ranges.
+		checkReg := func(r uint8, isMatrix bool) {
+			limit := spec.VRegs
+			file := "vector"
+			if isMatrix {
+				limit = spec.MRegs
+				file = "matrix"
+			}
+			if limit > 0 && int(r) >= limit {
+				add(pc, ins, "%s register r%d out of range (%d)", file, r, limit)
+			}
+		}
+		switch ins.Op {
+		case OpMRead:
+			checkReg(ins.Dst, true)
+		case OpMVMul:
+			checkReg(ins.Dst, false)
+			checkReg(ins.Src1, true)
+			checkReg(ins.Src2, false)
+		case OpVRead, OpVConst:
+			checkReg(ins.Dst, false)
+		case OpVWrite:
+			checkReg(ins.Src1, false)
+		case OpVVAdd, OpVVSub, OpVVMul:
+			checkReg(ins.Dst, false)
+			checkReg(ins.Src1, false)
+			checkReg(ins.Src2, false)
+		case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVRsub:
+			checkReg(ins.Dst, false)
+			checkReg(ins.Src1, false)
+		}
+		// Read-before-write.
+		for _, r := range ins.Reads() {
+			if !written[r] {
+				name := fmt.Sprintf("r%d", r)
+				if r >= MRegBase {
+					name = fmt.Sprintf("m%d", r-MRegBase)
+				}
+				add(pc, ins, "%s read before any write", name)
+			}
+		}
+		for _, r := range ins.Writes() {
+			written[r] = true
+		}
+		// Addresses.
+		if touches, _ := ins.TouchesDRAM(); touches {
+			checkAddr(pc, ins)
+		}
+		if ins.Op == OpEndChain {
+			ended = true
+		}
+	}
+	if !ended {
+		issues = append(issues, Issue{PC: len(p), Msg: "program does not end with end_chain"})
+	}
+	return issues
+}

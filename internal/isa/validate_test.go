@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func spec() MachineSpec {
+	return MachineSpec{VRegs: 16, MRegs: 8, DRAMWords: 4096, InstrBufBytes: 1024}
+}
+
+func assemble(t *testing.T, src string) Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidateClean(t *testing.T) {
+	p := assemble(t, `
+		m_rd r0, 0
+		v_rd r1, 64
+		mv_mul r2, r0, r1
+		v_sigm r3, r2
+		v_wr r3, 128
+		end_chain`)
+	if issues := Validate(p, spec()); len(issues) != 0 {
+		t.Errorf("clean program flagged: %v", issues)
+	}
+}
+
+func TestValidateReadBeforeWrite(t *testing.T) {
+	p := assemble(t, "v_sigm r1, r0\nend_chain")
+	issues := Validate(p, spec())
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "read before") {
+		t.Errorf("issues = %v", issues)
+	}
+	// Matrix file tracked separately.
+	p2 := assemble(t, "v_rd r0, 0\nmv_mul r1, r0, r0\nend_chain")
+	issues2 := Validate(p2, spec())
+	if len(issues2) != 1 || !strings.Contains(issues2[0].Msg, "m0 read before") {
+		t.Errorf("matrix issues = %v", issues2)
+	}
+}
+
+func TestValidateRegisterRange(t *testing.T) {
+	p := Program{
+		{Op: OpVConst, Dst: 20},
+		{Op: OpEndChain},
+	}
+	issues := Validate(p, spec())
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "out of range") {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestValidateDRAMBounds(t *testing.T) {
+	p := assemble(t, "v_rd r0, 5000\nend_chain")
+	issues := Validate(p, spec())
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "out of range (4096") {
+		t.Errorf("issues = %v", issues)
+	}
+	// Trapped sync addresses are legal.
+	s := spec()
+	s.TrappedAddrs = []uint32{5000}
+	if issues := Validate(p, s); len(issues) != 0 {
+		t.Errorf("trapped address flagged: %v", issues)
+	}
+	// Disabled check.
+	s2 := spec()
+	s2.DRAMWords = 0
+	if issues := Validate(p, s2); len(issues) != 0 {
+		t.Errorf("disabled bound flagged: %v", issues)
+	}
+}
+
+func TestValidateTermination(t *testing.T) {
+	p := assemble(t, "v_const r0, 0")
+	issues := Validate(p, spec())
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "end_chain") {
+		t.Errorf("issues = %v", issues)
+	}
+	p2 := assemble(t, "end_chain\nv_const r0, 0")
+	issues2 := Validate(p2, spec())
+	if len(issues2) != 1 || !strings.Contains(issues2[0].Msg, "unreachable") {
+		t.Errorf("issues = %v", issues2)
+	}
+}
+
+func TestValidateBufferFit(t *testing.T) {
+	var p Program
+	for i := 0; i < 200; i++ {
+		p = append(p, Instr{Op: OpVConst, Dst: 0})
+	}
+	p = append(p, Instr{Op: OpEndChain})
+	issues := Validate(p, spec()) // 201*8 = 1608 > 1024
+	found := false
+	for _, is := range issues {
+		if strings.Contains(is.Msg, "instruction buffer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("buffer overflow not flagged: %v", issues)
+	}
+}
+
+func TestValidateInvalidOpcode(t *testing.T) {
+	p := Program{{Op: Opcode(99)}, {Op: OpEndChain}}
+	issues := Validate(p, spec())
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "invalid opcode") {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	is := Issue{PC: 3, Instr: Instr{Op: OpEndChain}, Msg: "x"}
+	if !strings.Contains(is.String(), "pc 3") || !strings.Contains(is.String(), "end_chain") {
+		t.Errorf("String = %q", is.String())
+	}
+	// Synthetic issues (no instruction) omit the opcode.
+	syn := Issue{PC: 9, Msg: "y"}
+	if strings.Contains(syn.String(), "op(") {
+		t.Errorf("synthetic issue leaks zero instruction: %q", syn.String())
+	}
+}

@@ -1,0 +1,247 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/isa"
+)
+
+// This file adds a feed-forward (MLP) kernel alongside the recurrent
+// cells: the AS ISA is application-specific, not model-specific, and the
+// same instruction set expresses y = act(W_n ... act(W_1 x)) chains. The
+// paper's BrainWave reference serves MLP/CNN-style layers with the same
+// ISA; this generator demonstrates that generality.
+
+// Activation selects the per-layer nonlinearity of an MLP.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	SigmoidAct
+	TanhAct
+	NoAct
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case SigmoidAct:
+		return "sigmoid"
+	case TanhAct:
+		return "tanh"
+	case NoAct:
+		return "linear"
+	}
+	return fmt.Sprintf("Activation(%d)", int(a))
+}
+
+func (a Activation) opcode() (isa.Opcode, bool) {
+	switch a {
+	case ReLU:
+		return isa.OpVRelu, true
+	case SigmoidAct:
+		return isa.OpVSigm, true
+	case TanhAct:
+		return isa.OpVTanh, true
+	}
+	return 0, false
+}
+
+// MLPSpec describes a multi-layer perceptron with square layers (the
+// accelerator's logical vector length is fixed per chain, so every layer
+// is Dim x Dim).
+type MLPSpec struct {
+	// Dim is the width of every layer.
+	Dim int
+	// Layers is the number of weight matrices.
+	Layers int
+	// Act is applied after every layer except the last.
+	Act Activation
+}
+
+// MLPWeights holds the per-layer parameters.
+type MLPWeights struct {
+	Spec MLPSpec
+	// W[i] is layer i's Dim x Dim matrix, row-major; B[i] its bias.
+	W [][]float64
+	B [][]float64
+}
+
+// RandomMLPWeights draws N(0, 1/sqrt(dim)) weights.
+func RandomMLPWeights(spec MLPSpec, seed int64) (*MLPWeights, error) {
+	if spec.Dim <= 0 || spec.Layers <= 0 {
+		return nil, fmt.Errorf("kernels: bad MLP spec %+v", spec)
+	}
+	r := rand.New(rand.NewSource(seed))
+	w := &MLPWeights{Spec: spec}
+	scale := 1.0 / sqrtf(float64(spec.Dim))
+	for l := 0; l < spec.Layers; l++ {
+		mat := make([]float64, spec.Dim*spec.Dim)
+		for i := range mat {
+			mat[i] = r.NormFloat64() * scale
+		}
+		bias := make([]float64, spec.Dim)
+		for i := range bias {
+			bias[i] = r.NormFloat64() * 0.1
+		}
+		w.W = append(w.W, mat)
+		w.B = append(w.B, bias)
+	}
+	return w, nil
+}
+
+// MLPKernel is a compiled feed-forward chain.
+type MLPKernel struct {
+	Spec MLPSpec
+	Prog isa.Program
+	// Image is the initial DRAM contents.
+	Image []fp16.Num
+	// Cfg sizes the machine.
+	Cfg       accel.Config
+	inputAddr int
+	outAddr   int
+}
+
+// BuildMLP compiles the chain: load all matrices and biases, then per
+// inference one v_rd, Layers x (mv_mul, vv_add, activation), one v_wr.
+// Matrix registers bound the depth (Layers <= MRegs, biases need
+// Layers + 2 vector registers).
+func BuildMLP(w *MLPWeights, tiles int) (*MLPKernel, error) {
+	spec := w.Spec
+	cfg := DefaultConfig(LayerSpec{Kind: LSTM, Hidden: spec.Dim, TimeSteps: 1}, tiles)
+	if spec.Layers > cfg.MRegs {
+		return nil, fmt.Errorf("kernels: %d layers exceed %d matrix registers", spec.Layers, cfg.MRegs)
+	}
+	if spec.Layers+3 > cfg.VRegs {
+		return nil, fmt.Errorf("kernels: %d layers exceed the vector register file", spec.Layers)
+	}
+	k := &MLPKernel{Spec: spec, Cfg: cfg}
+
+	var alloc allocator
+	matAddr := make([]int, spec.Layers)
+	biasAddr := make([]int, spec.Layers)
+	for l := 0; l < spec.Layers; l++ {
+		matAddr[l] = alloc.alloc(spec.Dim * spec.Dim)
+		biasAddr[l] = alloc.alloc(spec.Dim)
+	}
+	k.inputAddr = alloc.alloc(spec.Dim)
+	k.outAddr = alloc.alloc(spec.Dim)
+
+	k.Image = make([]fp16.Num, k.inputAddr)
+	for l := 0; l < spec.Layers; l++ {
+		copy(k.Image[matAddr[l]:], fp16.FromSlice64(w.W[l]))
+		copy(k.Image[biasAddr[l]:], fp16.FromSlice64(w.B[l]))
+	}
+
+	var p isa.Program
+	for l := 0; l < spec.Layers; l++ {
+		p = append(p,
+			isa.Instr{Op: isa.OpMRead, Dst: uint8(l), Imm: uint32(matAddr[l])},
+			isa.Instr{Op: isa.OpVRead, Dst: uint8(2 + l), Imm: uint32(biasAddr[l])},
+		)
+	}
+	p = append(p, isa.Instr{Op: isa.OpVRead, Dst: 0, Imm: uint32(k.inputAddr)})
+	for l := 0; l < spec.Layers; l++ {
+		p = append(p,
+			isa.Instr{Op: isa.OpMVMul, Dst: 1, Src1: uint8(l), Src2: 0},
+			isa.Instr{Op: isa.OpVVAdd, Dst: 1, Src1: 1, Src2: uint8(2 + l)},
+		)
+		if op, ok := spec.Act.opcode(); ok && l < spec.Layers-1 {
+			p = append(p, isa.Instr{Op: op, Dst: 1, Src1: 1})
+		}
+		if l < spec.Layers-1 {
+			p = append(p, isa.Instr{Op: isa.OpVPass, Dst: 0, Src1: 1})
+		}
+	}
+	p = append(p,
+		isa.Instr{Op: isa.OpVWrite, Src1: 1, Imm: uint32(k.outAddr)},
+		isa.Instr{Op: isa.OpEndChain},
+	)
+	k.Prog = p
+	return k, nil
+}
+
+// NewMachine builds a machine loaded with weights and matrix shapes.
+func (k *MLPKernel) NewMachine() (*accel.Machine, error) {
+	m, err := accel.New(k.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.DRAMPort().WriteWords(0, k.Image); err != nil {
+		return nil, err
+	}
+	for l := 0; l < k.Spec.Layers; l++ {
+		if err := m.ConfigureMatrix(l, k.Spec.Dim, k.Spec.Dim); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SetInput writes x into DRAM.
+func (k *MLPKernel) SetInput(m *accel.Machine, x []float64) error {
+	if len(x) != k.Spec.Dim {
+		return fmt.Errorf("kernels: MLP input length %d, want %d", len(x), k.Spec.Dim)
+	}
+	return m.DRAMPort().WriteWords(k.inputAddr, fp16.FromSlice64(x))
+}
+
+// ReadOutput reads y back.
+func (k *MLPKernel) ReadOutput(m *accel.Machine) ([]float64, error) {
+	words, err := m.DRAMPort().ReadWords(k.outAddr, k.Spec.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return fp16.ToSlice64(words), nil
+}
+
+// ReferenceMLP evaluates the chain in float64.
+func ReferenceMLP(w *MLPWeights, x []float64) ([]float64, error) {
+	if len(x) != w.Spec.Dim {
+		return nil, fmt.Errorf("kernels: MLP input length %d, want %d", len(x), w.Spec.Dim)
+	}
+	dim := w.Spec.Dim
+	cur := append([]float64{}, x...)
+	for l := 0; l < w.Spec.Layers; l++ {
+		next := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			sum := w.B[l][i]
+			for j := 0; j < dim; j++ {
+				sum += w.W[l][i*dim+j] * cur[j]
+			}
+			next[i] = sum
+		}
+		if l < w.Spec.Layers-1 {
+			for i := range next {
+				next[i] = applyAct(w.Spec.Act, next[i])
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func applyAct(a Activation, x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case SigmoidAct:
+		return sigmoid(x)
+	case TanhAct:
+		return tanh64(x)
+	}
+	return x
+}
+
+func tanh64(x float64) float64 {
+	// tanh via the sigmoid identity to avoid importing math twice here.
+	return 2*sigmoid(2*x) - 1
+}

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlvfpga/internal/isa"
+)
+
+func runMLP(t *testing.T, spec MLPSpec, tolerance float64) {
+	t.Helper()
+	w, err := RandomMLPWeights(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := BuildMLP(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Cfg.MantissaBits = 9
+	m, err := k.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	x := make([]float64, spec.Dim)
+	for i := range x {
+		x[i] = r.NormFloat64() * 0.5
+	}
+	if err := k.SetInput(m, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(k.Prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.ReadOutput(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceMLP(w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tolerance {
+			t.Fatalf("%v elem %d: got %v, want %v", spec, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMLPReLU(t *testing.T)    { runMLP(t, MLPSpec{Dim: 48, Layers: 3, Act: ReLU}, 0.1) }
+func TestMLPSigmoid(t *testing.T) { runMLP(t, MLPSpec{Dim: 32, Layers: 2, Act: SigmoidAct}, 0.08) }
+func TestMLPTanh(t *testing.T)    { runMLP(t, MLPSpec{Dim: 32, Layers: 4, Act: TanhAct}, 0.12) }
+func TestMLPLinear(t *testing.T)  { runMLP(t, MLPSpec{Dim: 32, Layers: 2, Act: NoAct}, 0.1) }
+
+func TestMLPErrors(t *testing.T) {
+	if _, err := RandomMLPWeights(MLPSpec{Dim: 0, Layers: 1}, 1); err == nil {
+		t.Error("bad dim must fail")
+	}
+	w, _ := RandomMLPWeights(MLPSpec{Dim: 16, Layers: 2, Act: ReLU}, 1)
+	w.Spec.Layers = 99
+	if _, err := BuildMLP(w, 1); err == nil {
+		t.Error("too many layers must fail")
+	}
+	w.Spec.Layers = 2
+	k, err := BuildMLP(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetInput(m, make([]float64, 3)); err == nil {
+		t.Error("wrong input length must fail")
+	}
+	if _, err := ReferenceMLP(w, make([]float64, 3)); err == nil {
+		t.Error("wrong reference input length must fail")
+	}
+}
+
+func TestMLPProgramValidates(t *testing.T) {
+	w, _ := RandomMLPWeights(MLPSpec{Dim: 32, Layers: 4, Act: ReLU}, 1)
+	k, err := BuildMLP(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := isa.Validate(k.Prog, isa.MachineSpec{
+		VRegs:         k.Cfg.VRegs,
+		MRegs:         k.Cfg.MRegs,
+		DRAMWords:     k.Cfg.DRAMWords,
+		InstrBufBytes: k.Cfg.InstrBufBytes,
+	})
+	if len(issues) != 0 {
+		t.Errorf("MLP program has %d static issues; first: %v", len(issues), issues[0])
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	names := map[Activation]string{ReLU: "relu", SigmoidAct: "sigmoid", TanhAct: "tanh", NoAct: "linear"}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+}

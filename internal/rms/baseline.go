@@ -1,0 +1,142 @@
+package rms
+
+import (
+	"fmt"
+	"time"
+
+	"mlvfpga/internal/des"
+	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/workload"
+)
+
+// SimulateBaseline models the AS ISA-only baseline system of Fig. 12:
+// resources are managed at per-device granularity, so every task occupies
+// a whole FPGA for its duration regardless of the accelerator's actual
+// footprint (the statically compiled instance owns the device). Layers
+// whose weights exceed the device's on-chip storage fall back to streaming
+// weights from DRAM (there is no multi-FPGA scale-out without the
+// framework).
+func SimulateBaseline(tasks []workload.Task, cluster resource.ClusterSpec, p perf.Params) (Result, error) {
+	type device struct {
+		name string
+		busy bool
+	}
+	var devices []*device
+	for _, s := range hsvital.AllSpecs() {
+		for i := 0; i < cluster[s.Device.Name]; i++ {
+			devices = append(devices, &device{name: s.Device.Name})
+		}
+	}
+	if len(devices) == 0 {
+		return Result{}, fmt.Errorf("rms: empty cluster")
+	}
+
+	// latencyOn caches the baseline latency per (spec, device type).
+	latCache := map[string]time.Duration{}
+	latencyOn := func(spec kernels.LayerSpec, dev string) (time.Duration, error) {
+		key := spec.String() + "@" + dev
+		if d, ok := latCache[key]; ok {
+			return d, nil
+		}
+		var total time.Duration
+		if inst, err := perf.ChooseInstance(spec, dev); err == nil {
+			total = perf.Baseline(spec, inst, p).Total
+		} else {
+			b, err := perf.StreamingLatency(spec, dev, p)
+			if err != nil {
+				return 0, err
+			}
+			total = b.Total
+		}
+		latCache[key] = total
+		return total, nil
+	}
+
+	engine := des.New()
+	var res Result
+	var queue []workload.Task
+	var sumLatency, sumSojourn time.Duration
+	var lastCompletion time.Duration
+
+	var dispatchQueued func(now time.Duration)
+
+	// tryDispatch picks the free device offering the lowest latency.
+	tryDispatch := func(now time.Duration, task workload.Task) (bool, error) {
+		var best *device
+		var bestLat time.Duration
+		for _, d := range devices {
+			if d.busy {
+				continue
+			}
+			lat, err := latencyOn(task.Spec, d.name)
+			if err != nil {
+				return false, err
+			}
+			if best == nil || lat < bestLat {
+				best, bestLat = d, lat
+			}
+		}
+		if best == nil {
+			return false, nil
+		}
+		best.busy = true
+		sumLatency += bestLat
+		sumSojourn += now - task.Arrival + bestLat
+		return true, engine.At(now+bestLat, func(n time.Duration) {
+			best.busy = false
+			res.Completed++
+			if n > lastCompletion {
+				lastCompletion = n
+			}
+			dispatchQueued(n)
+		})
+	}
+
+	dispatchQueued = func(now time.Duration) {
+		remaining := queue[:0]
+		for _, task := range queue {
+			started, err := tryDispatch(now, task)
+			if err != nil {
+				panic(fmt.Sprintf("rms: baseline dispatch: %v", err))
+			}
+			if !started {
+				remaining = append(remaining, task)
+			}
+		}
+		queue = remaining
+	}
+
+	for _, task := range tasks {
+		task := task
+		if err := engine.At(task.Arrival, func(now time.Duration) {
+			started, err := tryDispatch(now, task)
+			if err != nil {
+				panic(fmt.Sprintf("rms: baseline dispatch: %v", err))
+			}
+			if !started {
+				queue = append(queue, task)
+				if len(queue) > res.PeakQueue {
+					res.PeakQueue = len(queue)
+				}
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	engine.Run(0)
+	if len(queue) > 0 {
+		return Result{}, fmt.Errorf("rms: baseline left %d tasks queued", len(queue))
+	}
+	res.Makespan = lastCompletion
+	if res.Completed > 0 {
+		res.AvgLatency = sumLatency / time.Duration(res.Completed)
+		res.AvgSojourn = sumSojourn / time.Duration(res.Completed)
+	}
+	if res.Makespan > 0 {
+		res.ThroughputPerSec = float64(res.Completed) / res.Makespan.Seconds()
+	}
+	return res, nil
+}

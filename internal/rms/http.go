@@ -1,0 +1,115 @@
+package rms
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"mlvfpga/internal/kernels"
+)
+
+// Handler exposes a Service as a JSON HTTP API (the integration surface of
+// Fig. 7's "APIs for communicating with the high-level system"):
+//
+//	POST /deploy   {"kind":"LSTM","hidden":512,"timesteps":25} -> Lease
+//	POST /release  {"id":3}                                    -> 204
+//	GET  /status                                               -> ClusterStatus
+//	GET  /lease/{id}                                           -> Lease
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req struct {
+			Kind      string `json:"kind"`
+			Hidden    int    `json:"hidden"`
+			TimeSteps int    `json:"timesteps"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var kind kernels.RNNKind
+		switch strings.ToUpper(req.Kind) {
+		case "LSTM":
+			kind = kernels.LSTM
+		case "GRU":
+			kind = kernels.GRU
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown cell kind %q", req.Kind))
+			return
+		}
+		if req.Hidden <= 0 || req.TimeSteps <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("hidden and timesteps must be positive"))
+			return
+		}
+		lease, err := s.Deploy(kernels.LayerSpec{Kind: kind, Hidden: req.Hidden, TimeSteps: req.TimeSteps})
+		switch {
+		case errors.Is(err, ErrNoCapacity):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrUndeployable):
+			writeErr(w, http.StatusUnprocessableEntity, err)
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, lease)
+		}
+	})
+
+	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req struct {
+			ID int `json:"id"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.Release(req.ID); err != nil {
+			if errors.Is(err, ErrUnknownLease) {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("/lease/", func(w http.ResponseWriter, r *http.Request) {
+		var id int
+		if _, err := fmt.Sscanf(r.URL.Path, "/lease/%d", &id); err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("bad lease id"))
+			return
+		}
+		lease, ok := s.Lease(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %d", ErrUnknownLease, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, lease)
+	})
+
+	return mux
+}

@@ -1,0 +1,255 @@
+package rms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mlvfpga/internal/des"
+	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/workload"
+)
+
+// QueueDiscipline selects how queued tasks are considered when blocks
+// free up. The paper uses a simple policy and leaves "more comprehensive
+// runtime policy" as future work; SJF is implemented as that extension.
+type QueueDiscipline int
+
+const (
+	// FIFOBackfill scans the queue in arrival order, starting whatever
+	// fits (the default).
+	FIFOBackfill QueueDiscipline = iota
+	// SJF considers shorter tasks (by best modelled latency) first.
+	SJF
+)
+
+func (q QueueDiscipline) String() string {
+	if q == SJF {
+		return "sjf"
+	}
+	return "fifo-backfill"
+}
+
+// Config parameterizes the virtualized-system simulation.
+type Config struct {
+	Cluster resource.ClusterSpec
+	Mode    PolicyMode
+	DB      *Database
+	// Discipline selects the queue policy (default FIFOBackfill).
+	Discipline QueueDiscipline
+}
+
+// Result summarizes one system-level run (a Fig. 12 data point).
+type Result struct {
+	Completed int
+	Rejected  int // tasks with no feasible deployment at all
+	Makespan  time.Duration
+	// ThroughputPerSec is completed tasks over makespan — the paper's
+	// aggregated system throughput metric.
+	ThroughputPerSec float64
+	AvgLatency       time.Duration // service time (dispatch to completion)
+	AvgSojourn       time.Duration // arrival to completion
+	PeakQueue        int
+	// PeakUtilization is the maximum fraction of occupied virtual blocks.
+	PeakUtilization float64
+}
+
+// placement records where a running task's pieces live.
+type placement struct {
+	fpgas  []int
+	blocks []int
+}
+
+// Simulate runs a task sequence through the virtualized framework on the
+// given cluster: the system controller consults the mapping database,
+// allocates virtual blocks greedily (fewest soft blocks first), and queued
+// tasks dispatch as completions free blocks.
+func Simulate(tasks []workload.Task, cfg Config) (Result, error) {
+	ctrl, err := hsvital.NewController(cfg.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+	db := cfg.DB
+	if db == nil {
+		return Result{}, fmt.Errorf("rms: nil database")
+	}
+
+	engine := des.New()
+	var res Result
+	var queue []workload.Task
+	var sumLatency, sumSojourn time.Duration
+	var lastCompletion time.Duration
+
+	// tryPlace attempts to allocate a deployment's pieces on distinct
+	// FPGAs, best-fit (least free blocks that still fit) to limit
+	// fragmentation. Returns the chosen FPGA ids or nil.
+	tryPlace := func(dep Deployment) *placement {
+		used := map[int]bool{}
+		pl := &placement{}
+		for _, piece := range dep.Pieces {
+			bestID, bestFree := -1, 1<<30
+			for _, f := range ctrl.Devices() {
+				if used[f.ID] || f.Spec.Device.Name != piece.Device {
+					continue
+				}
+				if free := f.FreeBlocks(); free >= piece.Blocks && free < bestFree {
+					bestID, bestFree = f.ID, free
+				}
+			}
+			if bestID < 0 {
+				return nil
+			}
+			used[bestID] = true
+			pl.fpgas = append(pl.fpgas, bestID)
+			pl.blocks = append(pl.blocks, piece.Blocks)
+		}
+		return pl
+	}
+
+	var dispatchQueued func(now time.Duration)
+
+	start := func(now time.Duration, task workload.Task, dep Deployment, pl *placement) error {
+		for i, id := range pl.fpgas {
+			if err := ctrl.Configure(id, pl.blocks[i]); err != nil {
+				return err
+			}
+		}
+		if u := ctrl.Utilization(); u > res.PeakUtilization {
+			res.PeakUtilization = u
+		}
+		sumLatency += dep.Latency
+		sumSojourn += now - task.Arrival + dep.Latency
+		done := now + dep.Latency
+		return engine.At(done, func(n time.Duration) {
+			for i, id := range pl.fpgas {
+				if err := ctrl.Release(id, pl.blocks[i]); err != nil {
+					panic(fmt.Sprintf("rms: release: %v", err))
+				}
+			}
+			res.Completed++
+			if n > lastCompletion {
+				lastCompletion = n
+			}
+			dispatchQueued(n)
+		})
+	}
+
+	// clusterFeasible reports whether a deployment could ever be placed on
+	// this cluster (enough devices of each type, even when idle).
+	countByType := map[string]int{}
+	for _, f := range ctrl.Devices() {
+		countByType[f.Spec.Device.Name]++
+	}
+	clusterFeasible := func(dep Deployment) bool {
+		need := map[string]int{}
+		for _, piece := range dep.Pieces {
+			need[piece.Device]++
+		}
+		for ty, n := range need {
+			if n > countByType[ty] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// tryDispatch starts a task if any deployment option fits right now,
+	// walking the database's greedy order (fewest soft blocks, then lowest
+	// latency) and taking the first placeable option.
+	tryDispatch := func(now time.Duration, task workload.Task) (bool, error) {
+		opts, err := db.Options(task.Spec)
+		if err != nil {
+			res.Rejected++
+			return true, nil // drop: no deployment exists at all
+		}
+		anyFeasible := false
+		for _, dep := range opts {
+			if !clusterFeasible(dep) {
+				continue
+			}
+			anyFeasible = true
+			if pl := tryPlace(dep); pl != nil {
+				return true, start(now, task, dep, pl)
+			}
+		}
+		if !anyFeasible {
+			res.Rejected++
+			return true, nil // drop: this cluster can never host the task
+		}
+		return false, nil
+	}
+
+	// bestLatency is the SJF sort key: the task's fastest deployment.
+	bestLatency := func(task workload.Task) time.Duration {
+		opts, err := db.Options(task.Spec)
+		if err != nil || len(opts) == 0 {
+			return 1 << 62
+		}
+		best := opts[0].Latency
+		for _, o := range opts[1:] {
+			if o.Latency < best {
+				best = o.Latency
+			}
+		}
+		return best
+	}
+
+	dispatchQueued = func(now time.Duration) {
+		if cfg.Discipline == SJF {
+			sort.SliceStable(queue, func(i, j int) bool {
+				return bestLatency(queue[i]) < bestLatency(queue[j])
+			})
+		}
+		// Scan in (arrival or SJF) order, keep what will not start.
+		remaining := queue[:0]
+		for _, task := range queue {
+			started, err := tryDispatch(now, task)
+			if err != nil {
+				panic(fmt.Sprintf("rms: dispatch: %v", err))
+			}
+			if !started {
+				remaining = append(remaining, task)
+			}
+		}
+		queue = remaining
+	}
+
+	for _, task := range tasks {
+		task := task
+		if err := engine.At(task.Arrival, func(now time.Duration) {
+			started, err := tryDispatch(now, task)
+			if err != nil {
+				panic(fmt.Sprintf("rms: dispatch: %v", err))
+			}
+			if !started {
+				queue = append(queue, task)
+				if len(queue) > res.PeakQueue {
+					res.PeakQueue = len(queue)
+				}
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	engine.Run(0)
+
+	if len(queue) > 0 {
+		return Result{}, fmt.Errorf("rms: %d tasks stuck in queue after drain", len(queue))
+	}
+	res.Makespan = lastCompletion
+	if res.Completed > 0 {
+		res.AvgLatency = sumLatency / time.Duration(res.Completed)
+		res.AvgSojourn = sumSojourn / time.Duration(res.Completed)
+	}
+	if res.Makespan > 0 {
+		res.ThroughputPerSec = float64(res.Completed) / res.Makespan.Seconds()
+	}
+	return res, nil
+}
+
+// sortTasksByArrival is a helper for callers assembling custom sequences.
+func sortTasksByArrival(tasks []workload.Task) {
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Arrival < tasks[j].Arrival })
+}

@@ -1,0 +1,194 @@
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/kernels"
+)
+
+// Service is the long-lived system controller of Fig. 7, exposed to the
+// high-level system (e.g. a hypervisor): Deploy admits an accelerator for
+// a layer and returns a lease over concrete virtual blocks, Release frees
+// them, Status reports cluster occupancy. Unlike Simulate, which replays a
+// task trace through virtual time, Service is the interactive admission
+// API a real deployment would integrate against.
+type Service struct {
+	mu   sync.Mutex
+	ctrl *hsvital.Controller
+	db   *Database
+
+	nextID int
+	leases map[int]*Lease
+}
+
+// Placement locates one soft block of a lease.
+type Placement struct {
+	// FPGA is the physical device id (ring position).
+	FPGA int `json:"fpga"`
+	// Device is the device type name.
+	Device string `json:"device"`
+	// Blocks is the number of virtual blocks held.
+	Blocks int `json:"blocks"`
+}
+
+// Lease is one admitted accelerator deployment.
+type Lease struct {
+	ID int `json:"id"`
+	// Spec is the layer the accelerator serves.
+	Spec kernels.LayerSpec `json:"-"`
+	// SpecString renders the layer for API clients.
+	SpecString string `json:"spec"`
+	// Placements are the held virtual blocks, one per soft block.
+	Placements []Placement `json:"placements"`
+	// Latency is the modelled per-inference latency of this deployment.
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// ClusterStatus is a point-in-time occupancy snapshot.
+type ClusterStatus struct {
+	FPGAs []FPGAStatus `json:"fpgas"`
+	// Utilization is occupied/total virtual blocks.
+	Utilization float64 `json:"utilization"`
+	// ActiveLeases counts admitted deployments.
+	ActiveLeases int `json:"active_leases"`
+}
+
+// FPGAStatus is one device's occupancy.
+type FPGAStatus struct {
+	ID          int    `json:"id"`
+	Device      string `json:"device"`
+	TotalBlocks int    `json:"total_blocks"`
+	FreeBlocks  int    `json:"free_blocks"`
+}
+
+// ErrNoCapacity is returned when no deployment of the layer fits the
+// cluster's current free blocks.
+var ErrNoCapacity = errors.New("rms: no capacity for layer right now")
+
+// ErrUnknownLease is returned by Release for an unknown id.
+var ErrUnknownLease = errors.New("rms: unknown lease")
+
+// NewService builds a service over a fresh cluster.
+func NewService(cluster map[string]int, db *Database) (*Service, error) {
+	if db == nil {
+		return nil, fmt.Errorf("rms: nil database")
+	}
+	ctrl, err := hsvital.NewController(cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{ctrl: ctrl, db: db, leases: map[int]*Lease{}}, nil
+}
+
+// Deploy admits an accelerator for the layer using the greedy policy
+// (fewest soft blocks first) and returns the lease. It fails with
+// ErrNoCapacity when nothing fits right now and ErrUndeployable when the
+// layer can never be deployed.
+func (s *Service) Deploy(spec kernels.LayerSpec) (*Lease, error) {
+	opts, err := s.db.Options(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, dep := range opts {
+		placements, ok := s.tryPlaceLocked(dep)
+		if !ok {
+			continue
+		}
+		for _, pl := range placements {
+			if err := s.ctrl.Configure(pl.FPGA, pl.Blocks); err != nil {
+				// Roll back anything already configured.
+				for _, done := range placements {
+					if done == pl {
+						break
+					}
+					_ = s.ctrl.Release(done.FPGA, done.Blocks)
+				}
+				return nil, err
+			}
+		}
+		s.nextID++
+		lease := &Lease{
+			ID:         s.nextID,
+			Spec:       spec,
+			SpecString: spec.String(),
+			Placements: placements,
+			Latency:    dep.Latency,
+		}
+		s.leases[lease.ID] = lease
+		return lease, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoCapacity, spec)
+}
+
+// tryPlaceLocked mirrors the simulator's best-fit placement.
+func (s *Service) tryPlaceLocked(dep Deployment) ([]Placement, bool) {
+	used := map[int]bool{}
+	var out []Placement
+	for _, piece := range dep.Pieces {
+		bestID, bestFree := -1, 1<<30
+		for _, f := range s.ctrl.Devices() {
+			if used[f.ID] || f.Spec.Device.Name != piece.Device {
+				continue
+			}
+			if free := f.FreeBlocks(); free >= piece.Blocks && free < bestFree {
+				bestID, bestFree = f.ID, free
+			}
+		}
+		if bestID < 0 {
+			return nil, false
+		}
+		used[bestID] = true
+		out = append(out, Placement{FPGA: bestID, Device: piece.Device, Blocks: piece.Blocks})
+	}
+	return out, true
+}
+
+// Release frees a lease's virtual blocks.
+func (s *Service) Release(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lease, ok := s.leases[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
+	}
+	for _, pl := range lease.Placements {
+		if err := s.ctrl.Release(pl.FPGA, pl.Blocks); err != nil {
+			return err
+		}
+	}
+	delete(s.leases, id)
+	return nil
+}
+
+// Lease returns an active lease by id.
+func (s *Service) Lease(id int) (*Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	return l, ok
+}
+
+// Status snapshots the cluster.
+func (s *Service) Status() ClusterStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ClusterStatus{
+		Utilization:  s.ctrl.Utilization(),
+		ActiveLeases: len(s.leases),
+	}
+	for _, f := range s.ctrl.Devices() {
+		st.FPGAs = append(st.FPGAs, FPGAStatus{
+			ID:          f.ID,
+			Device:      f.Spec.Device.Name,
+			TotalBlocks: f.Spec.BlocksPerDevice,
+			FreeBlocks:  f.FreeBlocks(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,236 @@
+package rms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/resource"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	s, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServiceDeployReleaseCycle(t *testing.T) {
+	s := newService(t)
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 512, TimeSteps: 25}
+
+	lease, err := s.Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.ID == 0 || len(lease.Placements) == 0 || lease.Latency <= 0 {
+		t.Fatalf("lease = %+v", lease)
+	}
+	st := s.Status()
+	if st.ActiveLeases != 1 || st.Utilization <= 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if got, ok := s.Lease(lease.ID); !ok || got.ID != lease.ID {
+		t.Error("Lease lookup failed")
+	}
+	if err := s.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status(); st.ActiveLeases != 0 || st.Utilization != 0 {
+		t.Errorf("status after release = %+v", st)
+	}
+	if err := s.Release(lease.ID); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("double release = %v", err)
+	}
+}
+
+func TestServiceSaturationAndRecovery(t *testing.T) {
+	s := newService(t)
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 1024, TimeSteps: 100}
+	var leases []*Lease
+	for {
+		lease, err := s.Deploy(spec)
+		if errors.Is(err, ErrNoCapacity) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, lease)
+		if len(leases) > 100 {
+			t.Fatal("cluster never saturates")
+		}
+	}
+	if len(leases) < 4 {
+		t.Errorf("only %d concurrent GRU-1024 leases; sharing should admit several", len(leases))
+	}
+	// Freeing one admits one more.
+	if err := s.Release(leases[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(spec); err != nil {
+		t.Errorf("deploy after release failed: %v", err)
+	}
+}
+
+func TestServiceMultiPieceLease(t *testing.T) {
+	s := newService(t)
+	// GRU h=2560 needs a multi-FPGA deployment.
+	lease, err := s.Deploy(kernels.LayerSpec{Kind: kernels.GRU, Hidden: 2560, TimeSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lease.Placements) < 2 {
+		t.Errorf("GRU h=2560 lease has %d placements, want >= 2", len(lease.Placements))
+	}
+	seen := map[int]bool{}
+	for _, pl := range lease.Placements {
+		if seen[pl.FPGA] {
+			t.Error("one lease placed two pieces on the same FPGA")
+		}
+		seen[pl.FPGA] = true
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	if _, err := NewService(resource.PaperCluster(), nil); err == nil {
+		t.Error("nil database must fail")
+	}
+	if _, err := NewService(map[string]int{}, testDB(Flexible)); err == nil {
+		t.Error("empty cluster must fail")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := newService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Deploy.
+	resp := post("/deploy", map[string]any{"kind": "LSTM", "hidden": 512, "timesteps": 25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	var lease Lease
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lease.ID == 0 || len(lease.Placements) == 0 {
+		t.Fatalf("lease = %+v", lease)
+	}
+
+	// Status.
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ActiveLeases != 1 || len(st.FPGAs) != 4 {
+		t.Errorf("status = %+v", st)
+	}
+
+	// Lease lookup.
+	resp, err = http.Get(srv.URL + "/lease/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lease lookup status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Release.
+	resp = post("/release", map[string]int{"id": lease.ID})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("release status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post("/release", map[string]int{"id": lease.ID})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double release status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPHandlerValidation(t *testing.T) {
+	s := newService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	cases := []struct {
+		path string
+		body string
+		want int
+	}{
+		{"/deploy", `{"kind":"CNN","hidden":512,"timesteps":1}`, http.StatusBadRequest},
+		{"/deploy", `{"kind":"LSTM","hidden":-1,"timesteps":1}`, http.StatusBadRequest},
+		{"/deploy", `not json`, http.StatusBadRequest},
+		{"/release", `not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.path, "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %q = %d, want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+		resp.Body.Close()
+	}
+
+	// GET on POST-only endpoints.
+	resp, _ := http.Get(srv.URL + "/deploy")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /deploy = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad lease id.
+	resp, _ = http.Get(srv.URL + "/lease/abc")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /lease/abc = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(srv.URL + "/lease/999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /lease/999 = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// A layer too large for the whole cluster must be rejected as
+// undeployable through the API.
+func TestHTTPUndeployable(t *testing.T) {
+	s := newService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	body := []byte(`{"kind":"LSTM","hidden":8192,"timesteps":1}`)
+	resp, err := http.Post(srv.URL+"/deploy", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("undeployable status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,227 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+const adderDesign = `
+module add8(input [7:0] a, input [7:0] b, output [8:0] y);
+  assign y = {1'b0, a} + {1'b0, b};
+endmodule
+
+module top(input [7:0] x1, input [7:0] x2, output [8:0] s);
+  add8 u0 (.a(x1), .b(x2), .y(s));
+endmodule
+`
+
+func TestNewDesign(t *testing.T) {
+	mods := mustParse(t, adderDesign)
+	d, err := NewDesign(mods, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Module("add8"); !ok {
+		t.Error("add8 missing")
+	}
+	if d.IsPrimitive("add8") || !d.IsPrimitive("DSP48E2") {
+		t.Error("IsPrimitive misclassifies")
+	}
+	if _, err := NewDesign(mods, "nope"); err == nil {
+		t.Error("missing top must error")
+	}
+	if _, err := NewDesign(append(mods, mods[0]), "top"); err == nil {
+		t.Error("duplicate module must error")
+	}
+}
+
+func TestBasicModules(t *testing.T) {
+	d, err := ParseDesign(adderDesign, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	basics := d.BasicModules()
+	if len(basics) != 1 || basics[0] != "add8" {
+		t.Errorf("BasicModules = %v, want [add8]", basics)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := ParseDesign(adderDesign, "top")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid design rejected: %v", err)
+	}
+	bad, err := ParseDesign(`
+		module sub(input a, output y); assign y = a; endmodule
+		module top(input x, output z);
+		  sub u0 (.nosuch(x), .y(z));
+		endmodule`, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad port connection must fail validation")
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	env := map[string]uint64{"W": 8}
+	cases := map[string]uint64{
+		"1 + 2*3":        7,
+		"W - 1":          7,
+		"(W == 8) ? 4:2": 4,
+		"1 << W":         256,
+		"W / 2":          4,
+		"W % 3":          2,
+		"!(W > 4)":       0,
+		"W >= 8 && 1":    1,
+	}
+	for src, want := range cases {
+		mods := mustParse(t, "module m(); localparam X = "+src+"; endmodule")
+		got, err := EvalConst(mods[0].Params[0].Default, env)
+		if err != nil {
+			t.Errorf("EvalConst(%q): %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("EvalConst(%q) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestEvalConstErrors(t *testing.T) {
+	mods := mustParse(t, "module m(input x); localparam A = x + 1; localparam B = 1/0; endmodule")
+	if _, err := EvalConst(mods[0].Params[0].Default, nil); err == nil {
+		t.Error("net reference must not be constant")
+	}
+	if _, err := EvalConst(mods[0].Params[1].Default, nil); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestElaborateParams(t *testing.T) {
+	d, err := ParseDesign(`
+		module leaf #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+		  assign y = a;
+		endmodule
+		module top #(parameter N = 8) (input [N-1:0] x, output [N-1:0] z);
+		  leaf #(.W(N)) u0 (.a(x), .y(z));
+		endmodule`, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := d.Elaborate("top", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.PortWidths["x"] != 8 {
+		t.Errorf("top port width = %d, want 8", em.PortWidths["x"])
+	}
+	if em.Children[0].Elab.PortWidths["a"] != 8 {
+		t.Errorf("leaf elaborated width = %d, want 8", em.Children[0].Elab.PortWidths["a"])
+	}
+	// Override at the top.
+	em16, err := d.Elaborate("top", map[string]uint64{"N": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em16.Children[0].Elab.PortWidths["a"] != 16 {
+		t.Errorf("override not propagated: %d", em16.Children[0].Elab.PortWidths["a"])
+	}
+	if em16.Key == em.Key {
+		t.Error("different params must give different keys")
+	}
+}
+
+func TestElaborateSharing(t *testing.T) {
+	d, err := ParseDesign(`
+		module leaf(input a, output y); assign y = a; endmodule
+		module top(input x, output z);
+		  wire w;
+		  leaf u0 (.a(x), .y(w));
+		  leaf u1 (.a(w), .y(z));
+		endmodule`, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := d.Elaborate("top", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Children[0].Elab != em.Children[1].Elab {
+		t.Error("identical elaborations must be shared")
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	d, _ := ParseDesign(adderDesign, "top")
+	if _, err := d.Elaborate("missing", nil); err == nil {
+		t.Error("unknown module must error")
+	}
+	if _, err := d.Elaborate("top", map[string]uint64{"NOPE": 1}); err == nil {
+		t.Error("unknown parameter override must error")
+	}
+	// Recursive instantiation must be caught.
+	rec, err := ParseDesign("module a(input x); a u (.x(x)); endmodule", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Elaborate("a", nil); err == nil {
+		t.Error("recursive instantiation must error")
+	}
+}
+
+func TestElabKey(t *testing.T) {
+	if ElabKey("m", nil) != "m" {
+		t.Error("no-param key must be bare name")
+	}
+	k := ElabKey("m", map[string]uint64{"B": 2, "A": 1})
+	if k != "m(A=1,B=2)" {
+		t.Errorf("key = %q, want sorted params", k)
+	}
+}
+
+func TestInferWidth(t *testing.T) {
+	widths := map[string]int{"a": 8, "b": 16, "c": 1}
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"a", 8},
+		{"a + b", 16},
+		{"a == b", 1},
+		{"{a, b}", 24},
+		{"{3{a}}", 24},
+		{"a[3]", 1},
+		{"a[5:2]", 4},
+		{"c ? a : b", 16},
+		{"a << 2", 8},
+		{"~a", 8},
+		{"&a", 1},
+	}
+	for _, cse := range cases {
+		mods := mustParse(t, "module m(input [7:0] a, input [15:0] b, input c, output [31:0] y); assign y = "+cse.src+"; endmodule")
+		got, err := InferWidth(mods[0].Assigns[0].RHS, widths, nil)
+		if err != nil {
+			t.Errorf("InferWidth(%q): %v", cse.src, err)
+			continue
+		}
+		if got != cse.want {
+			t.Errorf("InferWidth(%q) = %d, want %d", cse.src, got, cse.want)
+		}
+	}
+}
+
+func TestRangeWidthErrors(t *testing.T) {
+	d, err := ParseDesign(`module m(input [0:7] a); endmodule`, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Elaborate("m", nil); err == nil || !strings.Contains(err.Error(), "descending") {
+		t.Errorf("ascending range must be rejected, got %v", err)
+	}
+	d2, _ := ParseDesign(`module m(input [99:0] a); endmodule`, "m")
+	if _, err := d2.Elaborate("m", nil); err == nil {
+		t.Error("width > 64 must be rejected")
+	}
+}

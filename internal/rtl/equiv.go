@@ -1,0 +1,355 @@
+package rtl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// This file provides the "are these two blocks identical hardware" oracle
+// that the decomposing step (§2.2.1) needs to detect data parallelism. The
+// paper cites SAT-based combinational equivalence checking [20,35,46]; we
+// implement the standard lightweight front-end of such checkers:
+//
+//  1. a canonical structural hash (alpha-renamed nets, recursive child
+//     hashes), which proves equivalence for identical structure, and
+//  2. random-simulation equivalence over the flattened designs, which
+//     catches structurally different but functionally identical modules
+//     with high probability.
+//
+// Random simulation cannot *prove* equivalence, but for parallelism
+// extraction a false positive only costs mapping quality, not correctness
+// of the oracle's user: the copies it groups really did agree on every
+// tested stimulus.
+
+// StructuralHash returns a canonical hash of an elaborated module. Two
+// elaborations with identical structure — up to net names, instance names
+// and child module names — share a hash.
+func (d *Design) StructuralHash(em *ElabModule) string {
+	memo := map[*ElabModule]string{}
+	return d.structuralHash(em, memo)
+}
+
+func (d *Design) structuralHash(em *ElabModule, memo map[*ElabModule]string) string {
+	if h, ok := memo[em]; ok {
+		return h
+	}
+	var sb strings.Builder
+	rename := newRenamer()
+	// Ports: names are part of the interface and therefore of the hash.
+	for _, p := range em.Module.Ports {
+		fmt.Fprintf(&sb, "port %s %s %d %v;", p.Name, p.Dir, em.PortWidths[p.Name], p.IsReg)
+		rename.keep(p.Name)
+	}
+	widths, err := em.NetWidths()
+	if err != nil {
+		// Width errors surface during elaboration; treat as unique.
+		fmt.Fprintf(&sb, "widtherr %v;", err)
+	}
+	for _, n := range em.Module.Nets {
+		fmt.Fprintf(&sb, "net %s %d %v;", rename.of(n.Name), widths[n.Name], n.IsReg)
+	}
+	for _, a := range em.Module.Assigns {
+		fmt.Fprintf(&sb, "assign %s = %s;", canonExpr(a.LHS, rename, em.Env), canonExpr(a.RHS, rename, em.Env))
+	}
+	for _, alw := range em.Module.Alwayses {
+		fmt.Fprintf(&sb, "always %s %v {", rename.of(alw.Clock), alw.Negedge)
+		for _, sa := range alw.Body {
+			for _, g := range sa.Guard {
+				fmt.Fprintf(&sb, "[%s]", canonExpr(g, rename, em.Env))
+			}
+			fmt.Fprintf(&sb, "%s <= %s;", canonExpr(sa.LHS, rename, em.Env), canonExpr(sa.RHS, rename, em.Env))
+		}
+		sb.WriteString("}")
+	}
+	for _, child := range em.Children {
+		inst := child.Inst
+		var childID string
+		if child.Elab != nil {
+			childID = d.structuralHash(child.Elab, memo)
+		} else {
+			// Blackbox primitives are identified by name and parameters.
+			childID = "prim:" + inst.ModuleName + canonParams(inst.Params, em.Env)
+		}
+		fmt.Fprintf(&sb, "inst %s (", childID)
+		var conns map[string]Expr
+		if child.Elab != nil {
+			conns, err = resolveConns(inst, child.Elab.Module)
+			if err != nil {
+				conns = inst.Conns
+			}
+		} else {
+			conns = inst.Conns
+		}
+		keys := make([]string, 0, len(conns))
+		for k := range conns {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if conns[k] == nil {
+				fmt.Fprintf(&sb, ".%s(),", k)
+				continue
+			}
+			fmt.Fprintf(&sb, ".%s(%s),", k, canonExpr(conns[k], rename, em.Env))
+		}
+		sb.WriteString(");")
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	h := hex.EncodeToString(sum[:16])
+	memo[em] = h
+	return h
+}
+
+// renamer assigns canonical names to nets in first-use order; port names
+// are kept verbatim.
+type renamer struct {
+	m    map[string]string
+	next int
+}
+
+func newRenamer() *renamer { return &renamer{m: map[string]string{}} }
+
+func (r *renamer) keep(name string) { r.m[name] = name }
+
+func (r *renamer) of(name string) string {
+	if c, ok := r.m[name]; ok {
+		return c
+	}
+	c := fmt.Sprintf("n%d", r.next)
+	r.next++
+	r.m[name] = c
+	return c
+}
+
+// canonExpr serializes an expression with canonical net names and
+// parameters folded to constants.
+func canonExpr(e Expr, r *renamer, env map[string]uint64) string {
+	switch v := e.(type) {
+	case *Ident:
+		if val, isParam := env[v.Name]; isParam {
+			if _, alsoNet := r.m[v.Name]; !alsoNet {
+				return fmt.Sprintf("#%d", val)
+			}
+		}
+		return r.of(v.Name)
+	case *Number:
+		return fmt.Sprintf("#%d/%d", v.Value, v.Width)
+	case *Unary:
+		return v.Op + "(" + canonExpr(v.X, r, env) + ")"
+	case *Binary:
+		return "(" + canonExpr(v.L, r, env) + v.Op + canonExpr(v.R, r, env) + ")"
+	case *Cond:
+		return "(" + canonExpr(v.If, r, env) + "?" + canonExpr(v.Then, r, env) + ":" + canonExpr(v.Else, r, env) + ")"
+	case *Index:
+		return canonExpr(v.X, r, env) + "[" + canonExpr(v.At, r, env) + "]"
+	case *Slice:
+		return canonExpr(v.X, r, env) + "[" + canonExpr(v.Msb, r, env) + ":" + canonExpr(v.Lsb, r, env) + "]"
+	case *Concat:
+		parts := make([]string, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i] = canonExpr(p, r, env)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	case *Repl:
+		return "{" + canonExpr(v.Count, r, env) + "{" + canonExpr(v.X, r, env) + "}}"
+	}
+	return fmt.Sprintf("?%T", e)
+}
+
+func canonParams(params map[string]Expr, env map[string]uint64) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('#')
+	for _, k := range keys {
+		v, err := EvalConst(params[k], env)
+		if err != nil {
+			fmt.Fprintf(&sb, "%s=?,", k)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s=%d,", k, v)
+	}
+	return sb.String()
+}
+
+// EquivChecker decides whether two elaborated modules implement identical
+// hardware.
+type EquivChecker struct {
+	d   *Design
+	rng *rand.Rand
+	// Vectors is the number of random input vectors applied per
+	// equivalence query (default 64).
+	Vectors int
+	// Cycles is the number of clock ticks applied after each vector to
+	// exercise sequential behaviour (default 4).
+	Cycles int
+
+	hashMemo map[*ElabModule]string
+	simMemo  map[[2]string]bool
+}
+
+// NewEquivChecker builds a checker with a deterministic random source.
+func NewEquivChecker(d *Design, seed int64) *EquivChecker {
+	return &EquivChecker{
+		d:        d,
+		rng:      rand.New(rand.NewSource(seed)),
+		Vectors:  64,
+		Cycles:   4,
+		hashMemo: map[*ElabModule]string{},
+		simMemo:  map[[2]string]bool{},
+	}
+}
+
+// Hash returns the memoized structural hash of em.
+func (c *EquivChecker) Hash(em *ElabModule) string {
+	if h, ok := c.hashMemo[em]; ok {
+		return h
+	}
+	h := c.d.structuralHash(em, c.hashMemo)
+	return h
+}
+
+// Equivalent reports whether a and b implement identical hardware. The fast
+// path is the structural hash; the slow path is random-simulation
+// equivalence over the flattened modules. Modules containing blackbox
+// primitives can only be proven equivalent structurally.
+func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
+	if a == b || a.Key == b.Key {
+		return true, nil
+	}
+	ha, hb := c.Hash(a), c.Hash(b)
+	if ha == hb {
+		return true, nil
+	}
+	if !sameInterface(a, b) {
+		return false, nil
+	}
+	memoKey := [2]string{ha, hb}
+	if hb < ha {
+		memoKey = [2]string{hb, ha}
+	}
+	if r, ok := c.simMemo[memoKey]; ok {
+		return r, nil
+	}
+	eq, err := c.simEquivalent(a, b)
+	if err != nil {
+		if err == ErrNotSimulable || strings.Contains(err.Error(), "blackbox") {
+			// Cannot decide functionally; structural mismatch stands.
+			c.simMemo[memoKey] = false
+			return false, nil
+		}
+		return false, err
+	}
+	c.simMemo[memoKey] = eq
+	return eq, nil
+}
+
+// sameInterface reports whether two elaborations expose identical port
+// lists (name, direction, width), which data-parallel interchangeable
+// copies must.
+func sameInterface(a, b *ElabModule) bool {
+	if len(a.Module.Ports) != len(b.Module.Ports) {
+		return false
+	}
+	bports := map[string]Port{}
+	for _, p := range b.Module.Ports {
+		bports[p.Name] = p
+	}
+	for _, pa := range a.Module.Ports {
+		pb, ok := bports[pa.Name]
+		if !ok || pa.Dir != pb.Dir {
+			return false
+		}
+		if a.PortWidths[pa.Name] != b.PortWidths[pb.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// publicParams extracts the non-local parameter bindings of an elaboration,
+// suitable for re-elaboration or flattening.
+func publicParams(em *ElabModule) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, p := range em.Module.Params {
+		if !p.IsLocal {
+			out[p.Name] = em.Env[p.Name]
+		}
+	}
+	return out
+}
+
+// clockLike reports whether a port name looks like a clock or reset, which
+// the random driver toggles via Tick rather than random data.
+func clockLike(name string) bool {
+	n := strings.ToLower(name)
+	return n == "clk" || n == "clock" || strings.HasSuffix(n, "_clk") ||
+		n == "rst" || n == "reset" || strings.HasSuffix(n, "_rst")
+}
+
+func (c *EquivChecker) simEquivalent(a, b *ElabModule) (bool, error) {
+	simA, err := NewSimulator(c.d, a.Module.Name, publicParams(a))
+	if err != nil {
+		return false, err
+	}
+	simB, err := NewSimulator(c.d, b.Module.Name, publicParams(b))
+	if err != nil {
+		return false, err
+	}
+	inputs := simA.InputPorts()
+	outputs := simA.OutputPorts()
+	for v := 0; v < c.Vectors; v++ {
+		for _, in := range inputs {
+			if clockLike(in) {
+				continue
+			}
+			val := c.rng.Uint64()
+			if err := simA.SetInput(in, val); err != nil {
+				return false, err
+			}
+			if err := simB.SetInput(in, val); err != nil {
+				return false, err
+			}
+		}
+		if err := simA.Settle(); err != nil {
+			return false, err
+		}
+		if err := simB.Settle(); err != nil {
+			return false, err
+		}
+		for cyc := 0; cyc <= c.Cycles; cyc++ {
+			for _, out := range outputs {
+				va, err := simA.Peek(out)
+				if err != nil {
+					return false, err
+				}
+				vb, err := simB.Peek(out)
+				if err != nil {
+					return false, err
+				}
+				if va != vb {
+					return false, nil
+				}
+			}
+			if cyc < c.Cycles {
+				if err := simA.Tick(); err != nil {
+					return false, err
+				}
+				if err := simB.Tick(); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	return true, nil
+}

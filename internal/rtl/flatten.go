@@ -1,0 +1,284 @@
+package rtl
+
+import (
+	"fmt"
+)
+
+// Flatten inlines the whole hierarchy below module top (with the given
+// parameter overrides) into a single-level module: instance nets are
+// prefixed with their instance path, parameters are substituted with
+// constants, and port connections become continuous assignments. Blackbox
+// primitive instances are kept as instances with rewritten connections.
+//
+// The result is what the simulator and the simulation-based equivalence
+// checker run on.
+func (d *Design) Flatten(top string, overrides map[string]uint64) (*Module, error) {
+	em, err := d.Elaborate(top, overrides)
+	if err != nil {
+		return nil, err
+	}
+	flat := &Module{Name: top + "$flat"}
+	for _, p := range em.Module.Ports {
+		w := em.PortWidths[p.Name]
+		flat.Ports = append(flat.Ports, Port{Name: p.Name, Dir: p.Dir, Range: concreteRange(w), IsReg: p.IsReg})
+	}
+	if err := d.flattenInto(flat, em, ""); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// concreteRange builds a Range with numeric bounds for a width.
+func concreteRange(w int) Range {
+	if w == 1 {
+		return Range{}
+	}
+	return Range{Msb: &Number{Value: uint64(w - 1)}, Lsb: &Number{Value: 0}}
+}
+
+// flattenInto appends em's resolved contents into flat under the given
+// instance prefix ("" for the top level).
+func (d *Design) flattenInto(flat *Module, em *ElabModule, prefix string) error {
+	widths, err := em.NetWidths()
+	if err != nil {
+		return err
+	}
+	// rewrite substitutes parameters with constants and prefixes net names.
+	rewrite := func(e Expr) (Expr, error) {
+		return substExpr(e, func(name string) (Expr, error) {
+			if _, isNet := widths[name]; isNet {
+				return &Ident{Name: prefix + name}, nil
+			}
+			if v, isParam := em.Env[name]; isParam {
+				return &Number{Value: v, Width: 32}, nil
+			}
+			return nil, fmt.Errorf("rtl: module %s: unknown identifier %q", em.Module.Name, name)
+		})
+	}
+
+	for _, n := range em.Module.Nets {
+		w, err := rangeWidth(n.Range, em.Env)
+		if err != nil {
+			return err
+		}
+		flat.Nets = append(flat.Nets, Net{Name: prefix + n.Name, Range: concreteRange(w), IsReg: n.IsReg})
+	}
+
+	for _, a := range em.Module.Assigns {
+		lhs, err := rewrite(a.LHS)
+		if err != nil {
+			return err
+		}
+		rhs, err := rewrite(a.RHS)
+		if err != nil {
+			return err
+		}
+		flat.Assigns = append(flat.Assigns, Assign{LHS: lhs, RHS: rhs})
+	}
+
+	for _, alw := range em.Module.Alwayses {
+		out := Always{Clock: prefix + alw.Clock, Negedge: alw.Negedge}
+		if _, isNet := widths[alw.Clock]; !isNet {
+			return fmt.Errorf("rtl: module %s: clock %q is not a net", em.Module.Name, alw.Clock)
+		}
+		for _, sa := range alw.Body {
+			lhs, err := rewrite(sa.LHS)
+			if err != nil {
+				return err
+			}
+			rhs, err := rewrite(sa.RHS)
+			if err != nil {
+				return err
+			}
+			guards := make([]Expr, len(sa.Guard))
+			for i, g := range sa.Guard {
+				guards[i], err = rewrite(g)
+				if err != nil {
+					return err
+				}
+			}
+			out.Body = append(out.Body, SeqAssign{LHS: lhs, RHS: rhs, Guard: guards})
+		}
+		flat.Alwayses = append(flat.Alwayses, out)
+	}
+
+	for ci := range em.Children {
+		child := &em.Children[ci]
+		inst := child.Inst
+		if child.Elab == nil {
+			// Blackbox primitive: keep, with rewritten connections.
+			kept := Instance{
+				ModuleName: inst.ModuleName,
+				Name:       prefix + inst.Name,
+				Conns:      map[string]Expr{},
+				Order:      append([]string{}, inst.Order...),
+			}
+			for k, v := range inst.Conns {
+				if v == nil {
+					kept.Conns[k] = nil
+					continue
+				}
+				rv, err := rewrite(v)
+				if err != nil {
+					return err
+				}
+				kept.Conns[k] = rv
+			}
+			flat.Instances = append(flat.Instances, kept)
+			continue
+		}
+
+		childPrefix := prefix + inst.Name + "."
+		conns, err := resolveConns(inst, child.Elab.Module)
+		if err != nil {
+			return err
+		}
+		// Declare the child's ports as nets of the flat module.
+		for _, p := range child.Elab.Module.Ports {
+			w := child.Elab.PortWidths[p.Name]
+			flat.Nets = append(flat.Nets, Net{Name: childPrefix + p.Name, Range: concreteRange(w), IsReg: p.IsReg})
+		}
+		// Bind connections.
+		for _, p := range child.Elab.Module.Ports {
+			actual, connected := conns[p.Name]
+			formal := &Ident{Name: childPrefix + p.Name}
+			switch {
+			case !connected || actual == nil:
+				if p.Dir == Input {
+					// Tie floating inputs low for determinism.
+					flat.Assigns = append(flat.Assigns, Assign{LHS: formal, RHS: &Number{Value: 0, Width: child.Elab.PortWidths[p.Name]}})
+				}
+			case p.Dir == Input:
+				ra, err := rewrite(actual)
+				if err != nil {
+					return err
+				}
+				flat.Assigns = append(flat.Assigns, Assign{LHS: formal, RHS: ra})
+			case p.Dir == Output:
+				ra, err := rewrite(actual)
+				if err != nil {
+					return err
+				}
+				if !isLValue(ra) {
+					return fmt.Errorf("rtl: %s%s.%s: output connected to non-assignable expression %s",
+						prefix, inst.Name, p.Name, ra)
+				}
+				flat.Assigns = append(flat.Assigns, Assign{LHS: ra, RHS: formal})
+			default:
+				return fmt.Errorf("rtl: %s%s.%s: inout ports are not supported by flattening",
+					prefix, inst.Name, p.Name)
+			}
+		}
+		if err := d.flattenInto(flat, child.Elab, childPrefix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// substExpr rewrites every identifier in e through fn, rebuilding the tree.
+func substExpr(e Expr, fn func(string) (Expr, error)) (Expr, error) {
+	switch v := e.(type) {
+	case *Ident:
+		return fn(v.Name)
+	case *Number:
+		return v, nil
+	case *Unary:
+		x, err := substExpr(v.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: v.Op, X: x}, nil
+	case *Binary:
+		l, err := substExpr(v.L, fn)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substExpr(v.R, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: v.Op, L: l, R: r}, nil
+	case *Cond:
+		c, err := substExpr(v.If, fn)
+		if err != nil {
+			return nil, err
+		}
+		t, err := substExpr(v.Then, fn)
+		if err != nil {
+			return nil, err
+		}
+		el, err := substExpr(v.Else, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{If: c, Then: t, Else: el}, nil
+	case *Index:
+		x, err := substExpr(v.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		at, err := substExpr(v.At, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{X: x, At: at}, nil
+	case *Slice:
+		x, err := substExpr(v.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		msb, err := substExpr(v.Msb, fn)
+		if err != nil {
+			return nil, err
+		}
+		lsb, err := substExpr(v.Lsb, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Slice{X: x, Msb: msb, Lsb: lsb}, nil
+	case *Concat:
+		parts := make([]Expr, len(v.Parts))
+		for i, p := range v.Parts {
+			np, err := substExpr(p, fn)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = np
+		}
+		return &Concat{Parts: parts}, nil
+	case *Repl:
+		c, err := substExpr(v.Count, fn)
+		if err != nil {
+			return nil, err
+		}
+		x, err := substExpr(v.X, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Repl{Count: c, X: x}, nil
+	}
+	return nil, fmt.Errorf("rtl: substExpr: unknown node %T", e)
+}
+
+// isLValue reports whether an expression may appear on the left-hand side of
+// an assignment: identifiers, bit/part selects of identifiers, and
+// concatenations of those.
+func isLValue(e Expr) bool {
+	switch v := e.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return isLValue(v.X)
+	case *Slice:
+		return isLValue(v.X)
+	case *Concat:
+		for _, p := range v.Parts {
+			if !isLValue(p) {
+				return false
+			}
+		}
+		return len(v.Parts) > 0
+	}
+	return false
+}

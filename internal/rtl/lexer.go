@@ -1,0 +1,212 @@
+package rtl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns source text into tokens. It handles // and /* */ comments,
+// identifiers (including escaped \name ), sized and unsized numeric
+// literals, and one- and two-character punctuation.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// twoCharOps are the multi-character operators the subset supports.
+var twoCharOps = map[string]bool{
+	"<<": true, ">>": true, "==": true, "!=": true,
+	"<=": true, ">=": true, "&&": true, "||": true,
+}
+
+func (l *lexer) errorf(msg string) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: msg}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace and comments; it returns an error
+// for an unterminated block comment.
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := *l
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src)+1 && l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return start.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		text := sb.String()
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+
+	case c == '\\':
+		// Escaped identifier: backslash to next whitespace.
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			b := l.peekByte()
+			if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		if sb.Len() == 0 {
+			return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "empty escaped identifier"}
+		}
+		return token{kind: tokIdent, text: sb.String(), line: startLine, col: startCol}, nil
+
+	case unicode.IsDigit(rune(c)) || c == '\'':
+		// Numeric literal: optional size, optional 'b/'h/'d/'o base, digits.
+		var sb strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			sb.WriteByte(l.advance())
+		}
+		if l.pos < len(l.src) && l.peekByte() == '\'' {
+			sb.WriteByte(l.advance())
+			if l.pos >= len(l.src) {
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "truncated based literal"}
+			}
+			base := l.advance()
+			sb.WriteByte(base)
+			switch base {
+			case 'b', 'B', 'h', 'H', 'd', 'D', 'o', 'O':
+			default:
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "bad number base '" + string(base) + "'"}
+			}
+			nDigits := 0
+			for l.pos < len(l.src) {
+				b := l.peekByte()
+				if b == '_' {
+					l.advance()
+					continue
+				}
+				if isHexDigit(b) {
+					sb.WriteByte(l.advance())
+					nDigits++
+					continue
+				}
+				break
+			}
+			if nDigits == 0 {
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "based literal has no digits"}
+			}
+		}
+		return token{kind: tokNumber, text: sb.String(), line: startLine, col: startCol}, nil
+
+	default:
+		// Punctuation; prefer two-character operators.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			if twoCharOps[two] {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: two, line: startLine, col: startCol}, nil
+			}
+		}
+		switch c {
+		case '(', ')', '[', ']', '{', '}', ';', ',', '.', ':', '#', '=', '@',
+			'?', '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>':
+			l.advance()
+			return token{kind: tokPunct, text: string(c), line: startLine, col: startCol}, nil
+		}
+		return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "unexpected character '" + string(c) + "'"}
+	}
+}
+
+func isHexDigit(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F' ||
+		b == 'x' || b == 'X' || b == 'z' || b == 'Z'
+}
+
+// lexAll tokenizes the whole input, returning the token stream.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package rtl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotSimulable is returned when a design contains blackbox primitives
+// without behavioural models, which the two-valued simulator cannot execute.
+var ErrNotSimulable = errors.New("rtl: design contains blackbox primitives and cannot be simulated")
+
+// ErrCombLoop is returned when continuous assignments fail to reach a
+// fixpoint, indicating a combinational loop.
+var ErrCombLoop = errors.New("rtl: combinational loop (assigns did not settle)")
+
+// Simulator executes a flattened design with two-valued semantics. All nets
+// are at most 64 bits wide. Continuous assignments are settled by iterating
+// to a fixpoint; clocked always blocks apply nonblocking assignments on
+// Tick.
+type Simulator struct {
+	flat    *Module
+	widths  map[string]int
+	vals    map[string]uint64
+	inputs  map[string]bool
+	outputs []string
+}
+
+// NewSimulator flattens (top, overrides) and prepares a simulator.
+func NewSimulator(d *Design, top string, overrides map[string]uint64) (*Simulator, error) {
+	flat, err := d.Flatten(top, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return NewFlatSimulator(flat)
+}
+
+// NewFlatSimulator prepares a simulator for an already-flattened module.
+func NewFlatSimulator(flat *Module) (*Simulator, error) {
+	if len(flat.Instances) > 0 {
+		return nil, fmt.Errorf("%w: e.g. %s", ErrNotSimulable, flat.Instances[0].ModuleName)
+	}
+	s := &Simulator{
+		flat:   flat,
+		widths: map[string]int{},
+		vals:   map[string]uint64{},
+		inputs: map[string]bool{},
+	}
+	for _, p := range flat.Ports {
+		w, err := rangeWidth(p.Range, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.widths[p.Name] = w
+		if p.Dir == Input {
+			s.inputs[p.Name] = true
+		} else {
+			s.outputs = append(s.outputs, p.Name)
+		}
+	}
+	for _, n := range flat.Nets {
+		w, err := rangeWidth(n.Range, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.widths[n.Name] = w
+	}
+	return s, nil
+}
+
+// InputPorts returns the names of input ports in declaration order.
+func (s *Simulator) InputPorts() []string {
+	var out []string
+	for _, p := range s.flat.Ports {
+		if p.Dir == Input {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// OutputPorts returns the names of output ports in declaration order.
+func (s *Simulator) OutputPorts() []string { return append([]string{}, s.outputs...) }
+
+// Width returns the width of a net or port.
+func (s *Simulator) Width(name string) (int, bool) {
+	w, ok := s.widths[name]
+	return w, ok
+}
+
+func mask(v uint64, w int) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & (uint64(1)<<uint(w) - 1)
+}
+
+// SetInput drives an input port. The value is masked to the port width.
+func (s *Simulator) SetInput(name string, v uint64) error {
+	if !s.inputs[name] {
+		return fmt.Errorf("rtl: %q is not an input port", name)
+	}
+	s.vals[name] = mask(v, s.widths[name])
+	return nil
+}
+
+// Peek reads the settled value of any net or port.
+func (s *Simulator) Peek(name string) (uint64, error) {
+	w, ok := s.widths[name]
+	if !ok {
+		return 0, fmt.Errorf("rtl: unknown net %q", name)
+	}
+	return mask(s.vals[name], w), nil
+}
+
+// eval evaluates an expression against current values.
+func (s *Simulator) eval(e Expr) (uint64, error) {
+	switch v := e.(type) {
+	case *Ident:
+		w, ok := s.widths[v.Name]
+		if !ok {
+			return 0, fmt.Errorf("rtl: eval: unknown net %q", v.Name)
+		}
+		return mask(s.vals[v.Name], w), nil
+	case *Number:
+		if v.Width > 0 {
+			return mask(v.Value, v.Width), nil
+		}
+		return v.Value, nil
+	case *Unary:
+		x, err := s.eval(v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "~":
+			w, err := s.exprWidth(v.X)
+			if err != nil {
+				return 0, err
+			}
+			return mask(^x, w), nil
+		case "-":
+			w, err := s.exprWidth(v.X)
+			if err != nil {
+				return 0, err
+			}
+			return mask(-x, w), nil
+		case "!":
+			return b2u(x == 0), nil
+		case "&":
+			w, err := s.exprWidth(v.X)
+			if err != nil {
+				return 0, err
+			}
+			return b2u(x == mask(^uint64(0), w)), nil
+		case "|":
+			return b2u(x != 0), nil
+		case "^":
+			return uint64(popcount(x) & 1), nil
+		}
+		return 0, fmt.Errorf("rtl: eval: unknown unary %q", v.Op)
+	case *Binary:
+		l, err := s.eval(v.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.eval(v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, nil // Verilog x/0 is X; two-valued subset yields 0
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, nil
+			}
+			return l % r, nil
+		case "<<":
+			if r >= 64 {
+				return 0, nil
+			}
+			return l << r, nil
+		case ">>":
+			if r >= 64 {
+				return 0, nil
+			}
+			return l >> r, nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "==":
+			return b2u(l == r), nil
+		case "!=":
+			return b2u(l != r), nil
+		case "<":
+			return b2u(l < r), nil
+		case ">":
+			return b2u(l > r), nil
+		case "<=":
+			return b2u(l <= r), nil
+		case ">=":
+			return b2u(l >= r), nil
+		case "&&":
+			return b2u(l != 0 && r != 0), nil
+		case "||":
+			return b2u(l != 0 || r != 0), nil
+		}
+		return 0, fmt.Errorf("rtl: eval: unknown binary %q", v.Op)
+	case *Cond:
+		c, err := s.eval(v.If)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return s.eval(v.Then)
+		}
+		return s.eval(v.Else)
+	case *Index:
+		x, err := s.eval(v.X)
+		if err != nil {
+			return 0, err
+		}
+		at, err := s.eval(v.At)
+		if err != nil {
+			return 0, err
+		}
+		if at >= 64 {
+			return 0, nil
+		}
+		return x >> at & 1, nil
+	case *Slice:
+		x, err := s.eval(v.X)
+		if err != nil {
+			return 0, err
+		}
+		msb, err := s.eval(v.Msb)
+		if err != nil {
+			return 0, err
+		}
+		lsb, err := s.eval(v.Lsb)
+		if err != nil {
+			return 0, err
+		}
+		if lsb > msb || msb >= 64 {
+			return 0, fmt.Errorf("rtl: eval: bad slice [%d:%d]", msb, lsb)
+		}
+		return mask(x>>lsb, int(msb-lsb)+1), nil
+	case *Concat:
+		var out uint64
+		for _, p := range v.Parts {
+			w, err := s.exprWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			pv, err := s.eval(p)
+			if err != nil {
+				return 0, err
+			}
+			out = out<<uint(w) | mask(pv, w)
+		}
+		return out, nil
+	case *Repl:
+		n, err := s.eval(v.Count)
+		if err != nil {
+			return 0, err
+		}
+		w, err := s.exprWidth(v.X)
+		if err != nil {
+			return 0, err
+		}
+		xv, err := s.eval(v.X)
+		if err != nil {
+			return 0, err
+		}
+		xv = mask(xv, w)
+		var out uint64
+		for i := uint64(0); i < n; i++ {
+			out = out<<uint(w) | xv
+		}
+		return out, nil
+	}
+	return 0, fmt.Errorf("rtl: eval: unknown node %T", e)
+}
+
+func (s *Simulator) exprWidth(e Expr) (int, error) {
+	return InferWidth(e, s.widths, nil)
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// store writes value into an lvalue expression.
+func (s *Simulator) store(lhs Expr, value uint64) error {
+	switch v := lhs.(type) {
+	case *Ident:
+		w, ok := s.widths[v.Name]
+		if !ok {
+			return fmt.Errorf("rtl: store: unknown net %q", v.Name)
+		}
+		s.vals[v.Name] = mask(value, w)
+		return nil
+	case *Index:
+		id, ok := v.X.(*Ident)
+		if !ok {
+			return fmt.Errorf("rtl: store: unsupported lvalue %s", lhs)
+		}
+		at, err := s.eval(v.At)
+		if err != nil {
+			return err
+		}
+		if at >= 64 {
+			return fmt.Errorf("rtl: store: index %d out of range", at)
+		}
+		old := s.vals[id.Name]
+		bit := uint64(1) << at
+		if value&1 != 0 {
+			s.vals[id.Name] = old | bit
+		} else {
+			s.vals[id.Name] = old &^ bit
+		}
+		s.vals[id.Name] = mask(s.vals[id.Name], s.widths[id.Name])
+		return nil
+	case *Slice:
+		id, ok := v.X.(*Ident)
+		if !ok {
+			return fmt.Errorf("rtl: store: unsupported lvalue %s", lhs)
+		}
+		msb, err := s.eval(v.Msb)
+		if err != nil {
+			return err
+		}
+		lsb, err := s.eval(v.Lsb)
+		if err != nil {
+			return err
+		}
+		if lsb > msb || msb >= 64 {
+			return fmt.Errorf("rtl: store: bad slice [%d:%d]", msb, lsb)
+		}
+		w := int(msb-lsb) + 1
+		old := s.vals[id.Name]
+		fieldMask := mask(^uint64(0), w) << lsb
+		s.vals[id.Name] = mask(old&^fieldMask|(mask(value, w)<<lsb), s.widths[id.Name])
+		return nil
+	case *Concat:
+		// MSB-first split.
+		totalW := 0
+		partW := make([]int, len(v.Parts))
+		for i, p := range v.Parts {
+			w, err := s.exprWidth(p)
+			if err != nil {
+				return err
+			}
+			partW[i] = w
+			totalW += w
+		}
+		shift := totalW
+		for i, p := range v.Parts {
+			shift -= partW[i]
+			if err := s.store(p, mask(value>>uint(shift), partW[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("rtl: store: unsupported lvalue %T", lhs)
+}
+
+// maxSettleIters bounds fixpoint iteration; a correct acyclic design settles
+// in at most #assigns passes.
+const maxSettleIters = 10000
+
+// Settle propagates continuous assignments to a fixpoint.
+func (s *Simulator) Settle() error {
+	n := len(s.flat.Assigns)
+	if n == 0 {
+		return nil
+	}
+	limit := n + 2
+	if limit > maxSettleIters {
+		limit = maxSettleIters
+	}
+	for iter := 0; iter < limit; iter++ {
+		changed := false
+		for i := range s.flat.Assigns {
+			a := &s.flat.Assigns[i]
+			v, err := s.eval(a.RHS)
+			if err != nil {
+				return err
+			}
+			before := s.snapshotLHS(a.LHS)
+			if err := s.store(a.LHS, v); err != nil {
+				return err
+			}
+			if s.snapshotLHS(a.LHS) != before {
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return ErrCombLoop
+}
+
+// snapshotLHS reads the current value behind an lvalue for change detection.
+func (s *Simulator) snapshotLHS(lhs Expr) uint64 {
+	v, err := s.eval(lhs)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Tick applies one clock edge to every always block (nonblocking semantics:
+// all right-hand sides are evaluated against pre-edge state), then settles
+// combinational logic. Call Settle first if inputs changed since the last
+// Tick.
+func (s *Simulator) Tick() error {
+	if err := s.Settle(); err != nil {
+		return err
+	}
+	type update struct {
+		lhs Expr
+		val uint64
+	}
+	var updates []update
+	for ai := range s.flat.Alwayses {
+		alw := &s.flat.Alwayses[ai]
+		for i := range alw.Body {
+			sa := &alw.Body[i]
+			take := true
+			for _, g := range sa.Guard {
+				gv, err := s.eval(g)
+				if err != nil {
+					return err
+				}
+				if gv == 0 {
+					take = false
+					break
+				}
+			}
+			if !take {
+				continue
+			}
+			v, err := s.eval(sa.RHS)
+			if err != nil {
+				return err
+			}
+			updates = append(updates, update{sa.LHS, v})
+		}
+	}
+	for _, u := range updates {
+		if err := s.store(u.lhs, u.val); err != nil {
+			return err
+		}
+	}
+	return s.Settle()
+}
+
+// Reset zeroes all state.
+func (s *Simulator) Reset() {
+	s.vals = map[string]uint64{}
+}

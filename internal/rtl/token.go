@@ -1,0 +1,64 @@
+package rtl
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds of the Verilog subset.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // 42, 16'hBEEF, 4'b1010, 8'd255
+	tokPunct  // ( ) [ ] { } ; , . : # = @ ? etc. and multi-char operators
+	tokKeyword
+)
+
+// keywords of the supported subset.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true,
+	"assign": true, "always": true,
+	"posedge": true, "negedge": true,
+	"begin": true, "end": true,
+	"if": true, "else": true,
+	"parameter": true, "localparam": true,
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokKeyword:
+		return fmt.Sprintf("keyword %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// is reports whether the token is the given punctuation or keyword text.
+func (t token) is(text string) bool {
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+// SyntaxError reports a lexical or parse error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rtl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,170 @@
+package scaleout
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/kernels"
+)
+
+// flakyDRAM injects a failure after a fixed number of accesses, modelling
+// a device dropping out mid-chain (e.g. ECC failure or board reset).
+type flakyDRAM struct {
+	inner     accel.DRAM
+	remaining int
+}
+
+var errInjected = errors.New("injected DRAM failure")
+
+func (f *flakyDRAM) ReadWords(addr, n int) ([]fp16.Num, error) {
+	if f.remaining--; f.remaining < 0 {
+		return nil, errInjected
+	}
+	return f.inner.ReadWords(addr, n)
+}
+
+func (f *flakyDRAM) WriteWords(addr int, vals []fp16.Num) error {
+	if f.remaining--; f.remaining < 0 {
+		return errInjected
+	}
+	return f.inner.WriteWords(addr, vals)
+}
+
+// A device failing mid-run must abort the pair: the peer unblocks from the
+// barrier and Run returns the injected error instead of deadlocking.
+func TestPairSurvivesDeviceFailure(t *testing.T) {
+	w := kernels.RandomWeights(kernels.LSTM, 16, 1)
+	sp, err := BuildScaledPair(w, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build machines by hand so device 0's DRAM is flaky underneath the
+	// sync module.
+	mem0 := accel.NewMemory(sp.Cfg.DRAMWords)
+	mem1 := accel.NewMemory(sp.Cfg.DRAMWords)
+	s0, s1, err := NewSyncPair(&flakyDRAM{inner: mem0, remaining: 20}, mem1, sp.SyncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms [2]*accel.Machine
+	for dev, s := range []accel.DRAM{s0, s1} {
+		m, err := accel.NewWithDRAM(sp.Cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DRAMPort().WriteWords(0, sp.Images[dev]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range sp.Images[dev][:0] {
+			_ = i
+		}
+		h2 := sp.Spec.Hidden / 2
+		for i := 0; i < 8; i++ {
+			if err := m.ConfigureMatrix(i, h2, sp.Spec.Hidden); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms[dev] = m
+	}
+	for tt := 0; tt < sp.Spec.TimeSteps; tt++ {
+		if err := sp.SetInput(ms, tt, make([]float64, sp.Spec.Hidden)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- sp.Run(ms) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errInjected) {
+			t.Errorf("Run = %v, want the injected failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pair deadlocked after device failure")
+	}
+}
+
+// Same for the n-way group: one dead device must not hang the other three.
+func TestGroupSurvivesDeviceFailure(t *testing.T) {
+	w := kernels.RandomWeights(kernels.GRU, 16, 1)
+	sg, err := BuildScaledGroup(w, 6, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inners := make([]accel.DRAM, 4)
+	for i := range inners {
+		inners[i] = accel.NewMemory(sg.Cfg.DRAMWords)
+	}
+	inners[2] = &flakyDRAM{inner: inners[2], remaining: 12}
+	syncs, err := NewSyncGroup(inners, sg.SyncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*accel.Machine, 4)
+	shard := sg.Spec.Hidden / 4
+	for dev := 0; dev < 4; dev++ {
+		m, err := accel.NewWithDRAM(sg.Cfg, syncs[dev])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DRAMPort().WriteWords(0, sg.Images[dev]); err != nil && dev != 2 {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := m.ConfigureMatrix(i, shard, sg.Spec.Hidden); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms[dev] = m
+	}
+	done := make(chan error, 1)
+	go func() { done <- sg.Run(ms) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errInjected) {
+			t.Errorf("Run = %v, want the injected failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("group deadlocked after device failure")
+	}
+}
+
+// Abort is idempotent and unblocks subsequent waits immediately.
+func TestAbortIdempotent(t *testing.T) {
+	mem0, mem1 := accel.NewMemory(64), accel.NewMemory(64)
+	s0, s1, err := NewSyncPair(mem0, mem1, Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.Abort()
+	s0.Abort() // idempotent: no panic
+	// After the abort, sends stop blocking: within a few attempts the
+	// buffer fills and the abort path must fire (select between a ready
+	// buffer slot and the closed abort channel is racy by design, so only
+	// the eventual outcome is deterministic).
+	aborted := false
+	for i := 0; i < 3 && !aborted; i++ {
+		if err := s1.WriteWords(100, make([]fp16.Num, 2)); errors.Is(err, ErrPeerAborted) {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Error("sends after abort never returned ErrPeerAborted")
+	}
+	// On a fresh pair with no peer data in flight, a receive after abort
+	// fails immediately instead of blocking.
+	f0, _, err := NewSyncPair(accel.NewMemory(64), accel.NewMemory(64),
+		Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0.lastOwn = make([]fp16.Num, 2)
+	f0.Abort()
+	if _, err := f0.ReadWords(101, 4); !errors.Is(err, ErrPeerAborted) {
+		t.Errorf("receive after abort = %v, want ErrPeerAborted", err)
+	}
+}

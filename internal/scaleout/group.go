@@ -1,0 +1,355 @@
+package scaleout
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/isa"
+	"mlvfpga/internal/kernels"
+)
+
+// This file generalizes the 2-device sync pair to n devices, the
+// functional counterpart of the runtime's 4-piece heterogeneous
+// deployments: each device holds a 1/n row-shard of every weight matrix
+// and the sync modules all-gather the hidden-state shards each step.
+
+// GroupSync is the n-way generalization of SyncModule: a write to the send
+// address broadcasts the device's shard to every peer; a read from the
+// receive address blocks until all peers' shards arrive and returns the
+// full vector assembled in device order.
+type GroupSync struct {
+	inner accel.DRAM
+
+	sendAddr, recvAddr int
+	shardWords         int
+	index, n           int
+
+	outs    []chan<- []fp16.Num // one per peer, indexed by peer id (own slot nil)
+	ins     []<-chan []fp16.Num
+	lastOwn []fp16.Num
+	abort   *abortState
+
+	stats SyncStats
+}
+
+// Abort unblocks every device's barrier waits; further sync accesses fail
+// with ErrPeerAborted.
+func (g *GroupSync) Abort() { g.abort.abort() }
+
+// NewSyncGroup links n DRAM ports with all-gather sync modules. Device i
+// holds shard i. shardWords is the per-device shard length.
+func NewSyncGroup(inners []accel.DRAM, cfg Config) ([]*GroupSync, error) {
+	n := len(inners)
+	if n < 2 {
+		return nil, fmt.Errorf("scaleout: sync group needs >= 2 devices, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// chans[from][to]; buffered so the all-send phase never blocks.
+	chans := make([][]chan []fp16.Num, n)
+	for i := range chans {
+		chans[i] = make([]chan []fp16.Num, n)
+		for j := range chans[i] {
+			if i != j {
+				chans[i][j] = make(chan []fp16.Num, 1)
+			}
+		}
+	}
+	shared := newAbortState()
+	out := make([]*GroupSync, n)
+	for i := 0; i < n; i++ {
+		outs := make([]chan<- []fp16.Num, n)
+		ins := make([]<-chan []fp16.Num, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			outs[j] = chans[i][j]
+			ins[j] = chans[j][i]
+		}
+		out[i] = &GroupSync{
+			inner:    inners[i],
+			sendAddr: cfg.SendAddr, recvAddr: cfg.RecvAddr,
+			shardWords: cfg.HalfWords, index: i, n: n,
+			outs: outs, ins: ins, abort: shared,
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the traffic counters.
+func (g *GroupSync) Stats() SyncStats { return g.stats }
+
+// WriteWords traps writes to the send address, broadcasting the shard.
+func (g *GroupSync) WriteWords(addr int, vals []fp16.Num) error {
+	if addr != g.sendAddr {
+		return g.inner.WriteWords(addr, vals)
+	}
+	if len(vals) != g.shardWords {
+		return fmt.Errorf("scaleout: group send of %d words, module configured for %d", len(vals), g.shardWords)
+	}
+	cp := append([]fp16.Num{}, vals...)
+	g.lastOwn = cp
+	for j, out := range g.outs {
+		if j == g.index || out == nil {
+			continue
+		}
+		select {
+		case out <- cp:
+		case <-g.abort.ch:
+			return ErrPeerAborted
+		}
+		g.stats.WordsSent += int64(len(cp))
+	}
+	g.stats.Sends++
+	return nil
+}
+
+// ReadWords traps reads from the receive address: it blocks until every
+// peer's shard arrives (barrier) and assembles the full vector.
+func (g *GroupSync) ReadWords(addr, n int) ([]fp16.Num, error) {
+	if addr != g.recvAddr {
+		return g.inner.ReadWords(addr, n)
+	}
+	if n != g.n*g.shardWords {
+		return nil, fmt.Errorf("scaleout: group receive of %d words, want %d", n, g.n*g.shardWords)
+	}
+	if g.lastOwn == nil {
+		return nil, errors.New("scaleout: group receive before any send")
+	}
+	out := make([]fp16.Num, 0, n)
+	for j := 0; j < g.n; j++ {
+		if j == g.index {
+			out = append(out, g.lastOwn...)
+			continue
+		}
+		var shard []fp16.Num
+		select {
+		case shard = <-g.ins[j]:
+		case <-g.abort.ch:
+			return nil, ErrPeerAborted
+		}
+		g.stats.WordsReceived += int64(len(shard))
+		out = append(out, shard...)
+	}
+	g.stats.Receives++
+	return out, nil
+}
+
+// ScaledGroup is an n-device scaled-down deployment of one RNN layer.
+type ScaledGroup struct {
+	Spec    kernels.LayerSpec
+	N       int
+	Progs   []isa.Program
+	Images  [][]fp16.Num
+	Cfg     accel.Config
+	SyncCfg Config
+
+	inputBase, outputBase int
+}
+
+// lengthMode returns the v_rd/v_const length selector for a 1/n shard.
+func lengthMode(n int) (uint8, error) {
+	switch n {
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("scaleout: unsupported group size %d (want 2 or 4)", n)
+}
+
+// BuildScaledGroup compiles a layer for n scaled-down accelerators with
+// tilesPerDevice tile engines each. n must be 2 or 4 and divide the hidden
+// dimension.
+func BuildScaledGroup(w *kernels.Weights, timeSteps, tilesPerDevice, n int) (*ScaledGroup, error) {
+	mode, err := lengthMode(n)
+	if err != nil {
+		return nil, err
+	}
+	if timeSteps <= 0 {
+		return nil, fmt.Errorf("scaleout: timeSteps = %d", timeSteps)
+	}
+	h := w.Hidden
+	if h%n != 0 {
+		return nil, fmt.Errorf("scaleout: hidden %d not divisible by %d", h, n)
+	}
+	shard := h / n
+	spec := kernels.LayerSpec{Kind: w.Kind, Hidden: h, TimeSteps: timeSteps}
+	cfg := kernels.DefaultConfig(spec, tilesPerDevice)
+	sg := &ScaledGroup{Spec: spec, N: n, Cfg: cfg}
+
+	mats := matNames(w.Kind)
+	biases := biasNames(w.Kind)
+
+	next := 0
+	alloc := func(words int) int { a := next; next += words; return a }
+	matAddr := map[string]int{}
+	for _, name := range mats {
+		matAddr[name] = alloc(shard * h)
+	}
+	biasAddr := map[string]int{}
+	for _, name := range biases {
+		biasAddr[name] = alloc(shard)
+	}
+	sg.inputBase = alloc(h * timeSteps)
+	sg.outputBase = alloc(shard * timeSteps)
+	if next > cfg.DRAMWords {
+		return nil, fmt.Errorf("scaleout: layer needs %d DRAM words, have %d", next, cfg.DRAMWords)
+	}
+	sg.SyncCfg = Config{
+		SendAddr:  cfg.DRAMWords,
+		RecvAddr:  cfg.DRAMWords + 1,
+		HalfWords: shard,
+	}
+
+	for dev := 0; dev < n; dev++ {
+		image := make([]fp16.Num, sg.inputBase)
+		for _, name := range mats {
+			rows := w.M[name][dev*shard*h : (dev+1)*shard*h]
+			copy(image[matAddr[name]:], fp16.FromSlice64(rows))
+		}
+		for _, name := range biases {
+			half := w.B[name][dev*shard : (dev+1)*shard]
+			copy(image[biasAddr[name]:], fp16.FromSlice64(half))
+		}
+		sg.Images = append(sg.Images, image)
+	}
+
+	var p isa.Program
+	for i, name := range mats {
+		p = append(p, isa.Instr{Op: isa.OpMRead, Dst: uint8(i), Imm: uint32(matAddr[name])})
+	}
+	for i, name := range biases {
+		p = append(p, isa.Instr{Op: isa.OpVRead, Dst: uint8(3 + i), Src2: mode, Imm: uint32(biasAddr[name])})
+	}
+	p = append(p, isa.Instr{Op: isa.OpVConst, Dst: 1, Imm: 0})
+	switch w.Kind {
+	case kernels.LSTM:
+		p = append(p, isa.Instr{Op: isa.OpVConst, Dst: 2, Src1: mode, Imm: 0})
+	case kernels.GRU:
+		p = append(p, isa.Instr{Op: isa.OpVConst, Dst: 12, Src1: mode, Imm: 0})
+	}
+	for t := 0; t < timeSteps; t++ {
+		p = append(p, isa.Instr{Op: isa.OpVRead, Dst: 0, Imm: uint32(sg.InputAddr(t))})
+		switch w.Kind {
+		case kernels.LSTM:
+			p = append(p, scaledLSTMStep()...)
+		case kernels.GRU:
+			p = append(p, scaledGRUStep()...)
+		}
+		own := uint8(14)
+		if w.Kind == kernels.GRU {
+			own = 12
+		}
+		p = append(p,
+			isa.Instr{Op: isa.OpVWrite, Src1: own, Imm: uint32(sg.SyncCfg.SendAddr)},
+			isa.Instr{Op: isa.OpVWrite, Src1: own, Imm: uint32(sg.OutputAddr(t))},
+			isa.Instr{Op: isa.OpVRead, Dst: 1, Imm: uint32(sg.SyncCfg.RecvAddr)},
+		)
+	}
+	p = append(p, isa.Instr{Op: isa.OpEndChain})
+	for dev := 0; dev < n; dev++ {
+		sg.Progs = append(sg.Progs, append(isa.Program{}, p...))
+	}
+	return sg, nil
+}
+
+// InputAddr returns the DRAM address of x_t.
+func (sg *ScaledGroup) InputAddr(t int) int { return sg.inputBase + t*sg.Spec.Hidden }
+
+// OutputAddr returns where a device stores its shard of h_t.
+func (sg *ScaledGroup) OutputAddr(t int) int { return sg.outputBase + t*sg.Spec.Hidden/sg.N }
+
+// NewMachines builds the n linked machines.
+func (sg *ScaledGroup) NewMachines() ([]*accel.Machine, []*GroupSync, error) {
+	inners := make([]accel.DRAM, sg.N)
+	for i := range inners {
+		inners[i] = accel.NewMemory(sg.Cfg.DRAMWords)
+	}
+	syncs, err := NewSyncGroup(inners, sg.SyncCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := make([]*accel.Machine, sg.N)
+	shard := sg.Spec.Hidden / sg.N
+	for dev := 0; dev < sg.N; dev++ {
+		m, err := accel.NewWithDRAM(sg.Cfg, syncs[dev])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.DRAMPort().WriteWords(0, sg.Images[dev]); err != nil {
+			return nil, nil, err
+		}
+		for i := range matNames(sg.Spec.Kind) {
+			if err := m.ConfigureMatrix(i, shard, sg.Spec.Hidden); err != nil {
+				return nil, nil, err
+			}
+		}
+		ms[dev] = m
+	}
+	return ms, syncs, nil
+}
+
+// SetInput broadcasts x_t to every device's DRAM.
+func (sg *ScaledGroup) SetInput(ms []*accel.Machine, t int, x []float64) error {
+	if len(x) != sg.Spec.Hidden {
+		return fmt.Errorf("scaleout: input length %d, want %d", len(x), sg.Spec.Hidden)
+	}
+	words := fp16.FromSlice64(x)
+	for _, m := range ms {
+		if err := m.DRAMPort().WriteWords(sg.InputAddr(t), words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOutput reassembles h_t from the devices' output shards.
+func (sg *ScaledGroup) ReadOutput(ms []*accel.Machine, t int) ([]float64, error) {
+	shard := sg.Spec.Hidden / sg.N
+	out := make([]float64, 0, sg.Spec.Hidden)
+	for _, m := range ms {
+		words, err := m.DRAMPort().ReadWords(sg.OutputAddr(t), shard)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fp16.ToSlice64(words)...)
+	}
+	return out, nil
+}
+
+// Run executes all devices concurrently; a failing device aborts the
+// group so the others unblock.
+func (sg *ScaledGroup) Run(ms []*accel.Machine) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(ms))
+	for dev := range ms {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			errs[d] = ms[d].Run(sg.Progs[d])
+			if errs[d] != nil {
+				if s, ok := ms[d].DRAMPort().(*GroupSync); ok {
+					s.Abort()
+				}
+			}
+		}(dev)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrPeerAborted) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

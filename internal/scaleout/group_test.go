@@ -1,0 +1,150 @@
+package scaleout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/kernels"
+)
+
+func TestSyncGroupAllGather(t *testing.T) {
+	const n, shard = 4, 2
+	inners := make([]accel.DRAM, n)
+	for i := range inners {
+		inners[i] = accel.NewMemory(64)
+	}
+	syncs, err := NewSyncGroup(inners, Config{SendAddr: 100, RecvAddr: 101, HalfWords: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each device sends [10i, 10i+1].
+	for i, s := range syncs {
+		vals := []fp16.Num{fp16.FromFloat64(float64(10 * i)), fp16.FromFloat64(float64(10*i + 1))}
+		if err := s.WriteWords(100, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []float64{0, 1, 10, 11, 20, 21, 30, 31}
+	for i, s := range syncs {
+		got, err := s.ReadWords(101, n*shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j].Float64() != want[j] {
+				t.Errorf("device %d gathered[%d] = %v, want %v", i, j, got[j].Float64(), want[j])
+			}
+		}
+		st := s.Stats()
+		if st.Sends != 1 || st.Receives != 1 || st.WordsSent != int64(shard*(n-1)) {
+			t.Errorf("device %d stats = %+v", i, st)
+		}
+	}
+}
+
+func TestSyncGroupErrors(t *testing.T) {
+	if _, err := NewSyncGroup([]accel.DRAM{accel.NewMemory(8)}, Config{SendAddr: 1, RecvAddr: 2, HalfWords: 1}); err == nil {
+		t.Error("single-device group must fail")
+	}
+	inners := []accel.DRAM{accel.NewMemory(8), accel.NewMemory(8)}
+	if _, err := NewSyncGroup(inners, Config{SendAddr: 1, RecvAddr: 1, HalfWords: 1}); err == nil {
+		t.Error("bad config must fail")
+	}
+	syncs, err := NewSyncGroup(inners, Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syncs[0].WriteWords(100, make([]fp16.Num, 3)); err == nil {
+		t.Error("wrong shard size must fail")
+	}
+	if _, err := syncs[0].ReadWords(101, 3); err == nil {
+		t.Error("wrong gather size must fail")
+	}
+	if _, err := syncs[0].ReadWords(101, 4); err == nil {
+		t.Error("receive before send must fail")
+	}
+	// Pass-through still works.
+	if err := syncs[0].WriteWords(3, []fp16.Num{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := syncs[0].ReadWords(3, 1); err != nil || got[0] != 9 {
+		t.Errorf("pass-through = %v, %v", got, err)
+	}
+}
+
+// Four scaled-down accelerators must reproduce the reference, for both
+// cell kinds — the functional counterpart of the runtime's 4-piece
+// heterogeneous deployments.
+func runScaledGroup(t *testing.T, kind kernels.RNNKind, hidden, steps, n int) {
+	t.Helper()
+	w := kernels.RandomWeights(kind, hidden, 123)
+	sg, err := BuildScaledGroup(w, steps, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.Cfg.MantissaBits = 9
+	ms, syncs, err := sg.NewMachines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := kernels.NewReference(w)
+	r := rand.New(rand.NewSource(5))
+	inputs := make([][]float64, steps)
+	for tt := range inputs {
+		x := make([]float64, hidden)
+		for i := range x {
+			x[i] = r.NormFloat64() * 0.5
+		}
+		inputs[tt] = x
+		if err := sg.SetInput(ms, tt, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.Run(ms); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < steps; tt++ {
+		want, err := ref.Step(inputs[tt])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sg.ReadOutput(ms, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.1 {
+				t.Fatalf("%v n=%d step %d elem %d: got %v, want %v", kind, n, tt, i, got[i], want[i])
+			}
+		}
+	}
+	for d, s := range syncs {
+		if st := s.Stats(); st.Sends != steps || st.Receives != steps {
+			t.Errorf("device %d stats = %+v", d, st)
+		}
+	}
+}
+
+func TestScaledGroup4LSTM(t *testing.T) { runScaledGroup(t, kernels.LSTM, 32, 4, 4) }
+func TestScaledGroup4GRU(t *testing.T)  { runScaledGroup(t, kernels.GRU, 32, 4, 4) }
+func TestScaledGroup2MatchesPairSemantics(t *testing.T) {
+	runScaledGroup(t, kernels.LSTM, 32, 3, 2)
+}
+
+func TestBuildScaledGroupErrors(t *testing.T) {
+	w := kernels.RandomWeights(kernels.GRU, 32, 1)
+	if _, err := BuildScaledGroup(w, 1, 1, 3); err == nil {
+		t.Error("n=3 must fail (no length mode)")
+	}
+	if _, err := BuildScaledGroup(w, 0, 1, 2); err == nil {
+		t.Error("zero steps must fail")
+	}
+	wOdd := kernels.RandomWeights(kernels.GRU, 32, 1)
+	wOdd.Hidden = 30
+	if _, err := BuildScaledGroup(wOdd, 1, 1, 4); err == nil {
+		t.Error("hidden not divisible by 4 must fail")
+	}
+}

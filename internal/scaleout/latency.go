@@ -1,0 +1,115 @@
+package scaleout
+
+import (
+	"time"
+
+	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/netmodel"
+	"mlvfpga/internal/perf"
+)
+
+// This file models the Fig. 11 experiment: one AS ISA-based accelerator
+// deployed onto two FPGA devices, with a programmable delay module
+// sweeping the added inter-FPGA latency. Per step, each device computes
+// its half of the hidden state, exchanges it with the peer, and
+// (optionally, with the §2.3 optimization) overlaps the transfer with the
+// next step's input-dependent matrix products.
+
+// TwoFPGAOptions configures the two-device latency model.
+type TwoFPGAOptions struct {
+	// Overlap enables the §2.3 optimization (instruction insertion +
+	// reordering); without it the transfer serializes after each step.
+	Overlap bool
+	// Link is the inter-FPGA channel, including the programmable added
+	// latency (the paper's counter+FIFO module).
+	Link netmodel.Link
+}
+
+// TwoFPGAStep returns the steady-state per-timestep latency of a layer on
+// two scaled-down accelerators, plus the exchange time and the overlap
+// window for inspection.
+func TwoFPGAStep(spec kernels.LayerSpec, device string, p perf.Params, opt TwoFPGAOptions) (step, comm, window time.Duration, err error) {
+	tiles, err := perf.MinTilesScaled(spec, device, 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m, err := hsvital.CalibratedAccelerator(device, tiles)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	clock := m.ClockMHz
+	h := float64(spec.Hidden)
+	h2 := h / 2
+
+	// Per-device compute: each step issues the same instruction count plus
+	// the three inserted sync instructions; each MVM covers the device's
+	// h/2 rows by the full h columns; vector ops cover h/2 elements.
+	nInstr := float64(kernels.StepInstructions(spec.Kind)) + 3
+	nMVM := float64(kernels.MVMsPerStep(spec.Kind))
+	issue := p.IssueCyclesPerInstr[device] * nInstr
+	macsPerCycle := float64(tiles) * hsvital.TileMACsPerCycle
+	mvm := nMVM * (h2*h/macsPerCycle + p.MVMFillCycles)
+	nVec := nInstr - nMVM - 5 // v_rd x, v_wr out, and the 3 sync instructions
+	vec := nVec * (h2/(float64(tiles)*p.VecLanesPerTile) + p.VecFillCycles)
+	compute := cyclesToTime(issue+mvm+vec, clock)
+
+	// Exchange: each device ships its h/2 half (2 bytes per element); the
+	// ring is bidirectional so the two directions proceed concurrently.
+	comm, err = opt.Link.TransferTime(int64(h2) * 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Overlap window: the x-dependent work of the next step that the
+	// reordering tool schedules before the blocking receive. Per
+	// overlapped gate that is one W*x matrix-vector product plus its bias
+	// add — two issue slots, one MVM pass and one MFU pass. For the LSTM
+	// all four gates qualify; in the GRU the candidate gate's product
+	// serializes behind the reset gate, leaving two.
+	overlapGates := 4.0
+	if spec.Kind == kernels.GRU {
+		overlapGates = 2.0
+	}
+	perMVM := h2 * h / macsPerCycle
+	windowCycles := overlapGates * (perMVM + p.MVMFillCycles +
+		2*p.IssueCyclesPerInstr[device] + (h2/(float64(tiles)*p.VecLanesPerTile) + p.VecFillCycles))
+	window = cyclesToTime(windowCycles, clock)
+
+	if opt.Overlap {
+		exposed := comm - window
+		if exposed < 0 {
+			exposed = 0
+		}
+		return compute + exposed, comm, window, nil
+	}
+	return compute + comm, comm, window, nil
+}
+
+// TwoFPGALatency returns the full-inference latency on two devices.
+func TwoFPGALatency(spec kernels.LayerSpec, device string, p perf.Params, opt TwoFPGAOptions) (time.Duration, error) {
+	step, _, _, err := TwoFPGAStep(spec, device, p, opt)
+	if err != nil {
+		return 0, err
+	}
+	return p.InvokeOverhead + time.Duration(spec.TimeSteps)*step, nil
+}
+
+// HiddenLatencyBudget returns the largest added inter-FPGA latency the
+// overlap technique can still fully hide for a layer (the Fig. 11
+// crossover).
+func HiddenLatencyBudget(spec kernels.LayerSpec, device string, p perf.Params, base netmodel.Link) (time.Duration, error) {
+	_, comm, window, err := TwoFPGAStep(spec, device, p, TwoFPGAOptions{Overlap: true, Link: base})
+	if err != nil {
+		return 0, err
+	}
+	budget := window - comm
+	if budget < 0 {
+		budget = 0
+	}
+	return budget, nil
+}
+
+func cyclesToTime(cycles, clockMHz float64) time.Duration {
+	return time.Duration(cycles / clockMHz * float64(time.Microsecond))
+}

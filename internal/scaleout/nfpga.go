@@ -1,0 +1,104 @@
+package scaleout
+
+import (
+	"fmt"
+	"time"
+
+	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/netmodel"
+	"mlvfpga/internal/perf"
+)
+
+// NFPGAStep generalizes TwoFPGAStep to a deployment across len(devices)
+// scaled-down accelerators, possibly of different device types — the
+// heterogeneous multi-FPGA deployments that distinguish the proposed
+// framework from existing HS abstractions (§4.4). Device i holds 1/n of
+// every weight matrix's rows; each step ends with an all-gather of the
+// hidden-state shares over the ring.
+//
+// The returned step time is the slowest device's compute plus the exposed
+// (non-overlapped) communication.
+func NFPGAStep(spec kernels.LayerSpec, devices []string, p perf.Params, opt TwoFPGAOptions) (time.Duration, error) {
+	n := len(devices)
+	if n < 2 {
+		return 0, fmt.Errorf("scaleout: NFPGAStep needs >= 2 devices, got %d", n)
+	}
+	if spec.Hidden%n != 0 {
+		return 0, fmt.Errorf("scaleout: hidden %d not divisible by %d devices", spec.Hidden, n)
+	}
+	h := float64(spec.Hidden)
+	share := h / float64(n)
+
+	var worstCompute time.Duration
+	minWindow := time.Duration(1 << 62)
+	for _, dev := range devices {
+		tiles, err := perf.MinTilesScaled(spec, dev, n)
+		if err != nil {
+			return 0, err
+		}
+		m, err := hsvital.CalibratedAccelerator(dev, tiles)
+		if err != nil {
+			return 0, err
+		}
+		clock := m.ClockMHz
+		nInstr := float64(kernels.StepInstructions(spec.Kind)) + 3
+		nMVM := float64(kernels.MVMsPerStep(spec.Kind))
+		issue := p.IssueCyclesPerInstr[dev] * nInstr
+		macsPerCycle := float64(tiles) * hsvital.TileMACsPerCycle
+		mvm := nMVM * (share*h/macsPerCycle + p.MVMFillCycles)
+		nVec := nInstr - nMVM - 5
+		vec := nVec * (share/(float64(tiles)*p.VecLanesPerTile) + p.VecFillCycles)
+		compute := cyclesToTime(issue+mvm+vec, clock)
+		if compute > worstCompute {
+			worstCompute = compute
+		}
+
+		overlapGates := 4.0
+		if spec.Kind == kernels.GRU {
+			overlapGates = 2.0
+		}
+		perMVM := share * h / macsPerCycle
+		windowCycles := overlapGates * (perMVM + p.MVMFillCycles +
+			2*p.IssueCyclesPerInstr[dev] + (share/(float64(tiles)*p.VecLanesPerTile) + p.VecFillCycles))
+		if w := cyclesToTime(windowCycles, clock); w < minWindow {
+			minWindow = w
+		}
+	}
+
+	// All-gather: every device receives the other n-1 shares. On the
+	// bidirectional ring the shares stream both ways concurrently, so the
+	// serialized volume per device is half the missing data, but at least
+	// one share.
+	gatherWords := share * float64(n-1) / 2
+	if gatherWords < share {
+		gatherWords = share
+	}
+	comm, err := opt.Link.TransferTime(int64(gatherWords) * 2)
+	if err != nil {
+		return 0, err
+	}
+	if opt.Overlap {
+		exposed := comm - minWindow
+		if exposed < 0 {
+			exposed = 0
+		}
+		return worstCompute + exposed, nil
+	}
+	return worstCompute + comm, nil
+}
+
+// NFPGALatency is the full-inference latency of an n-device deployment.
+func NFPGALatency(spec kernels.LayerSpec, devices []string, p perf.Params, opt TwoFPGAOptions) (time.Duration, error) {
+	step, err := NFPGAStep(spec, devices, p, opt)
+	if err != nil {
+		return 0, err
+	}
+	return p.InvokeOverhead + time.Duration(spec.TimeSteps)*step, nil
+}
+
+// DefaultOptions returns the standard configuration: overlap enabled over
+// the default ring link.
+func DefaultOptions() TwoFPGAOptions {
+	return TwoFPGAOptions{Overlap: true, Link: netmodel.DefaultRingLink()}
+}

@@ -1,0 +1,391 @@
+package scaleout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/isa"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/netmodel"
+	"mlvfpga/internal/perf"
+)
+
+func TestSyncConfigValidate(t *testing.T) {
+	if err := (Config{SendAddr: 1, RecvAddr: 1, HalfWords: 4}).Validate(); err == nil {
+		t.Error("colliding addresses must fail")
+	}
+	if err := (Config{SendAddr: 1, RecvAddr: 2, HalfWords: 0}).Validate(); err == nil {
+		t.Error("zero half words must fail")
+	}
+}
+
+func TestSyncPairExchange(t *testing.T) {
+	mem0, mem1 := accel.NewMemory(64), accel.NewMemory(64)
+	cfg := Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2}
+	s0, s1, err := NewSyncPair(mem0, mem1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []fp16.Num{fp16.FromFloat64(1), fp16.FromFloat64(2)}
+	b := []fp16.Num{fp16.FromFloat64(3), fp16.FromFloat64(4)}
+	if err := s0.WriteWords(100, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.WriteWords(100, b); err != nil {
+		t.Fatal(err)
+	}
+	got0, err := s0.ReadWords(101, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := s1.ReadWords(101, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0: own half first -> [1 2 3 4]; device 1: peer first -> same.
+	for i, want := range []float64{1, 2, 3, 4} {
+		if got0[i].Float64() != want || got1[i].Float64() != want {
+			t.Errorf("combined[%d] = %v / %v, want %v", i, got0[i].Float64(), got1[i].Float64(), want)
+		}
+	}
+	st := s0.Stats()
+	if st.Sends != 1 || st.Receives != 1 || st.WordsSent != 2 || st.WordsReceived != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSyncPassThrough(t *testing.T) {
+	mem0, mem1 := accel.NewMemory(64), accel.NewMemory(64)
+	s0, _, err := NewSyncPair(mem0, mem1, Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []fp16.Num{7}
+	if err := s0.WriteWords(5, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s0.ReadWords(5, 1)
+	if err != nil || got[0] != 7 {
+		t.Errorf("pass-through failed: %v %v", got, err)
+	}
+	// The trapped write must NOT have touched DRAM.
+	if err := s0.WriteWords(100, []fp16.Num{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := mem0.ReadWords(0, 64)
+	for i, w := range inner {
+		if i == 5 {
+			continue
+		}
+		if w != 0 {
+			t.Fatalf("trapped write leaked into DRAM at %d", i)
+		}
+	}
+}
+
+func TestSyncErrors(t *testing.T) {
+	mem0, mem1 := accel.NewMemory(64), accel.NewMemory(64)
+	s0, _, _ := NewSyncPair(mem0, mem1, Config{SendAddr: 100, RecvAddr: 101, HalfWords: 2})
+	if err := s0.WriteWords(100, make([]fp16.Num, 3)); err == nil {
+		t.Error("wrong send size must fail")
+	}
+	if _, err := s0.ReadWords(101, 3); err == nil {
+		t.Error("wrong receive size must fail")
+	}
+	if _, err := s0.ReadWords(101, 4); err == nil {
+		t.Error("receive before send must fail")
+	}
+	if _, _, err := NewSyncPair(mem0, mem1, Config{SendAddr: 1, RecvAddr: 1, HalfWords: 1}); err == nil {
+		t.Error("bad config must fail")
+	}
+}
+
+// The functional heart of §2.3: two scaled-down accelerators connected by
+// sync modules compute the same results as the float64 reference.
+func runScaledPair(t *testing.T, kind kernels.RNNKind, hidden, steps int, reorder bool) {
+	t.Helper()
+	w := kernels.RandomWeights(kind, hidden, 99)
+	sp, err := BuildScaledPair(w, steps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Cfg.MantissaBits = 9
+	if reorder {
+		for d := 0; d < 2; d++ {
+			sp.Progs[d] = ReorderForOverlap(sp.Progs[d],
+				uint32(sp.SyncCfg.SendAddr), uint32(sp.SyncCfg.RecvAddr))
+		}
+	}
+	ms, syncs, err := sp.NewMachines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := kernels.NewReference(w)
+	r := rand.New(rand.NewSource(3))
+	inputs := make([][]float64, steps)
+	for tt := range inputs {
+		x := make([]float64, hidden)
+		for i := range x {
+			x[i] = r.NormFloat64() * 0.5
+		}
+		inputs[tt] = x
+		if err := sp.SetInput(ms, tt, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Run(ms); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < steps; tt++ {
+		want, err := ref.Step(inputs[tt])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sp.ReadOutput(ms, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.1 {
+				t.Fatalf("%v reorder=%v step %d elem %d: got %v, want %v",
+					kind, reorder, tt, i, got[i], want[i])
+			}
+		}
+	}
+	// Every step exchanged exactly one half-vector each way.
+	for d := 0; d < 2; d++ {
+		st := syncs[d].Stats()
+		if st.Sends != steps || st.Receives != steps {
+			t.Errorf("device %d sync stats = %+v, want %d sends/receives", d, st, steps)
+		}
+	}
+}
+
+func TestScaledLSTMMatchesReference(t *testing.T) { runScaledPair(t, kernels.LSTM, 32, 4, false) }
+func TestScaledGRUMatchesReference(t *testing.T)  { runScaledPair(t, kernels.GRU, 32, 4, false) }
+func TestScaledLSTMReordered(t *testing.T)        { runScaledPair(t, kernels.LSTM, 32, 5, true) }
+func TestScaledGRUReordered(t *testing.T)         { runScaledPair(t, kernels.GRU, 32, 5, true) }
+func TestScaledLongerSequence(t *testing.T)       { runScaledPair(t, kernels.LSTM, 24, 10, true) }
+
+func TestBuildScaledPairErrors(t *testing.T) {
+	w := kernels.RandomWeights(kernels.GRU, 32, 1)
+	if _, err := BuildScaledPair(w, 0, 1); err == nil {
+		t.Error("zero steps must fail")
+	}
+	wOdd := kernels.RandomWeights(kernels.GRU, 32, 1)
+	wOdd.Hidden = 33
+	if _, err := BuildScaledPair(wOdd, 1, 1); err == nil {
+		t.Error("odd hidden must fail")
+	}
+}
+
+// The reordering tool must actually move the receive later: after
+// reordering, the number of instructions between a receive and the next
+// dependent use must grow or stay equal, and the program must be a
+// permutation with identical multiset of instructions.
+func TestReorderMovesReceiveLater(t *testing.T) {
+	w := kernels.RandomWeights(kernels.LSTM, 32, 1)
+	sp, err := BuildScaledPair(w, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, recv := uint32(sp.SyncCfg.SendAddr), uint32(sp.SyncCfg.RecvAddr)
+	orig := sp.Progs[0]
+	re := ReorderForOverlap(orig, send, recv)
+	if len(re) != len(orig) {
+		t.Fatalf("length changed: %d vs %d", len(re), len(orig))
+	}
+	count := func(p isa.Program) map[isa.Instr]int {
+		m := map[isa.Instr]int{}
+		for _, i := range p {
+			m[i]++
+		}
+		return m
+	}
+	co, cr := count(orig), count(re)
+	for k, v := range co {
+		if cr[k] != v {
+			t.Fatalf("not a permutation: %v", k)
+		}
+	}
+	recvPos := func(p isa.Program) []int {
+		var out []int
+		for i, ins := range p {
+			if ins.Op == isa.OpVRead && ins.Imm == recv {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	po, pr := recvPos(orig), recvPos(re)
+	if len(po) != len(pr) || len(po) == 0 {
+		t.Fatal("receive count changed")
+	}
+	moved := false
+	for i := range po {
+		if pr[i] < po[i] {
+			t.Errorf("receive %d moved earlier: %d -> %d", i, po[i], pr[i])
+		}
+		if pr[i] > po[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("no receive moved later; overlap gained nothing")
+	}
+}
+
+// Fig. 11 shape: the overlap technique fully hides the swept added latency
+// for the LSTM, hides it up to a mid-sweep crossover for the small GRU,
+// and cannot hide it for the large GRU.
+func TestFig11Shape(t *testing.T) {
+	p := perf.DefaultParams()
+	base := netmodel.DefaultRingLink()
+	budget := func(kind kernels.RNNKind, h int) time.Duration {
+		spec := kernels.LayerSpec{Kind: kind, Hidden: h, TimeSteps: 1}
+		b, err := HiddenLatencyBudget(spec, "XCVU37P", p, base)
+		if err != nil {
+			t.Fatalf("%v h=%d: %v", kind, h, err)
+		}
+		return b
+	}
+	lstm := budget(kernels.LSTM, 1024)
+	gruSmall := budget(kernels.GRU, 1024)
+	gruLarge := budget(kernels.GRU, 2560)
+	if lstm < time.Microsecond {
+		t.Errorf("LSTM budget = %v, must cover the full 1us sweep", lstm)
+	}
+	if gruSmall < 300*time.Nanosecond || gruSmall > 900*time.Nanosecond {
+		t.Errorf("small GRU budget = %v, want a mid-sweep crossover (~0.6us)", gruSmall)
+	}
+	if gruLarge > 300*time.Nanosecond {
+		t.Errorf("large GRU budget = %v, must be (near) zero", gruLarge)
+	}
+	if !(gruLarge < gruSmall && gruSmall < lstm) {
+		t.Errorf("budget ordering wrong: %v < %v < %v", gruLarge, gruSmall, lstm)
+	}
+}
+
+func TestTwoFPGAStepMonotoneInAddedLatency(t *testing.T) {
+	p := perf.DefaultParams()
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 2560, TimeSteps: 1}
+	prev := time.Duration(0)
+	for _, added := range []time.Duration{0, 200, 400, 600, 800, 1000} {
+		link := netmodel.DefaultRingLink()
+		link.AddedLatency = added * time.Nanosecond
+		step, _, _, err := TwoFPGAStep(spec, "XCVU37P", p, TwoFPGAOptions{Overlap: true, Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step < prev {
+			t.Errorf("step time decreased with added latency at %v", added)
+		}
+		prev = step
+	}
+}
+
+func TestOverlapNeverWorse(t *testing.T) {
+	p := perf.DefaultParams()
+	for _, spec := range []kernels.LayerSpec{
+		{Kind: kernels.LSTM, Hidden: 1024, TimeSteps: 10},
+		{Kind: kernels.GRU, Hidden: 1024, TimeSteps: 10},
+		{Kind: kernels.GRU, Hidden: 2560, TimeSteps: 10},
+	} {
+		link := netmodel.DefaultRingLink()
+		link.AddedLatency = 600 * time.Nanosecond
+		with, err := TwoFPGALatency(spec, "XCVU37P", p, TwoFPGAOptions{Overlap: true, Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := TwoFPGALatency(spec, "XCVU37P", p, TwoFPGAOptions{Overlap: false, Link: link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with > without {
+			t.Errorf("%v: overlap (%v) worse than naive (%v)", spec, with, without)
+		}
+	}
+}
+
+func TestTwoFPGAErrors(t *testing.T) {
+	p := perf.DefaultParams()
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 1024, TimeSteps: 1}
+	if _, _, _, err := TwoFPGAStep(spec, "bogus", p, TwoFPGAOptions{Link: netmodel.DefaultRingLink()}); err == nil {
+		t.Error("unknown device must fail")
+	}
+	bad := netmodel.Link{}
+	if _, _, _, err := TwoFPGAStep(spec, "XCVU37P", p, TwoFPGAOptions{Link: bad}); err == nil {
+		t.Error("zero-bandwidth link must fail")
+	}
+	if _, err := perf.MinTilesScaled(spec, "XCVU37P", 0); err == nil {
+		t.Error("zero devices must fail")
+	}
+}
+
+// Scaled programs must pass the static validator, with the sync module's
+// trapped addresses declared.
+func TestScaledProgramsValidate(t *testing.T) {
+	for _, kind := range []kernels.RNNKind{kernels.LSTM, kernels.GRU} {
+		w := kernels.RandomWeights(kind, 64, 3)
+		sp, err := BuildScaledPair(w, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := isa.MachineSpec{
+			VRegs:         sp.Cfg.VRegs,
+			MRegs:         sp.Cfg.MRegs,
+			DRAMWords:     sp.Cfg.DRAMWords,
+			InstrBufBytes: sp.Cfg.InstrBufBytes,
+			TrappedAddrs:  []uint32{uint32(sp.SyncCfg.SendAddr), uint32(sp.SyncCfg.RecvAddr)},
+		}
+		for d := 0; d < 2; d++ {
+			prog := ReorderForOverlap(sp.Progs[d], uint32(sp.SyncCfg.SendAddr), uint32(sp.SyncCfg.RecvAddr))
+			if issues := isa.Validate(prog, spec); len(issues) != 0 {
+				t.Errorf("%v device %d: %d issues; first: %v", kind, d, len(issues), issues[0])
+			}
+		}
+	}
+}
+
+// The reordered schedule must realize the timing model's overlap window:
+// at least the modelled number of x-dependent matrix products execute
+// between the send and the blocking receive of every steady-state step.
+func TestMeasuredOverlapMatchesModel(t *testing.T) {
+	for _, tc := range []struct {
+		kind      kernels.RNNKind
+		modelMVMs int // overlapGates assumed by the latency model
+	}{
+		{kernels.LSTM, 4},
+		{kernels.GRU, 2},
+	} {
+		w := kernels.RandomWeights(tc.kind, 32, 1)
+		sp, err := BuildScaledPair(w, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		send, recv := uint32(sp.SyncCfg.SendAddr), uint32(sp.SyncCfg.RecvAddr)
+		re := ReorderForOverlap(sp.Progs[0], send, recv)
+		overlaps := OverlapMVMs(re, send, recv)
+		if len(overlaps) != sp.Spec.TimeSteps {
+			t.Fatalf("%v: %d overlap windows for %d steps", tc.kind, len(overlaps), sp.Spec.TimeSteps)
+		}
+		// The last step has no successor to overlap with; every earlier
+		// step must cover at least the model's window.
+		for i, n := range overlaps[:len(overlaps)-1] {
+			if n < tc.modelMVMs {
+				t.Errorf("%v step %d: %d MVMs overlap the transfer, model assumes >= %d",
+					tc.kind, i, n, tc.modelMVMs)
+			}
+		}
+		// Before reordering there is nothing between send and receive.
+		for _, n := range OverlapMVMs(sp.Progs[0], send, recv) {
+			if n != 0 {
+				t.Errorf("%v: unreordered program already overlaps %d MVMs", tc.kind, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package scaleout implements the paper's optimization for scale-out
+// acceleration (§2.3): instead of splitting one accelerator across FPGAs,
+// the accelerator is scaled down into smaller instances (fewer data
+// processing units), one per FPGA; a template synchronization module traps
+// DRAM reads/writes to predefined addresses to move vectors over the
+// inter-FPGA network and to realize barrier synchronization (Fig. 8); and
+// custom tools insert the communication instructions and reorder the
+// program under dependency constraints so communication overlaps
+// computation.
+package scaleout
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/fp16"
+)
+
+// SyncStats counts the template module's traffic.
+type SyncStats struct {
+	// Sends/Receives are trapped transfers.
+	Sends, Receives int
+	// WordsSent/WordsReceived count float16 words moved.
+	WordsSent, WordsReceived int64
+}
+
+// SyncModule is the parameterized template module of Fig. 8b, interposed
+// on an accelerator's DRAM port. A write to SendAddr forwards the data
+// entry to the peer accelerator over the inter-FPGA network; a read from
+// RecvAddr blocks until the peer's data arrives (barrier synchronization
+// for an in-order processor) and returns it combined with the locally
+// produced half according to the index register. Both trapped requests are
+// invalidated against the real DRAM to preserve functional correctness.
+//
+// The module's parameters — buffer width, the predefined addresses and the
+// index register — are fixed at offline compilation time (§2.3), i.e. at
+// construction.
+type SyncModule struct {
+	inner accel.DRAM
+
+	sendAddr, recvAddr int
+	halfWords          int
+	// index is the position of the local half in the combined vector:
+	// 0 = local half first, 1 = peer half first.
+	index int
+
+	peerIn  <-chan []fp16.Num
+	peerOut chan<- []fp16.Num
+	lastOwn []fp16.Num
+	abort   *abortState
+
+	stats SyncStats
+}
+
+// abortState propagates a peer failure so barrier waits unblock instead of
+// deadlocking when one device dies mid-chain.
+type abortState struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newAbortState() *abortState { return &abortState{ch: make(chan struct{})} }
+
+func (a *abortState) abort() { a.once.Do(func() { close(a.ch) }) }
+
+// ErrPeerAborted is returned from a blocked send/receive when the peer
+// accelerator aborted its chain.
+var ErrPeerAborted = errors.New("scaleout: peer accelerator aborted")
+
+// Config parameterizes one side of a sync pair.
+type Config struct {
+	// SendAddr and RecvAddr are the predefined (out-of-range) DRAM word
+	// addresses the module traps.
+	SendAddr, RecvAddr int
+	// HalfWords is the exchanged vector length (the scaled-down
+	// accelerator's share of the hidden dimension).
+	HalfWords int
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.HalfWords <= 0 {
+		return fmt.Errorf("scaleout: HalfWords = %d", c.HalfWords)
+	}
+	if c.SendAddr == c.RecvAddr {
+		return errors.New("scaleout: send and receive addresses collide")
+	}
+	return nil
+}
+
+// NewSyncPair interposes sync modules over two accelerators' DRAMs,
+// connected back-to-back over the inter-FPGA network. Device 0 holds the
+// first half of every exchanged vector, device 1 the second (the index
+// registers are configured accordingly).
+func NewSyncPair(inner0, inner1 accel.DRAM, cfg Config) (*SyncModule, *SyncModule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Buffered channels: both sides send before receiving, so capacity 1
+	// prevents the symmetric-send deadlock.
+	ab := make(chan []fp16.Num, 1)
+	ba := make(chan []fp16.Num, 1)
+	shared := newAbortState()
+	mk := func(inner accel.DRAM, in <-chan []fp16.Num, out chan<- []fp16.Num, index int) *SyncModule {
+		return &SyncModule{
+			inner:    inner,
+			sendAddr: cfg.SendAddr, recvAddr: cfg.RecvAddr,
+			halfWords: cfg.HalfWords, index: index,
+			peerIn: in, peerOut: out, abort: shared,
+		}
+	}
+	return mk(inner0, ba, ab, 0), mk(inner1, ab, ba, 1), nil
+}
+
+// Stats returns the traffic counters.
+func (s *SyncModule) Stats() SyncStats { return s.stats }
+
+// Abort unblocks any barrier waits on either side of the pair; further
+// sync accesses fail with ErrPeerAborted. Call when one device's chain
+// errors out so the other does not deadlock.
+func (s *SyncModule) Abort() { s.abort.abort() }
+
+// WriteWords traps writes to the send address (forwarding to the peer and
+// invalidating the DRAM write) and passes everything else through.
+func (s *SyncModule) WriteWords(addr int, vals []fp16.Num) error {
+	if addr == s.sendAddr {
+		if len(vals) != s.halfWords {
+			return fmt.Errorf("scaleout: send of %d words, module configured for %d", len(vals), s.halfWords)
+		}
+		cp := append([]fp16.Num{}, vals...)
+		s.lastOwn = cp
+		select {
+		case s.peerOut <- cp:
+		case <-s.abort.ch:
+			return ErrPeerAborted
+		}
+		s.stats.Sends++
+		s.stats.WordsSent += int64(len(vals))
+		return nil
+	}
+	return s.inner.WriteWords(addr, vals)
+}
+
+// ReadWords traps reads from the receive address: it blocks until the peer
+// half arrives (barrier) and returns the full vector assembled from the
+// local and peer halves per the index register.
+func (s *SyncModule) ReadWords(addr, n int) ([]fp16.Num, error) {
+	if addr == s.recvAddr {
+		if n != 2*s.halfWords {
+			return nil, fmt.Errorf("scaleout: receive of %d words, want %d", n, 2*s.halfWords)
+		}
+		if s.lastOwn == nil {
+			return nil, errors.New("scaleout: receive before any send (no local half buffered)")
+		}
+		var peer []fp16.Num
+		select {
+		case peer = <-s.peerIn:
+		case <-s.abort.ch:
+			return nil, ErrPeerAborted
+		}
+		s.stats.Receives++
+		s.stats.WordsReceived += int64(len(peer))
+		out := make([]fp16.Num, 0, 2*s.halfWords)
+		if s.index == 0 {
+			out = append(append(out, s.lastOwn...), peer...)
+		} else {
+			out = append(append(out, peer...), s.lastOwn...)
+		}
+		return out, nil
+	}
+	return s.inner.ReadWords(addr, n)
+}

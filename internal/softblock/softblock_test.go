@@ -1,0 +1,312 @@
+package softblock
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlvfpga/internal/resource"
+)
+
+func leaf(id string, luts int64) *Block {
+	return NewLeaf(id, "mod_"+id, "path."+id, resource.Vector{LUTs: luts}, 32, 32)
+}
+
+// leafOf builds interchangeable copies: same module key, distinct IDs.
+func leafOf(id, key string, luts int64) *Block {
+	return NewLeaf(id, key, "path."+id, resource.Vector{LUTs: luts}, 32, 32)
+}
+
+func samplePipeline() *Block {
+	return NewPipeline("p0", []*Block{leaf("a", 10), leaf("b", 20), leaf("c", 30)}, []int{64, 16})
+}
+
+func sampleData() *Block {
+	return NewDataParallel("d0", []*Block{
+		leafOf("x0", "simd", 10), leafOf("x1", "simd", 10), leafOf("x2", "simd", 10), leafOf("x3", "simd", 10),
+	})
+}
+
+func TestRollups(t *testing.T) {
+	p := samplePipeline()
+	if p.Resources.LUTs != 60 {
+		t.Errorf("pipeline roll-up = %v", p.Resources)
+	}
+	if p.InBits != 32 || p.OutBits != 32 {
+		t.Errorf("pipeline IO = %d/%d", p.InBits, p.OutBits)
+	}
+	d := sampleData()
+	if d.Resources.LUTs != 40 {
+		t.Errorf("data roll-up = %v", d.Resources)
+	}
+	if d.InBits != 128 || d.OutBits != 128 {
+		t.Errorf("data IO = %d/%d, want aggregated 128/128", d.InBits, d.OutBits)
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	nested := NewPipeline("root", []*Block{sampleData(), samplePipeline()}, []int{128})
+	if err := nested.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := leaf("l", 1)
+	bad.Children = []*Block{leaf("c", 1)}
+	if err := bad.Validate(); !errors.Is(err, ErrLeafWithChildren) {
+		t.Errorf("leaf with children: %v", err)
+	}
+
+	single := NewPipeline("p", []*Block{leaf("a", 1)}, nil)
+	if err := single.Validate(); !errors.Is(err, ErrTooFewChildren) {
+		t.Errorf("single-child pipeline: %v", err)
+	}
+
+	badBits := NewPipeline("p", []*Block{leaf("a", 1), leaf("b", 1)}, []int{1, 2})
+	if err := badBits.Validate(); !errors.Is(err, ErrStageBits) {
+		t.Errorf("stage bits mismatch: %v", err)
+	}
+
+	dup := NewPipeline("p", []*Block{leaf("a", 1), leaf("a", 1)}, []int{8})
+	if err := dup.Validate(); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id: %v", err)
+	}
+
+	mixed := NewDataParallel("d", []*Block{leafOf("a", "m1", 1), leafOf("b", "m2", 1)})
+	if err := mixed.Validate(); !errors.Is(err, ErrDataMismatch) {
+		t.Errorf("non-interchangeable data children: %v", err)
+	}
+
+	noMod := &Block{ID: "x", Kind: Leaf}
+	if err := noMod.Validate(); err == nil {
+		t.Error("leaf without module must fail")
+	}
+
+	badKind := &Block{ID: "x", Kind: Kind(9)}
+	if err := badKind.Validate(); err == nil {
+		t.Error("invalid kind must fail")
+	}
+}
+
+func TestSignatureInterchangeability(t *testing.T) {
+	a := NewPipeline("p1", []*Block{leafOf("a", "m", 1), leafOf("b", "n", 1)}, []int{8})
+	b := NewPipeline("p2", []*Block{leafOf("c", "m", 1), leafOf("d", "n", 1)}, []int{8})
+	if a.Signature() != b.Signature() {
+		t.Error("same structure must share signature")
+	}
+	c := NewPipeline("p3", []*Block{leafOf("c", "m", 1), leafOf("d", "n", 1)}, []int{16})
+	if a.Signature() == c.Signature() {
+		t.Error("different stage bandwidth must change signature")
+	}
+}
+
+func TestLeavesAndDepth(t *testing.T) {
+	nested := NewPipeline("root", []*Block{sampleData(), samplePipeline()}, []int{128})
+	if n := nested.NumLeaves(); n != 7 {
+		t.Errorf("NumLeaves = %d, want 7", n)
+	}
+	if d := nested.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	got := nested.Leaves()
+	if got[0].ID != "x0" || got[6].ID != "c" {
+		t.Errorf("leaf order wrong: %v ... %v", got[0].ID, got[6].ID)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	p := samplePipeline()
+	var ids []string
+	p.Walk(func(b *Block) { ids = append(ids, b.ID) })
+	if strings.Join(ids, ",") != "p0,a,b,c" {
+		t.Errorf("walk order = %v", ids)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := samplePipeline()
+	cp := p.Clone()
+	cp.Children[0].Resources = resource.Vector{LUTs: 999}
+	cp.StageBits[0] = 1
+	if p.Children[0].Resources.LUTs == 999 || p.StageBits[0] == 1 {
+		t.Error("Clone must deep-copy")
+	}
+	if cp.Signature() == "" || p.NumLeaves() != cp.NumLeaves() {
+		t.Error("clone shape differs")
+	}
+}
+
+func TestAcceleratorValidateAndJSON(t *testing.T) {
+	acc := &Accelerator{
+		Name:    "bw",
+		Control: leaf("ctrl", 5000),
+		Data:    NewPipeline("dp", []*Block{sampleData(), samplePipeline()}, []int{128}),
+	}
+	if err := acc.Validate(); err != nil {
+		t.Fatalf("valid accelerator rejected: %v", err)
+	}
+	if acc.TotalResources().LUTs != 5000+100 {
+		t.Errorf("TotalResources = %v", acc.TotalResources())
+	}
+	data, err := acc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped accelerator invalid: %v", err)
+	}
+	if back.Data.Signature() != acc.Data.Signature() {
+		t.Error("JSON round trip changed structure")
+	}
+	if back.Data.Kind != Pipeline {
+		t.Errorf("kind decoded as %v", back.Data.Kind)
+	}
+}
+
+func TestAcceleratorValidateCrossTreeIDs(t *testing.T) {
+	acc := &Accelerator{
+		Name:    "bw",
+		Control: leaf("same", 1),
+		Data:    NewPipeline("p", []*Block{leaf("same", 1), leaf("other", 1)}, []int{8}),
+	}
+	if err := acc.Validate(); err == nil {
+		t.Error("colliding IDs across control/data must fail")
+	}
+	if err := (&Accelerator{}).Validate(); err == nil {
+		t.Error("nil trees must fail")
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"pipeline"`)); err != nil || k != Pipeline {
+		t.Errorf("unmarshal pipeline: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("bogus kind must fail")
+	}
+	if err := k.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Error("non-string kind must fail")
+	}
+}
+
+// randomTree builds a random valid tree for property tests.
+func randomTree(r *rand.Rand, depth int, idGen *int) *Block {
+	mk := func() string {
+		*idGen++
+		return strings.Repeat("n", 1) + "_" + string(rune('a'+*idGen%26)) + "_" + itoa(*idGen)
+	}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return NewLeaf(mk(), "mod"+itoa(r.Intn(4)), "", resource.Vector{LUTs: int64(r.Intn(100) + 1)}, 8, 8)
+	}
+	n := 2 + r.Intn(3)
+	if r.Intn(2) == 0 {
+		kids := make([]*Block, n)
+		bits := make([]int, n-1)
+		for i := range kids {
+			kids[i] = randomTree(r, depth-1, idGen)
+		}
+		for i := range bits {
+			bits[i] = 8 * (1 + r.Intn(8))
+		}
+		return NewPipeline(mk(), kids, bits)
+	}
+	// Data-parallel children must be interchangeable: clone one child.
+	proto := randomTree(r, depth-1, idGen)
+	kids := make([]*Block, n)
+	kids[0] = proto
+	for i := 1; i < n; i++ {
+		c := proto.Clone()
+		var relabel func(b *Block)
+		relabel = func(b *Block) {
+			b.ID = mk()
+			for _, ch := range b.Children {
+				relabel(ch)
+			}
+		}
+		relabel(c)
+		kids[i] = c
+	}
+	return NewDataParallel(mk(), kids)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Property: random trees validate, and clone preserves signature, leaves
+// and resources.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := 0
+		tree := randomTree(r, 3, &gen)
+		if err := tree.Validate(); err != nil {
+			t.Logf("invalid random tree: %v\n%s", err, tree)
+			return false
+		}
+		cp := tree.Clone()
+		return cp.Signature() == tree.Signature() &&
+			cp.NumLeaves() == tree.NumLeaves() &&
+			cp.Resources == tree.Resources
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resources of a node equal the sum over its leaves.
+func TestQuickResourceRollup(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := 0
+		tree := randomTree(r, 3, &gen)
+		var sum resource.Vector
+		for _, l := range tree.Leaves() {
+			sum = sum.Add(l.Resources)
+		}
+		return sum == tree.Resources
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	tree := NewPipeline("root", []*Block{sampleData(), samplePipeline()}, []int{128})
+	dot := tree.DOT("accel")
+	for _, want := range []string{
+		"digraph \"accel\"",
+		"\"root\" -> \"d0\"",
+		"\"root\" -> \"p0\" [label=\"128b\"]",
+		"data x4",
+		"shape=box",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every node appears exactly once as a declaration (line-anchored so
+	// edge statements do not count).
+	tree.Walk(func(b *Block) {
+		decl := "\n  \"" + b.ID + "\" ["
+		if strings.Count(dot, decl) != 1 {
+			t.Errorf("node %s declared %d times", b.ID, strings.Count(dot, decl))
+		}
+	})
+}
