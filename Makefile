@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz repro examples clean
+.PHONY: all build test check race cover bench fuzz repro examples clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Full gate: build, vet, plain tests, then everything again under the race
+# detector — the parallel offline flow must stay race-clean.
+check: build test race
 
 race:
 	$(GO) test -race ./...

@@ -10,9 +10,12 @@ package mlvfpga
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"mlvfpga/internal/bfp"
+	"mlvfpga/internal/core"
 	"mlvfpga/internal/experiments"
 	"mlvfpga/internal/fp16"
 	"mlvfpga/internal/kernels"
@@ -150,6 +153,60 @@ func BenchmarkOfflineFlow(b *testing.B) {
 		if _, err := CompileInstance(8, 2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOfflineFlowParallel runs the §4.3 ten-instance catalog sweep
+// (tile counts up to 21) with one worker per available CPU and reports the
+// speedup over the strictly sequential flow, measured fresh in the same
+// process. Run with -cpu 1,2,4 to see the scaling curve; the catalog is
+// bit-identical at every worker count.
+func BenchmarkOfflineFlowParallel(b *testing.B) {
+	tiles := core.DefaultTileCounts()
+	t0 := time.Now()
+	if _, err := core.InstanceCatalogParallel(tiles, 2, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(t0)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.InstanceCatalogParallel(tiles, 2, 1, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(seq.Seconds()/perOp, "speedup-vs-seq")
+	}
+}
+
+// BenchmarkFig12_SystemThroughputParallel is BenchmarkFig12_SystemThroughput
+// with the ten workload-set simulations fanned out over the available CPUs
+// (rows and averages stay identical); reports the speedup over the
+// sequential sweep alongside the headline ratio.
+func BenchmarkFig12_SystemThroughputParallel(b *testing.B) {
+	opt := experiments.DefaultFig12Options()
+	opt.Parallelism = 1
+	t0 := time.Now()
+	if _, err := experiments.Fig12(opt); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(t0)
+	opt.Parallelism = runtime.GOMAXPROCS(0)
+	var sum *experiments.Fig12Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = experiments.Fig12(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.AvgVsBaseline, "x-vs-baseline")
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(seq.Seconds()/perOp, "speedup-vs-seq")
 	}
 }
 

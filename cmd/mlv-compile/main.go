@@ -22,6 +22,7 @@ func main() {
 	tiles := flag.Int("tiles", 8, "tile engines")
 	n := flag.Int("n", 2, "partition iterations")
 	naive := flag.Bool("naive", false, "use the pattern-oblivious partitioner (ablation)")
+	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = sequential; output is identical)")
 	flag.Parse()
 
 	c, err := core.CompileAccelerator(core.Options{
@@ -29,6 +30,7 @@ func main() {
 		PartitionIterations: *n,
 		Seed:                1,
 		PatternAware:        !*naive,
+		Parallelism:         *jobs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlv-compile:", err)

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"mlvfpga/internal/bwrtl"
 	"mlvfpga/internal/decompose"
 	"mlvfpga/internal/hsvital"
+	"mlvfpga/internal/parpool"
 	"mlvfpga/internal/partition"
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rtl"
@@ -32,6 +34,13 @@ type Options struct {
 	// PatternAware selects the framework's partition tool when mapping
 	// onto virtual blocks (§4.3); false falls back to ViTAL's own.
 	PatternAware bool
+	// Parallelism bounds the worker goroutines used across the offline
+	// flow: per-module RTL parsing, the decomposer's estimation pre-pass
+	// and equivalence-oracle simulation batches, and the per-device-type ×
+	// per-partition-piece HS compilation fan-out. Zero (the default) means
+	// one worker per logical CPU; 1 reproduces the strictly sequential
+	// flow. The Compiled result is identical at every setting.
+	Parallelism int
 }
 
 // PieceImage is one partition piece compiled for one device type.
@@ -78,13 +87,15 @@ func CompileAccelerator(opts Options) (*Compiled, error) {
 		return nil, fmt.Errorf("core: iterations = %d", opts.PartitionIterations)
 	}
 
+	workers := parpool.Workers(opts.Parallelism)
+
 	// Generate and parse the RTL (URAM variant as the canonical source;
 	// the memory module re-parameterizes per target, §3).
 	src, err := bwrtl.Generate(bwrtl.Profile{Tiles: opts.Tiles, UseURAM: true})
 	if err != nil {
 		return nil, err
 	}
-	design, err := rtl.ParseDesign(src, bwrtl.TopModule)
+	design, err := rtl.ParseDesignParallel(src, bwrtl.TopModule, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +107,7 @@ func CompileAccelerator(opts Options) (*Compiled, error) {
 	dres, err := decompose.Decompose(design, bwrtl.TopModule, nil, decompose.Options{
 		ControlModules: bwrtl.ControlModules(),
 		Seed:           opts.Seed,
+		Parallelism:    workers,
 	})
 	if err != nil {
 		return nil, err
@@ -124,36 +136,60 @@ func CompileAccelerator(opts Options) (*Compiled, error) {
 	// type (Fig. 5), with per-target calibrated resources: the soft-block
 	// annotations from RTL estimation are relative; the Table 2
 	// calibration provides the absolute per-target implementation costs.
-	for _, spec := range hsvital.AllSpecs() {
-		dev := spec.Device.Name
-		perTile, err := hsvital.PerTileResources(dev)
-		if err != nil {
-			return nil, err
-		}
-		ctrl, err := hsvital.ControlResources(dev)
-		if err != nil {
-			return nil, err
-		}
-		var images []PieceImage
-		for i, node := range c.Partition.AllPieces() {
+	// Each (device type, partition piece) compile is independent — the
+	// paper's "embarrassingly parallel" offline cost — so the jobs fan out
+	// over a bounded pool and the results are reassembled in the same
+	// nested order the sequential loop produced.
+	specs := hsvital.AllSpecs()
+	pieces := c.Partition.AllPieces()
+	type pieceJob struct {
+		image       *hsvital.Image // nil: infeasible on this device type
+		lanes       int
+		withControl bool
+	}
+	jobs, err := parpool.Map(context.Background(), workers, len(specs)*len(pieces),
+		func(_ context.Context, j int) (pieceJob, error) {
+			spec := specs[j/len(pieces)]
+			i := j % len(pieces)
+			node := pieces[i]
+			perTile, err := hsvital.PerTileResources(spec.Device.Name)
+			if err != nil {
+				return pieceJob{}, err
+			}
 			lanes := countLanes(node.Block)
 			res := perTile.Scale(int64(lanes))
 			withControl := i == 0 // the root piece hosts the control block
 			if withControl {
+				ctrl, err := hsvital.ControlResources(spec.Device.Name)
+				if err != nil {
+					return pieceJob{}, err
+				}
 				res = res.Add(ctrl)
 			}
 			calibrated := calibratedBlock(node.Block, res)
 			img, err := hsvital.Compile(calibrated, spec, opts.PatternAware)
 			if err != nil {
-				continue // piece infeasible on this device type
+				return pieceJob{}, nil // piece infeasible on this device type
 			}
-			c.HSCompileTime += img.CompileTime
+			return pieceJob{image: img, lanes: lanes, withControl: withControl}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		var images []PieceImage
+		for i, node := range pieces {
+			job := jobs[si*len(pieces)+i]
+			if job.image == nil {
+				continue
+			}
+			c.HSCompileTime += job.image.CompileTime
 			images = append(images, PieceImage{
-				Piece: node, Image: img, Lanes: lanes, WithControl: withControl,
+				Piece: node, Image: job.image, Lanes: job.lanes, WithControl: job.withControl,
 			})
 		}
 		if len(images) > 0 {
-			c.Images[dev] = images
+			c.Images[spec.Device.Name] = images
 		}
 	}
 	if len(c.Images) == 0 {
@@ -227,20 +263,39 @@ func calibratedBlock(b *softblock.Block, res resource.Vector) *softblock.Block {
 
 // InstanceCatalog compiles the set of accelerator instances the evaluation
 // provides (§4.3: "10 different accelerator instances are provided for the
-// two types of FPGAs"), returning one Compiled per tile count.
+// two types of FPGAs"), returning one Compiled per tile count. Instances
+// compile concurrently with one worker per logical CPU; use
+// InstanceCatalogParallel to pin the worker count.
 func InstanceCatalog(tileCounts []int, iterations int, seed int64) ([]*Compiled, error) {
-	var out []*Compiled
-	for _, tiles := range tileCounts {
-		c, err := CompileAccelerator(Options{
-			Tiles:               tiles,
-			PartitionIterations: iterations,
-			Seed:                seed,
-			PatternAware:        true,
+	return InstanceCatalogParallel(tileCounts, iterations, seed, 0)
+}
+
+// InstanceCatalogParallel compiles the instance catalog over a bounded
+// worker pool (parallelism < 1 defaults to one worker per logical CPU; 1 is
+// strictly sequential). Instance-level fan-out dominates, so each instance
+// compiles with its inner flow sequential when the catalog itself is
+// parallel; the catalog is identical at every setting.
+func InstanceCatalogParallel(tileCounts []int, iterations int, seed int64, parallelism int) ([]*Compiled, error) {
+	workers := parpool.Workers(parallelism)
+	// The pool is saturated by instance-level jobs; nesting per-piece
+	// fan-out inside each would only oversubscribe the CPUs.
+	const inner = 1
+	out, err := parpool.Map(context.Background(), workers, len(tileCounts),
+		func(_ context.Context, i int) (*Compiled, error) {
+			c, err := CompileAccelerator(Options{
+				Tiles:               tileCounts[i],
+				PartitionIterations: iterations,
+				Seed:                seed,
+				PatternAware:        true,
+				Parallelism:         inner,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: instance with %d tiles: %w", tileCounts[i], err)
+			}
+			return c, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: instance with %d tiles: %w", tiles, err)
-		}
-		out = append(out, c)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"testing"
+	"time"
 
+	"mlvfpga/internal/decompose"
+	"mlvfpga/internal/partition"
 	"mlvfpga/internal/softblock"
 )
 
@@ -118,5 +122,70 @@ func TestCountLanes(t *testing.T) {
 	}
 	if countLanes(root.Left.Block)+countLanes(root.Right.Block) != 6 {
 		t.Error("split lanes must sum to 6")
+	}
+}
+
+// compiledFingerprint serializes everything deterministic about a Compiled:
+// the decomposed accelerator, the partition tree, every image with its
+// modelled compile time, and the decompose stats. The measured wall-clock
+// fields (DecomposeTime, PartitionTime) are inherently run-dependent and
+// stay out.
+func compiledFingerprint(t *testing.T, c *Compiled) string {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Accelerator   *softblock.Accelerator
+		Partition     *partition.Result
+		Images        map[string][]PieceImage
+		HSCompile     time.Duration
+		DecomposeStat decompose.Stats
+	}{c.Accelerator, c.Partition, c.Images, c.HSCompileTime, c.DecomposeStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestCompileDeterministicAcrossParallelism is the regression test for the
+// parallel offline flow: every Parallelism setting must produce the same
+// Compiled result, bit for bit.
+func TestCompileDeterministicAcrossParallelism(t *testing.T) {
+	base := Options{Tiles: 8, PartitionIterations: 2, Seed: 1, PatternAware: true, Parallelism: 1}
+	seq, err := CompileAccelerator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := compiledFingerprint(t, seq)
+	for _, par := range []int{8, 0} {
+		opts := base
+		opts.Parallelism = par
+		got, err := CompileAccelerator(opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if fp := compiledFingerprint(t, got); fp != want {
+			t.Errorf("parallelism %d produced a different Compiled result", par)
+		}
+	}
+}
+
+// TestInstanceCatalogDeterministicAcrossParallelism extends the guarantee to
+// the catalog sweep.
+func TestInstanceCatalogDeterministicAcrossParallelism(t *testing.T) {
+	tiles := []int{1, 2, 4}
+	seq, err := InstanceCatalogParallel(tiles, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := InstanceCatalogParallel(tiles, 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("catalog sizes differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if compiledFingerprint(t, seq[i]) != compiledFingerprint(t, par[i]) {
+			t.Errorf("instance %d (tiles=%d) differs across parallelism", i, tiles[i])
+		}
 	}
 }

@@ -23,11 +23,13 @@
 package decompose
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"mlvfpga/internal/parpool"
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rtl"
 	"mlvfpga/internal/softblock"
@@ -45,6 +47,11 @@ type Options struct {
 	// EquivVectors overrides the number of random vectors per equivalence
 	// query (0 = checker default).
 	EquivVectors int
+	// Parallelism bounds the worker goroutines for the per-leaf resource
+	// estimation pre-pass and the equivalence oracle's simulation batches
+	// (1 strictly sequential; < 1 one worker per logical CPU). The result
+	// is identical at every setting.
+	Parallelism int
 }
 
 // Stats reports what each decomposition step did, for the compilation-
@@ -66,6 +73,9 @@ type Result struct {
 	// interchangeable modules compare equal by signature.
 	Classes map[string]string
 	Stats   Stats
+	// EquivStats reports the equivalence oracle's query/hit/miss counters
+	// accumulated over the whole decomposition.
+	EquivStats rtl.EquivStats
 }
 
 // ErrEmptyDataPath is returned when every basic module was marked control.
@@ -92,6 +102,7 @@ func Decompose(d *rtl.Design, top string, params map[string]uint64, opts Options
 	if opts.EquivVectors > 0 {
 		dec.checker.Vectors = opts.EquivVectors
 	}
+	dec.checker.Parallelism = parpool.Workers(opts.Parallelism)
 	return dec.run(top, bg)
 }
 
@@ -160,13 +171,30 @@ func (dec *decomposer) run(top string, bg *rtl.BasicGraph) (*Result, error) {
 	g := newWorkGraph()
 	boundary := g.addAnchor()
 
+	// Per-instance resource estimation is pure and independent, so it fans
+	// out over the worker pool; everything that mutates decomposer or
+	// work-graph state stays sequential below.
+	type leafInfo struct {
+		res             resource.Vector
+		inBits, outBits int
+	}
+	infos, err := parpool.Map(context.Background(), dec.opts.Parallelism, len(bg.Insts),
+		func(_ context.Context, i int) (leafInfo, error) {
+			res, err := dec.d.EstimateResources(bg.Insts[i].Elab)
+			if err != nil {
+				return leafInfo{}, err
+			}
+			in, out := portBits(bg.Insts[i].Elab)
+			return leafInfo{res: res, inBits: in, outBits: out}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	dataCount := 0
 	for i, bi := range bg.Insts {
-		res, err := dec.d.EstimateResources(bi.Elab)
-		if err != nil {
-			return nil, err
-		}
-		inBits, outBits := portBits(bi.Elab)
+		res := infos[i].res
+		inBits, outBits := infos[i].inBits, infos[i].outBits
 		if dec.isControlModule(bi.Elab.Module.Name) {
 			controlRes = controlRes.Add(res)
 			controlKeys = append(controlKeys, bi.Elab.Key)
@@ -244,7 +272,12 @@ func (dec *decomposer) run(top string, bg *rtl.BasicGraph) (*Result, error) {
 	if err := acc.Validate(); err != nil {
 		return nil, fmt.Errorf("decompose: produced invalid tree: %w", err)
 	}
-	return &Result{Accelerator: acc, Classes: dec.classes, Stats: dec.stats}, nil
+	return &Result{
+		Accelerator: acc,
+		Classes:     dec.classes,
+		Stats:       dec.stats,
+		EquivStats:  dec.checker.Stats(),
+	}, nil
 }
 
 // portBits sums input and output port widths, excluding clock/reset-like

@@ -419,3 +419,63 @@ func TestDecomposeReductionPattern(t *testing.T) {
 		t.Errorf("leaves = %d, want 7 (4 mappers + 3 combiners)\n%s", root.NumLeaves(), root)
 	}
 }
+
+// cacheDesign: three lanes with identical interfaces; laneA is functionally
+// but not structurally identical to laneB, and laneC repeats laneB's
+// structure under a new name. Classifying laneB against the laneA
+// representative needs one simulation; classifying laneC lands on the same
+// ordered hash pair and must come out of the oracle's memo cache.
+const cacheDesign = `
+module ctrl(input clk, input [7:0] i, output [7:0] o); assign o = i; endmodule
+module laneA(input clk, input [7:0] cmd, output [8:0] stat); assign stat = {1'b0,cmd} + {1'b0,cmd}; endmodule
+module laneB(input clk, input [7:0] cmd, output [8:0] stat); assign stat = {cmd, 1'b0}; endmodule
+module laneC(input clk, input [7:0] cmd, output [8:0] stat); assign stat = {cmd, 1'b0}; endmodule
+module top(input clk, input [7:0] x, output [8:0] y);
+  wire [7:0] cfg;
+  wire [8:0] s0;
+  wire [8:0] s1;
+  wire [8:0] s2;
+  ctrl c (.clk(clk), .i(x), .o(cfg));
+  laneA p0 (.clk(clk), .cmd(cfg), .stat(s0));
+  laneB p1 (.clk(clk), .cmd(cfg), .stat(s1));
+  laneC p2 (.clk(clk), .cmd(cfg), .stat(s2));
+  assign y = s0 + s1 + s2;
+endmodule
+`
+
+func TestDecomposeEquivCacheHits(t *testing.T) {
+	d := design(t, cacheDesign, "top")
+	res, err := Decompose(d, "top", nil, Options{ControlModules: []string{"ctrl"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Accelerator.Data
+	if root.Kind != softblock.DataParallel || len(root.Children) != 3 {
+		t.Fatalf("lanes not unified:\n%s", root)
+	}
+	for _, ch := range root.Children[1:] {
+		if ch.ModuleKey != root.Children[0].ModuleKey {
+			t.Errorf("class keys differ: %q vs %q", ch.ModuleKey, root.Children[0].ModuleKey)
+		}
+	}
+	st := res.EquivStats
+	if st.SimRuns != 1 {
+		t.Errorf("SimRuns = %d, want exactly 1 (laneB vs laneA)", st.SimRuns)
+	}
+	if st.CacheHits < 1 {
+		t.Errorf("CacheHits = %d, want >= 1 (laneC must reuse the laneB verdict)", st.CacheHits)
+	}
+	if st.Queries < st.StructuralHits+st.CacheHits+st.SimRuns {
+		t.Errorf("inconsistent counters: %+v", st)
+	}
+
+	// The stats — like the result — must not depend on the worker count.
+	d2 := design(t, cacheDesign, "top")
+	res2, err := Decompose(d2, "top", nil, Options{ControlModules: []string{"ctrl"}, Seed: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EquivStats != st {
+		t.Errorf("parallel stats %+v != sequential %+v", res2.EquivStats, st)
+	}
+}

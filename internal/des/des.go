@@ -40,7 +40,11 @@ func (h *eventHeap) Pop() any {
 // ErrPast is returned when scheduling before the current virtual time.
 var ErrPast = errors.New("des: cannot schedule event in the past")
 
-// Engine runs events in timestamp order.
+// Engine runs events in timestamp order. Events scheduled for the same
+// virtual time execute in FIFO order (the order they were scheduled): every
+// event carries a monotonically increasing sequence number used as the heap
+// tie-break. An Engine is not safe for concurrent use; concurrent
+// simulations (e.g. parallel workload sets) must each own an engine.
 type Engine struct {
 	now    time.Duration
 	queue  eventHeap
@@ -54,6 +58,20 @@ func New() *Engine {
 	e := &Engine{}
 	heap.Init(&e.queue)
 	return e
+}
+
+// Reset returns the engine to its initial state: virtual time zero, an
+// empty queue, and — so the sequence counter backing the FIFO tie-break
+// cannot grow without bound across reuses — a zeroed event sequence.
+// A Reset engine behaves identically to a fresh New one.
+func (e *Engine) Reset() {
+	e.now = 0
+	for i := range e.queue {
+		e.queue[i] = nil // release event callbacks for GC
+	}
+	e.queue = e.queue[:0]
+	e.nextID = 0
+	e.processed = 0
 }
 
 // Now returns the current virtual time.

@@ -83,3 +83,31 @@ func TestStepOnEmpty(t *testing.T) {
 		t.Error("Step on empty queue must return false")
 	}
 }
+
+func TestReset(t *testing.T) {
+	e := New()
+	e.At(time.Millisecond, func(time.Duration) {})
+	e.At(2*time.Millisecond, func(time.Duration) {})
+	e.Run(0)
+	e.At(5*time.Millisecond, func(time.Duration) {}) // left pending on purpose
+
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("after Reset: Now=%v Pending=%d Processed=%d, want all zero",
+			e.Now(), e.Pending(), e.Processed())
+	}
+
+	// A reused engine must behave exactly like a fresh one, including the
+	// FIFO tie-break among equal timestamps (the seq counter restarts at
+	// zero rather than continuing to grow across reuses).
+	var order []string
+	e.At(time.Millisecond, func(time.Duration) { order = append(order, "a") })
+	e.At(time.Millisecond, func(time.Duration) { order = append(order, "b") })
+	e.Run(0)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("reused engine broke FIFO tie-break: %v", order)
+	}
+	if e.Now() != time.Millisecond || e.Processed() != 2 {
+		t.Errorf("reused engine state: Now=%v Processed=%d", e.Now(), e.Processed())
+	}
+}

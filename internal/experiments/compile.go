@@ -37,9 +37,19 @@ type CompileOverheadResult struct {
 }
 
 // CompileOverhead runs the offline flow for the 10-instance catalog and
-// accounts compile time with piece reuse.
+// accounts compile time with piece reuse. The catalog sweep is the hot
+// path: the ten instances compile concurrently (§4.3's per-piece builds are
+// embarrassingly parallel), while the reuse accounting below stays
+// sequential so the result is deterministic.
 func CompileOverhead() (*CompileOverheadResult, error) {
-	catalog, err := core.InstanceCatalog(core.DefaultTileCounts(), 2, 1)
+	return CompileOverheadParallel(0)
+}
+
+// CompileOverheadParallel is CompileOverhead with an explicit worker bound
+// for the instance sweep (1 reproduces the sequential flow; < 1 one worker
+// per logical CPU).
+func CompileOverheadParallel(parallelism int) (*CompileOverheadResult, error) {
+	catalog, err := core.InstanceCatalogParallel(core.DefaultTileCounts(), 2, 1, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"mlvfpga/internal/parpool"
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rms"
@@ -32,6 +34,11 @@ type Fig12Options struct {
 	NumTasks         int
 	MeanInterarrival time.Duration
 	Seed             int64
+	// Parallelism bounds the goroutines simulating independent workload
+	// sets (each with its own DES engine and mapping database). Zero means
+	// one worker per logical CPU; 1 is strictly sequential. Rows are
+	// identical at every setting.
+	Parallelism int
 }
 
 // DefaultFig12Options saturates the paper cluster so throughput reflects
@@ -52,60 +59,25 @@ type Fig12Summary struct {
 }
 
 // Fig12 reproduces the aggregated-throughput comparison over the ten
-// Table 1 workload sets.
+// Table 1 workload sets. The sets are independent — every simulation owns
+// its DES engine, controller state and mapping database — so they fan out
+// over a bounded worker pool; rows keep Table 1 order and the averages are
+// accumulated sequentially afterwards, so the summary is bit-identical to
+// the sequential run.
 func Fig12(opt Fig12Options) (*Fig12Summary, error) {
 	p := perf.DefaultParams()
 	net := scaleout.DefaultOptions()
 	cluster := resource.PaperCluster()
-	sum := &Fig12Summary{}
-	for _, comp := range workload.Table1() {
-		tasks, err := workload.Generate(comp, workload.Options{
-			NumTasks:         opt.NumTasks,
-			MeanInterarrival: opt.MeanInterarrival,
-			Seed:             opt.Seed + int64(comp.Index),
+	comps := workload.Table1()
+	rows, err := parpool.Map(context.Background(), opt.Parallelism, len(comps),
+		func(_ context.Context, i int) (Fig12Row, error) {
+			return fig12Row(comps[i], opt, cluster, p, net)
 		})
-		if err != nil {
-			return nil, err
-		}
-		base, err := rms.SimulateBaseline(tasks, cluster, p)
-		if err != nil {
-			return nil, err
-		}
-		run := func(mode rms.PolicyMode) (rms.Result, error) {
-			return rms.Simulate(tasks, rms.Config{
-				Cluster: cluster, Mode: mode,
-				DB: rms.NewDatabase(mode, p, net),
-			})
-		}
-		restr, err := run(rms.SameTypeOnly)
-		if err != nil {
-			return nil, err
-		}
-		pinned, err := run(rms.StaticTarget)
-		if err != nil {
-			return nil, err
-		}
-		flex, err := run(rms.Flexible)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig12Row{
-			Composition:  comp,
-			Baseline:     base.ThroughputPerSec,
-			Restricted:   restr.ThroughputPerSec,
-			StaticTarget: pinned.ThroughputPerSec,
-			Proposed:     flex.ThroughputPerSec,
-		}
-		if row.Baseline > 0 {
-			row.VsBaseline = row.Proposed / row.Baseline
-		}
-		if row.Restricted > 0 {
-			row.VsRestricted = row.Proposed / row.Restricted
-		}
-		if row.StaticTarget > 0 {
-			row.VsStatic = row.Proposed / row.StaticTarget
-		}
-		sum.Rows = append(sum.Rows, row)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Fig12Summary{Rows: rows}
+	for _, row := range rows {
 		sum.AvgVsBaseline += row.VsBaseline
 		sum.AvgVsRestricted += row.VsRestricted
 		sum.AvgVsStatic += row.VsStatic
@@ -115,6 +87,57 @@ func Fig12(opt Fig12Options) (*Fig12Summary, error) {
 	sum.AvgVsRestricted /= n
 	sum.AvgVsStatic /= n
 	return sum, nil
+}
+
+// fig12Row simulates one workload set under the four systems.
+func fig12Row(comp workload.Composition, opt Fig12Options, cluster resource.ClusterSpec, p perf.Params, net scaleout.TwoFPGAOptions) (Fig12Row, error) {
+	tasks, err := workload.Generate(comp, workload.Options{
+		NumTasks:         opt.NumTasks,
+		MeanInterarrival: opt.MeanInterarrival,
+		Seed:             opt.Seed + int64(comp.Index),
+	})
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	base, err := rms.SimulateBaseline(tasks, cluster, p)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	run := func(mode rms.PolicyMode) (rms.Result, error) {
+		return rms.Simulate(tasks, rms.Config{
+			Cluster: cluster, Mode: mode,
+			DB: rms.NewDatabase(mode, p, net),
+		})
+	}
+	restr, err := run(rms.SameTypeOnly)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	pinned, err := run(rms.StaticTarget)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	flex, err := run(rms.Flexible)
+	if err != nil {
+		return Fig12Row{}, err
+	}
+	row := Fig12Row{
+		Composition:  comp,
+		Baseline:     base.ThroughputPerSec,
+		Restricted:   restr.ThroughputPerSec,
+		StaticTarget: pinned.ThroughputPerSec,
+		Proposed:     flex.ThroughputPerSec,
+	}
+	if row.Baseline > 0 {
+		row.VsBaseline = row.Proposed / row.Baseline
+	}
+	if row.Restricted > 0 {
+		row.VsRestricted = row.Proposed / row.Restricted
+	}
+	if row.StaticTarget > 0 {
+		row.VsStatic = row.Proposed / row.StaticTarget
+	}
+	return row, nil
 }
 
 // FormatFig12 renders the summary as text.

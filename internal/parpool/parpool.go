@@ -1,0 +1,132 @@
+// Package parpool is a minimal bounded worker pool for the framework's
+// embarrassingly parallel offline work: per-device-type × per-piece HS
+// compilation, the §4.3 instance-catalog sweep, equivalence-oracle
+// simulation batches, and the Fig. 12 workload-set simulations.
+//
+// The pool is deliberately tiny and stdlib-only. Jobs are identified by a
+// dense index range [0, n); results are collected positionally, so output
+// order — and therefore every downstream artifact — is independent of
+// scheduling. With workers <= 1 the pool degenerates to an inline loop,
+// reproducing strictly sequential behaviour.
+package parpool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a parallelism knob: values < 1 mean "one worker per
+// logical CPU" (the framework-wide default), anything else is taken as-is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines. It returns the error of the lowest-indexed failing job (so
+// error propagation is deterministic regardless of scheduling); once any
+// job fails, the context passed to the remaining jobs is cancelled and
+// undispatched jobs are skipped. A nil ctx means context.Background().
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+		next     int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. Error semantics match ForEach;
+// on error the partial results are discarded.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package parpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Error("non-positive parallelism must default to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive parallelism must pass through")
+	}
+}
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("must not run")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, cap is %d", p, workers)
+	}
+}
+
+func TestLowestIndexedErrorWins(t *testing.T) {
+	wantErr := errors.New("boom-10")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 40, func(_ context.Context, i int) error {
+			if i == 10 {
+				return wantErr
+			}
+			if i == 30 {
+				return fmt.Errorf("boom-30")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("workers=%d: err = %v, want lowest-indexed boom-10", workers, err)
+		}
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 2, 10000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("a failing job must stop the remaining dispatch")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	started := 0
+	err := ForEach(ctx, 2, 1000, func(ctx context.Context, i int) error {
+		mu.Lock()
+		started++
+		if started == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if started == 1000 {
+		t.Error("cancellation must stop dispatch")
+	}
+}
+
+func TestMapDiscardsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map on error = (%v, %v), want (nil, err)", out, err)
+	}
+}
+
+func TestSequentialMatchesParallel(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+			return 31*i + 7, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %d != parallel %d", i, seq[i], par[i])
+		}
+	}
+}

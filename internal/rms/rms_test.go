@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mlvfpga/internal/des"
 	"mlvfpga/internal/kernels"
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
@@ -168,6 +169,9 @@ func TestFig12ThroughputGain(t *testing.T) {
 	p := perf.DefaultParams()
 	var sum float64
 	comps := workload.Table1()
+	// One engine Reset and reused across the ten sequential simulations
+	// rather than reallocating per set.
+	engine := des.New()
 	for _, comp := range comps {
 		tasks, err := workload.Generate(comp, workload.Options{
 			NumTasks: 200, MeanInterarrival: 20 * time.Microsecond, Seed: int64(comp.Index),
@@ -181,6 +185,7 @@ func TestFig12ThroughputGain(t *testing.T) {
 		}
 		flex, err := Simulate(tasks, Config{
 			Cluster: resource.PaperCluster(), Mode: Flexible, DB: testDB(Flexible),
+			Engine: engine,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -195,6 +200,34 @@ func TestFig12ThroughputGain(t *testing.T) {
 	avg := sum / float64(len(comps))
 	if avg < 2.0 || avg > 4.0 {
 		t.Errorf("average throughput gain = %.2fx, want 2-4x (paper: 2.54x)", avg)
+	}
+}
+
+// TestSimulateEngineReuse pins the Config.Engine contract: a Reset-and-
+// reused engine produces the same Result as a freshly allocated one.
+func TestSimulateEngineReuse(t *testing.T) {
+	tasks := quickSet(t, workload.Table1()[6], 120)
+	fresh, err := Simulate(tasks, Config{
+		Cluster: resource.PaperCluster(), Mode: Flexible, DB: testDB(Flexible),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := des.New()
+	// Dirty the engine so Reset has real work to do.
+	engine.At(time.Second, func(time.Duration) {})
+	engine.Run(0)
+	for i := 0; i < 2; i++ {
+		reused, err := Simulate(tasks, Config{
+			Cluster: resource.PaperCluster(), Mode: Flexible, DB: testDB(Flexible),
+			Engine: engine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused != fresh {
+			t.Errorf("run %d with reused engine: %+v, want %+v", i, reused, fresh)
+		}
 	}
 }
 

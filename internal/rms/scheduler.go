@@ -38,6 +38,12 @@ type Config struct {
 	DB      *Database
 	// Discipline selects the queue policy (default FIFOBackfill).
 	Discipline QueueDiscipline
+	// Engine, when non-nil, is Reset and reused for the simulation instead
+	// of allocating a fresh one — handy for back-to-back runs. The engine's
+	// FIFO tie-break among equal timestamps holds after Reset, so a reused
+	// engine yields the same Result as a fresh one. Engines must not be
+	// shared across concurrent Simulate calls.
+	Engine *des.Engine
 }
 
 // Result summarizes one system-level run (a Fig. 12 data point).
@@ -75,7 +81,12 @@ func Simulate(tasks []workload.Task, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("rms: nil database")
 	}
 
-	engine := des.New()
+	engine := cfg.Engine
+	if engine == nil {
+		engine = des.New()
+	} else {
+		engine.Reset()
+	}
 	var res Result
 	var queue []workload.Task
 	var sumLatency, sumSojourn time.Duration

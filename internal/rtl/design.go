@@ -40,6 +40,16 @@ func ParseDesign(src, top string) (*Design, error) {
 	return NewDesign(mods, top)
 }
 
+// ParseDesignParallel is ParseDesign with per-module parsing fanned out
+// over up to workers goroutines; the resulting design is identical.
+func ParseDesignParallel(src, top string, workers int) (*Design, error) {
+	mods, err := ParseParallel(src, workers)
+	if err != nil {
+		return nil, err
+	}
+	return NewDesign(mods, top)
+}
+
 // Module returns a module by name.
 func (d *Design) Module(name string) (*Module, bool) {
 	m, ok := d.Modules[name]

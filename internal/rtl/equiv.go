@@ -1,12 +1,17 @@
 package rtl
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+
+	"mlvfpga/internal/parpool"
 )
 
 // This file provides the "are these two blocks identical hardware" oracle
@@ -182,56 +187,95 @@ func canonParams(params map[string]Expr, env map[string]uint64) string {
 	return sb.String()
 }
 
+// EquivStats counts what the equivalence oracle did. The memoization cache
+// (keyed by the ordered pair of structural hashes) is what keeps repeated
+// queries during the decomposer's fixpoint iteration cheap: every
+// structurally-repeated pair after the first resolves without simulation.
+type EquivStats struct {
+	// Queries counts Equivalent calls.
+	Queries int
+	// StructuralHits counts queries decided by elaboration identity or by
+	// equal structural hashes (no simulation considered).
+	StructuralHits int
+	// CacheHits counts queries answered from the hash-pair memo cache.
+	CacheHits int
+	// SimRuns counts cache misses that ran random-simulation equivalence.
+	SimRuns int
+}
+
 // EquivChecker decides whether two elaborated modules implement identical
-// hardware.
+// hardware. A checker is safe for concurrent use; every verdict is a pure
+// function of (seed, pair of modules), independent of query order and of
+// Parallelism, so cached and parallel runs reproduce sequential results.
 type EquivChecker struct {
-	d   *Design
-	rng *rand.Rand
+	d    *Design
+	seed int64
 	// Vectors is the number of random input vectors applied per
 	// equivalence query (default 64).
 	Vectors int
 	// Cycles is the number of clock ticks applied after each vector to
 	// exercise sequential behaviour (default 4).
 	Cycles int
+	// Parallelism bounds the goroutines sharding one query's simulation
+	// batches (<= 1 sequential, < 1 never set here: the zero value keeps
+	// the sequential path so plain NewEquivChecker use stays single-core).
+	Parallelism int
 
+	mu       sync.Mutex
 	hashMemo map[*ElabModule]string
 	simMemo  map[[2]string]bool
+	stats    EquivStats
 }
 
 // NewEquivChecker builds a checker with a deterministic random source.
 func NewEquivChecker(d *Design, seed int64) *EquivChecker {
 	return &EquivChecker{
-		d:        d,
-		rng:      rand.New(rand.NewSource(seed)),
-		Vectors:  64,
-		Cycles:   4,
-		hashMemo: map[*ElabModule]string{},
-		simMemo:  map[[2]string]bool{},
+		d:           d,
+		seed:        seed,
+		Vectors:     64,
+		Cycles:      4,
+		Parallelism: 1,
+		hashMemo:    map[*ElabModule]string{},
+		simMemo:     map[[2]string]bool{},
 	}
+}
+
+// Stats returns a snapshot of the oracle's hit/miss counters.
+func (c *EquivChecker) Stats() EquivStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Hash returns the memoized structural hash of em.
 func (c *EquivChecker) Hash(em *ElabModule) string {
-	if h, ok := c.hashMemo[em]; ok {
-		return h
-	}
-	h := c.d.structuralHash(em, c.hashMemo)
-	return h
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d.structuralHash(em, c.hashMemo)
 }
 
 // Equivalent reports whether a and b implement identical hardware. The fast
 // path is the structural hash; the slow path is random-simulation
-// equivalence over the flattened modules. Modules containing blackbox
-// primitives can only be proven equivalent structurally.
+// equivalence over the flattened modules, memoized on the ordered pair of
+// structural hashes. Modules containing blackbox primitives can only be
+// proven equivalent structurally.
 func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
+	c.mu.Lock()
+	c.stats.Queries++
 	if a == b || a.Key == b.Key {
+		c.stats.StructuralHits++
+		c.mu.Unlock()
 		return true, nil
 	}
-	ha, hb := c.Hash(a), c.Hash(b)
+	ha := c.d.structuralHash(a, c.hashMemo)
+	hb := c.d.structuralHash(b, c.hashMemo)
 	if ha == hb {
+		c.stats.StructuralHits++
+		c.mu.Unlock()
 		return true, nil
 	}
 	if !sameInterface(a, b) {
+		c.mu.Unlock()
 		return false, nil
 	}
 	memoKey := [2]string{ha, hb}
@@ -239,19 +283,36 @@ func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
 		memoKey = [2]string{hb, ha}
 	}
 	if r, ok := c.simMemo[memoKey]; ok {
+		c.stats.CacheHits++
+		c.mu.Unlock()
 		return r, nil
 	}
-	eq, err := c.simEquivalent(a, b)
+	c.stats.SimRuns++
+	c.mu.Unlock()
+
+	eq, err := c.simEquivalent(a, b, pairSeed(c.seed, memoKey))
 	if err != nil {
 		if err == ErrNotSimulable || strings.Contains(err.Error(), "blackbox") {
 			// Cannot decide functionally; structural mismatch stands.
-			c.simMemo[memoKey] = false
-			return false, nil
+			eq, err = false, nil
+		} else {
+			return false, err
 		}
-		return false, err
 	}
+	c.mu.Lock()
 	c.simMemo[memoKey] = eq
+	c.mu.Unlock()
 	return eq, nil
+}
+
+// pairSeed derives the simulation seed for one hash pair. Keying the seed
+// on the (ordered) pair rather than on a shared stream makes every verdict
+// independent of query order, which is what lets the cache and the parallel
+// offline flow reproduce sequential results bit-for-bit.
+func pairSeed(seed int64, memoKey [2]string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, memoKey[0], memoKey[1])
+	return int64(h.Sum64())
 }
 
 // sameInterface reports whether two elaborations expose identical port
@@ -297,7 +358,64 @@ func clockLike(name string) bool {
 		n == "rst" || n == "reset" || strings.HasSuffix(n, "_rst")
 }
 
-func (c *EquivChecker) simEquivalent(a, b *ElabModule) (bool, error) {
+// simEquivalent applies c.Vectors random input vectors (plus c.Cycles
+// clock ticks each) to fresh simulators of a and b. The vector stream is
+// sharded into per-worker batches; every vector draws its stimulus from an
+// own *rand.Rand seeded by (pairSeed, vector index), so the verdict does
+// not depend on how many goroutines ran the batches.
+func (c *EquivChecker) simEquivalent(a, b *ElabModule, seed int64) (bool, error) {
+	// Probe construction once, sequentially: ErrNotSimulable (blackbox
+	// primitives) must surface deterministically before any fan-out.
+	if _, err := NewSimulator(c.d, a.Module.Name, publicParams(a)); err != nil {
+		return false, err
+	}
+	if _, err := NewSimulator(c.d, b.Module.Name, publicParams(b)); err != nil {
+		return false, err
+	}
+
+	workers := c.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > c.Vectors {
+		workers = c.Vectors
+	}
+	// Contiguous vector ranges, one batch per worker. Simulators carry
+	// state across SetInput/Settle/Tick, so each batch builds its own
+	// pair. A batch stops at its first mismatch or error; batches are
+	// reduced in index order so the reported outcome is deterministic.
+	type verdict struct {
+		mismatch bool
+		err      error
+	}
+	per := (c.Vectors + workers - 1) / workers
+	batches := (c.Vectors + per - 1) / per
+	results, err := parpool.Map(context.Background(), workers, batches, func(_ context.Context, bi int) (verdict, error) {
+		lo := bi * per
+		hi := lo + per
+		if hi > c.Vectors {
+			hi = c.Vectors
+		}
+		mismatch, err := c.simBatch(a, b, seed, lo, hi)
+		return verdict{mismatch: mismatch, err: err}, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, v := range results {
+		if v.err != nil {
+			return false, v.err
+		}
+		if v.mismatch {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// simBatch runs vectors [lo, hi) against fresh simulators and reports
+// whether any vector exposed an output mismatch.
+func (c *EquivChecker) simBatch(a, b *ElabModule, seed int64, lo, hi int) (mismatch bool, err error) {
 	simA, err := NewSimulator(c.d, a.Module.Name, publicParams(a))
 	if err != nil {
 		return false, err
@@ -308,12 +426,15 @@ func (c *EquivChecker) simEquivalent(a, b *ElabModule) (bool, error) {
 	}
 	inputs := simA.InputPorts()
 	outputs := simA.OutputPorts()
-	for v := 0; v < c.Vectors; v++ {
+	for v := lo; v < hi; v++ {
+		// Per-vector source: stimulus depends only on (seed, v), never on
+		// batch boundaries.
+		rng := rand.New(rand.NewSource(seed + int64(v)*0x9E3779B9))
 		for _, in := range inputs {
 			if clockLike(in) {
 				continue
 			}
-			val := c.rng.Uint64()
+			val := rng.Uint64()
 			if err := simA.SetInput(in, val); err != nil {
 				return false, err
 			}
@@ -338,7 +459,7 @@ func (c *EquivChecker) simEquivalent(a, b *ElabModule) (bool, error) {
 					return false, err
 				}
 				if va != vb {
-					return false, nil
+					return true, nil
 				}
 			}
 			if cyc < c.Cycles {
@@ -351,5 +472,5 @@ func (c *EquivChecker) simEquivalent(a, b *ElabModule) (bool, error) {
 			}
 		}
 	}
-	return true, nil
+	return false, nil
 }

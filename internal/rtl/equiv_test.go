@@ -197,6 +197,100 @@ func TestEquivalentBlackboxStructuralOnly(t *testing.T) {
 	}
 }
 
+// statsSrc has three modules: dbl1 and dbl2 are functionally identical but
+// structurally different (only simulation joins them); dbl3 is structurally
+// identical to dbl2 under another name, so (dbl1, dbl3) lands on the same
+// hash-pair cache entry as (dbl1, dbl2).
+const statsSrc = `
+	module dbl1(input [7:0] x, output [8:0] y); assign y = {1'b0,x} + {1'b0,x}; endmodule
+	module dbl2(input [7:0] x, output [8:0] y); assign y = {x, 1'b0}; endmodule
+	module dbl3(input [7:0] x, output [8:0] y); assign y = {x, 1'b0}; endmodule
+	module top(input [7:0] i, output [8:0] o); dbl1 u (.x(i), .y(o)); endmodule`
+
+func TestEquivStatsCounters(t *testing.T) {
+	d, err := ParseDesign(statsSrc, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewEquivChecker(d, 1)
+	a, b, b2 := elab(t, d, "dbl1"), elab(t, d, "dbl2"), elab(t, d, "dbl3")
+
+	if eq, err := c.Equivalent(a, a); err != nil || !eq {
+		t.Fatalf("self query: %v, %v", eq, err)
+	}
+	if st := c.Stats(); st.Queries != 1 || st.StructuralHits != 1 || st.SimRuns != 0 {
+		t.Fatalf("after self query: %+v", st)
+	}
+
+	if eq, err := c.Equivalent(b, b2); err != nil || !eq {
+		t.Fatalf("hash-equal query: %v, %v", eq, err)
+	}
+	if st := c.Stats(); st.StructuralHits != 2 || st.SimRuns != 0 {
+		t.Fatalf("identical structure must hit the hash fast path: %+v", st)
+	}
+
+	// First structurally-different pair simulates...
+	if eq, err := c.Equivalent(a, b); err != nil || !eq {
+		t.Fatalf("sim query: %v, %v", eq, err)
+	}
+	if st := c.Stats(); st.SimRuns != 1 || st.CacheHits != 0 {
+		t.Fatalf("first miss must simulate: %+v", st)
+	}
+	// ...the repeat hits the memo, in either argument order...
+	if eq, err := c.Equivalent(b, a); err != nil || !eq {
+		t.Fatalf("repeat query: %v, %v", eq, err)
+	}
+	// ...and so does a structurally-identical stand-in for either side.
+	if eq, err := c.Equivalent(a, b2); err != nil || !eq {
+		t.Fatalf("stand-in query: %v, %v", eq, err)
+	}
+	st := c.Stats()
+	if st.SimRuns != 1 || st.CacheHits != 2 {
+		t.Errorf("repeats must be cache hits, not new simulations: %+v", st)
+	}
+	if st.Queries != 5 {
+		t.Errorf("Queries = %d, want 5", st.Queries)
+	}
+}
+
+// TestEquivalentParallelMatchesSequential pins the sharding contract: the
+// verdict is a pure function of (seed, pair), independent of Parallelism.
+func TestEquivalentParallelMatchesSequential(t *testing.T) {
+	src := statsSrc + `
+	module inc(input [7:0] x, output [8:0] y); assign y = {1'b0,x} + 9'd1; endmodule`
+	pairs := [][2]string{{"dbl1", "dbl2"}, {"dbl1", "inc"}, {"dbl2", "inc"}}
+	var want []bool
+	for _, par := range []int{1, 8} {
+		d, err := ParseDesign(src, "top")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewEquivChecker(d, 7)
+		c.Parallelism = par
+		var got []bool
+		for _, p := range pairs {
+			eq, err := c.Equivalent(elab(t, d, p[0]), elab(t, d, p[1]))
+			if err != nil {
+				t.Fatalf("parallelism %d, pair %v: %v", par, p, err)
+			}
+			got = append(got, eq)
+		}
+		if par == 1 {
+			want = got
+			if !want[0] || want[1] || want[2] {
+				t.Fatalf("sequential verdicts %v, want [true false false]", want)
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("pair %v: parallelism %d says %v, sequential says %v",
+					pairs[i], par, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestEquivalentParameterized(t *testing.T) {
 	d, err := ParseDesign(`
 		module pas #(parameter W = 8) (input [W-1:0] x, output [W-1:0] y);

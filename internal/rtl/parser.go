@@ -1,9 +1,12 @@
 package rtl
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+
+	"mlvfpga/internal/parpool"
 )
 
 // parser is a recursive-descent parser over a pre-lexed token stream.
@@ -14,10 +17,61 @@ type parser struct {
 
 // Parse parses Verilog-subset source text into a list of modules.
 func Parse(src string) ([]*Module, error) {
+	return ParseParallel(src, 1)
+}
+
+// ParseParallel parses like Parse but distributes per-module parsing over
+// up to workers goroutines (workers <= 1 is strictly sequential). Lexing
+// stays sequential; the token stream is then split at top-level
+// module/endmodule boundaries — the subset has no nested modules — and the
+// spans parse independently. The module list and any reported error are
+// identical to the sequential parse.
+func ParseParallel(src string, workers int) ([]*Module, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
+	spans, ok := moduleSpans(toks)
+	if !ok || len(spans) < 2 {
+		// Malformed top level (or nothing to fan out): the single-stream
+		// parser produces the canonical error positions.
+		return parseStream(toks)
+	}
+	return parpool.Map(context.Background(), workers, len(spans), func(_ context.Context, i int) (*Module, error) {
+		// Three-index slice: the appended EOF sentinel must not clobber
+		// the next span's first token in the shared backing array.
+		lo, hi := spans[i][0], spans[i][1]
+		spanToks := append(toks[lo:hi:hi], token{kind: tokEOF, line: toks[hi-1].line, col: toks[hi-1].col})
+		p := &parser{toks: spanToks}
+		return p.parseModule()
+	})
+}
+
+// moduleSpans splits a token stream into per-module half-open index ranges,
+// each ending just past its "endmodule". It reports false when the stream
+// does not look like a plain module sequence.
+func moduleSpans(toks []token) ([][2]int, bool) {
+	var spans [][2]int
+	i := 0
+	for i < len(toks) && toks[i].kind != tokEOF {
+		if !toks[i].is("module") {
+			return nil, false
+		}
+		j := i + 1
+		for j < len(toks) && !toks[j].is("endmodule") && toks[j].kind != tokEOF {
+			j++
+		}
+		if j >= len(toks) || !toks[j].is("endmodule") {
+			return nil, false
+		}
+		spans = append(spans, [2]int{i, j + 1})
+		i = j + 1
+	}
+	return spans, true
+}
+
+// parseStream parses a whole token stream module by module.
+func parseStream(toks []token) ([]*Module, error) {
 	p := &parser{toks: toks}
 	var mods []*Module
 	for !p.at(tokEOF) {

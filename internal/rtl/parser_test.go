@@ -1,7 +1,9 @@
 package rtl
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -285,5 +287,75 @@ func TestQuickExprStringStable(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// genManyModules emits n small modules with varied bodies so the parallel
+// splitter has real fan-out to chew on.
+func genManyModules(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `
+module m%d #(parameter W = %d) (input clk, input [W-1:0] a, output reg [W-1:0] q);
+  wire [W-1:0] t;
+  assign t = a ^ {W{1'b1}};
+  always @(posedge clk) q <= t + %d'd%d;
+endmodule
+`, i, 4+i%8, 4+i%8, i%7)
+	}
+	return sb.String()
+}
+
+func TestParseParallelMatchesSequential(t *testing.T) {
+	src := genManyModules(17)
+	seq, err := ParseParallel(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 32} {
+		par, err := ParseParallel(src, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel parse differs from sequential", workers)
+		}
+	}
+}
+
+func TestParseParallelErrorParity(t *testing.T) {
+	// Syntax errors inside two modules: the parallel parse must report the
+	// same (earliest-module) error the sequential scan stops at.
+	src := `
+module ok(input a, output y); assign y = a; endmodule
+module bad1(input a, output y); assign y = ; endmodule
+module bad2(input a, output y); assign = a; endmodule`
+	_, seqErr := ParseParallel(src, 1)
+	if seqErr == nil {
+		t.Fatal("expected error")
+	}
+	_, parErr := ParseParallel(src, 8)
+	if parErr == nil || parErr.Error() != seqErr.Error() {
+		t.Errorf("parallel error = %v, sequential = %v", parErr, seqErr)
+	}
+}
+
+func TestParseParallelMalformedTopLevelFallsBack(t *testing.T) {
+	// A stray top-level token defeats the splitter; both paths must agree.
+	src := `
+module a(); endmodule
+garbage
+module b(); endmodule`
+	_, seqErr := ParseParallel(src, 1)
+	_, parErr := ParseParallel(src, 8)
+	if seqErr == nil || parErr == nil || parErr.Error() != seqErr.Error() {
+		t.Errorf("parallel error = %v, sequential = %v", parErr, seqErr)
+	}
+	// Same for a module missing its endmodule.
+	src = "module a(); endmodule\nmodule b(input x);"
+	_, seqErr = ParseParallel(src, 1)
+	_, parErr = ParseParallel(src, 8)
+	if seqErr == nil || parErr == nil || parErr.Error() != seqErr.Error() {
+		t.Errorf("truncated: parallel error = %v, sequential = %v", parErr, seqErr)
 	}
 }

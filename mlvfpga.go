@@ -55,6 +55,11 @@ type (
 	PartitionResult = partition.Result
 	// Compiled is the full offline-flow output for one instance.
 	Compiled = core.Compiled
+	// CompileOptions configures the offline flow, including the
+	// Parallelism knob bounding the worker goroutines (0 = one per
+	// logical CPU, 1 = strictly sequential; the Compiled result is
+	// identical at every setting).
+	CompileOptions = core.Options
 	// LayerSpec identifies a GRU/LSTM benchmark layer.
 	LayerSpec = kernels.LayerSpec
 	// Machine is the functional AS ISA accelerator simulator.
@@ -120,14 +125,21 @@ func Partition(acc *Accelerator, iterations int) (*PartitionResult, error) {
 
 // CompileInstance runs the whole offline flow (generate RTL, decompose,
 // partition, map onto every device type's virtual-block abstraction) for a
-// BrainWave-like instance.
+// BrainWave-like instance. The flow parallelizes across one worker per
+// logical CPU; use CompileInstanceWithOptions to pin the worker count.
 func CompileInstance(tiles, partitionIterations int) (*Compiled, error) {
-	return core.CompileAccelerator(core.Options{
+	return CompileInstanceWithOptions(CompileOptions{
 		Tiles:               tiles,
 		PartitionIterations: partitionIterations,
 		Seed:                1,
 		PatternAware:        true,
 	})
+}
+
+// CompileInstanceWithOptions runs the offline flow with explicit options,
+// including the Parallelism knob (see CompileOptions).
+func CompileInstanceWithOptions(opts CompileOptions) (*Compiled, error) {
+	return core.CompileAccelerator(opts)
 }
 
 // InferenceResult reports a functional-simulation run.
