@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz repro examples clean
+.PHONY: all build test check race cover bench bench-infer fuzz repro examples clean
 
 all: check
 
@@ -26,6 +26,11 @@ cover:
 # Regenerate every paper table/figure as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the online data-plane benchmarks and refresh BENCH_infer.json.
+bench-infer:
+	$(GO) test -run '^$$' -bench 'BenchmarkInferSteadyState|BenchmarkInferBatched|BenchmarkServeConcurrent' -benchmem .
+	$(GO) run ./cmd/mlv-bench-infer
 
 # Reproduce the paper's evaluation with side-by-side published values.
 repro:

@@ -1,0 +1,22 @@
+package mlvfpga
+
+import (
+	"testing"
+
+	"mlvfpga/internal/inferbench"
+)
+
+// Online data-plane benchmarks (ISSUE 3). Refresh BENCH_infer.json with
+// `make bench-infer`.
+
+// BenchmarkInferSteadyState is a warm single-stream inference: weight
+// tiles cached, zero allocation per run.
+func BenchmarkInferSteadyState(b *testing.B) { inferbench.InferSteadyState(b) }
+
+// BenchmarkInferBatched is one warm RunBatch over 8 input streams; divide
+// ns/op by 8 for the per-inference cost.
+func BenchmarkInferBatched(b *testing.B) { inferbench.InferBatched(b) }
+
+// BenchmarkServeConcurrent drives the HTTP /infer endpoint with parallel
+// clients sharing a micro-batching lease engine.
+func BenchmarkServeConcurrent(b *testing.B) { inferbench.ServeConcurrent(b) }

@@ -1,0 +1,110 @@
+// mlv-bench-infer measures the online data plane's hot paths and writes
+// BENCH_infer.json: steady-state single-stream inference, batched
+// (RunBatch) inference, and the concurrent HTTP serving path. The "pre"
+// section holds the numbers recorded on the allocation-per-instruction,
+// quantize-every-m_rd engine this PR replaced, measured on the same layer
+// shape (LSTM h=256 t=8, 2 tiles) and host class.
+//
+// Usage:
+//
+//	mlv-bench-infer [-o BENCH_infer.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"mlvfpga/internal/inferbench"
+)
+
+// Pre-optimization baseline, recorded at 65fca13 with the temporary
+// BenchmarkPreInferSteadyState/BenchmarkPreInferBatch8 harness
+// (go test -bench BenchmarkPreInfer -benchtime 20x -benchmem, single-CPU
+// Intel Xeon @ 2.10GHz container). "Batch of 8" on the old engine is 8
+// sequential Runs — it had no batched mode.
+var pre = []inferbench.Result{
+	{
+		Name:        "InferSteadyState",
+		NsPerOp:     24243298,
+		AllocsPerOp: 6718,
+		BytesPerOp:  7965250,
+		Note:        "old engine: requantized all 8 tiles per run, allocated per instruction",
+	},
+	{
+		Name:           "InferBatch8",
+		NsPerOp:        96123868,
+		AllocsPerOp:    53744,
+		BytesPerOp:     63722005,
+		NsPerInference: 96123868.0 / 8,
+		Note:           "old engine: batch of 8 = 8 sequential Runs (no RunBatch)",
+	},
+}
+
+type report struct {
+	Recorded string `json:"recorded"`
+	Host     struct {
+		CPU          string `json:"cpu"`
+		HardwareCPUs int    `json:"hardware_cpus"`
+		Note         string `json:"note"`
+	} `json:"host"`
+	Command string              `json:"command"`
+	Layer   string              `json:"layer"`
+	Pre     []inferbench.Result `json:"pre"`
+	Post    []inferbench.Result `json:"post"`
+	Summary struct {
+		SteadyStateSpeedup float64 `json:"steady_state_speedup"`
+		BatchedSpeedup     float64 `json:"batched_speedup_vs_pre_sequential"`
+		BatchVsSingle      float64 `json:"batched_vs_post_single_stream"`
+	} `json:"summary"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_infer.json", "output file")
+	flag.Parse()
+
+	fmt.Println("mlv-bench-infer: measuring steady-state single-stream inference...")
+	steady := inferbench.Measure("InferSteadyState", 1, inferbench.InferSteadyState,
+		"warm machine, tiles cached, zero allocs")
+	fmt.Printf("  %.0f ns/op, %d allocs/op\n", steady.NsPerOp, steady.AllocsPerOp)
+
+	fmt.Printf("mlv-bench-infer: measuring RunBatch over %d streams...\n", inferbench.BatchStreams)
+	batched := inferbench.Measure("InferBatch8", inferbench.BatchStreams, inferbench.InferBatched,
+		"one RunBatch op carries 8 inferences")
+	fmt.Printf("  %.0f ns/op (%.0f ns/inference), %d allocs/op\n",
+		batched.NsPerOp, batched.NsPerInference, batched.AllocsPerOp)
+
+	fmt.Println("mlv-bench-infer: measuring concurrent HTTP /infer...")
+	serve := inferbench.Measure("ServeConcurrent", 1, inferbench.ServeConcurrent,
+		"GRU h=512 t=1 lease, parallel clients, micro-batching engine")
+	fmt.Printf("  %.0f ns/op end-to-end per request\n", serve.NsPerOp)
+
+	var r report
+	r.Recorded = time.Now().UTC().Format("2006-01-02")
+	r.Host.CPU = "see `lscpu`; recorded on Intel(R) Xeon(R) Processor @ 2.10GHz"
+	r.Host.HardwareCPUs = runtime.NumCPU()
+	r.Host.Note = "pre numbers were recorded on the same single-CPU container class; compare ratios, not absolute ns"
+	r.Command = "go run ./cmd/mlv-bench-infer"
+	r.Layer = "LSTM h=256 t=8, 2 tiles (ServeConcurrent: GRU h=512 t=1)"
+	r.Pre = pre
+	r.Post = []inferbench.Result{steady, batched, serve}
+	r.Summary.SteadyStateSpeedup = round2(pre[0].NsPerOp / steady.NsPerOp)
+	r.Summary.BatchedSpeedup = round2(pre[1].NsPerOp / batched.NsPerOp)
+	r.Summary.BatchVsSingle = round2(steady.NsPerOp * float64(inferbench.BatchStreams) / batched.NsPerOp)
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mlv-bench-infer: steady-state %.1fx, batched %.1fx vs sequential pre; wrote %s\n",
+		r.Summary.SteadyStateSpeedup, r.Summary.BatchedSpeedup, *out)
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

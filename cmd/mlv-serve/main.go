@@ -1,22 +1,34 @@
 // mlv-serve runs the framework's system controller as a JSON HTTP service
 // (the Fig. 7 integration API): a hypervisor or orchestrator deploys and
 // releases AS ISA-based accelerators on the simulated heterogeneous
-// cluster and observes virtual-block occupancy.
+// cluster, observes virtual-block occupancy, and serves inferences against
+// admitted leases through a micro-batching data plane.
 //
 // Usage:
 //
 //	mlv-serve -addr :8080
 //
-//	curl -X POST localhost:8080/deploy -d '{"kind":"LSTM","hidden":512,"timesteps":25}'
+//	curl -X POST localhost:8080/deploy -d '{"kind":"GRU","hidden":512,"timesteps":1}'
+//	curl -X POST localhost:8080/infer -d '{"id":1,"inputs":[[0.1, ... 512 floats]]}'
 //	curl localhost:8080/status
+//	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/release -d '{"id":1}'
+//
+// SIGINT/SIGTERM stop admission, drain in-flight batches, and release
+// every lease before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
@@ -27,6 +39,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	restricted := flag.Bool("restricted", false, "use the same-type-only runtime policy")
+	maxBatch := flag.Int("max-batch", 8, "largest inference micro-batch")
+	flushDelay := flag.Duration("flush-delay", 500*time.Microsecond, "partial-batch flush deadline")
+	machines := flag.Int("machines", 2, "per-lease machine pool size")
 	flag.Parse()
 
 	mode := rms.Flexible
@@ -38,7 +53,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	opts := rms.DefaultInferOptions()
+	opts.MaxBatch = *maxBatch
+	opts.FlushDelay = *flushDelay
+	opts.Machines = *machines
+	dp := rms.NewDataPlane(svc, opts)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           dp.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
 	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s\n",
 		mode, *addr)
-	log.Fatal(http.ListenAndServe(*addr, rms.Handler(svc)))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("mlv-serve: %v, draining\n", sig)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("mlv-serve: shutdown: %v", err)
+	}
+	dp.Close()
+	for _, lease := range svc.Leases() {
+		if err := svc.Release(lease.ID); err != nil {
+			log.Printf("mlv-serve: releasing lease %d: %v", lease.ID, err)
+		}
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("mlv-serve: %v", err)
+	}
+	fmt.Println("mlv-serve: drained, bye")
 }

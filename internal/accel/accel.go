@@ -9,6 +9,14 @@
 // separately in internal/perf. The DRAM port is an interface so the
 // scale-out sync template module (§2.3, internal/scaleout) can interpose on
 // reads and writes to predefined addresses.
+//
+// The execution engine is weight-stationary: m_rd quantizes a matrix tile
+// once and caches it in the packed on-chip layout until an overlapping DRAM
+// write or a shape reconfiguration invalidates it, and the steady-state
+// step loop reuses preallocated register/scratch buffers so repeated Run
+// calls perform no heap allocation. RunBatch executes one program over
+// several banked input streams, amortizing each cached tile across the
+// whole micro-batch (see exec.go).
 package accel
 
 import (
@@ -67,6 +75,33 @@ type DRAM interface {
 	WriteWords(addr int, vals []fp16.Num) error
 }
 
+// ReaderInto is an optional DRAM extension: reading into a caller-provided
+// buffer lets the execution engine keep its steady-state v_rd path
+// allocation-free. Ports that do not implement it fall back to ReadWords
+// plus a copy.
+type ReaderInto interface {
+	ReadWordsInto(dst []fp16.Num, addr int) error
+}
+
+// Unwrapper is implemented by DRAM wrappers (such as the machine's
+// write-tracking port) that interpose on another DRAM.
+type Unwrapper interface {
+	Unwrap() DRAM
+}
+
+// UnwrapDRAM peels any wrapping layers off a DRAM port and returns the
+// innermost device — what callers that type-assert on a concrete port
+// (e.g. the scale-out sync modules) should inspect.
+func UnwrapDRAM(d DRAM) DRAM {
+	for {
+		u, ok := d.(Unwrapper)
+		if !ok {
+			return d
+		}
+		d = u.Unwrap()
+	}
+}
+
 // Memory is a plain in-memory DRAM.
 type Memory struct {
 	words []fp16.Num
@@ -91,6 +126,17 @@ func (m *Memory) ReadWords(addr, n int) ([]fp16.Num, error) {
 	return out, nil
 }
 
+// ReadWordsInto copies len(dst) words starting at addr into dst without
+// allocating.
+func (m *Memory) ReadWordsInto(dst []fp16.Num, addr int) error {
+	n := len(dst)
+	if addr < 0 || addr+n > len(m.words) {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrDRAMRange, addr, addr+n, len(m.words))
+	}
+	copy(dst, m.words[addr:addr+n])
+	return nil
+}
+
 // WriteWords stores vals starting at addr.
 func (m *Memory) WriteWords(addr int, vals []fp16.Num) error {
 	if addr < 0 || addr+len(vals) > len(m.words) {
@@ -100,33 +146,118 @@ func (m *Memory) WriteWords(addr int, vals []fp16.Num) error {
 	return nil
 }
 
-// matrixReg is one matrix register: the BFP-quantized tile contents plus
-// shape.
+// matrixReg is one matrix register: the BFP-quantized tile contents in the
+// packed on-chip layout, plus shape.
 type matrixReg struct {
 	rows, cols int
-	mat        *bfp.Matrix
+	mat        *bfp.PackedMatrix
 }
 
-// ExecStats counts executed work, consumed by the timing model and the
-// instruction-buffer experiment.
+// tileEntry records which DRAM range a matrix register's current contents
+// were quantized from. While valid, an m_rd of the same range and shape is
+// served from the register without touching DRAM or requantizing — the
+// weight-stationary fast path. Any DRAM write overlapping the range (from
+// a program's v_wr or from the host through DRAMPort) invalidates it.
+type tileEntry struct {
+	addr, words int
+	rows, cols  int
+	valid       bool
+}
+
+// trackedDRAM interposes on the machine's DRAM port so every write — from
+// programs and from the host alike — invalidates overlapping tile-cache
+// entries. Reads pass straight through; Unwrap exposes the inner port.
+type trackedDRAM struct {
+	inner     DRAM
+	innerInto ReaderInto // non-nil when inner supports buffer reads
+	m         *Machine
+}
+
+func (t *trackedDRAM) ReadWords(addr, n int) ([]fp16.Num, error) {
+	return t.inner.ReadWords(addr, n)
+}
+
+func (t *trackedDRAM) ReadWordsInto(dst []fp16.Num, addr int) error {
+	if t.innerInto != nil {
+		return t.innerInto.ReadWordsInto(dst, addr)
+	}
+	vals, err := t.inner.ReadWords(addr, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, vals)
+	return nil
+}
+
+func (t *trackedDRAM) WriteWords(addr int, vals []fp16.Num) error {
+	t.m.invalidateTiles(addr, len(vals))
+	return t.inner.WriteWords(addr, vals)
+}
+
+// Unwrap returns the DRAM the tracker wraps.
+func (t *trackedDRAM) Unwrap() DRAM { return t.inner }
+
+// ExecStats counts executed work, consumed by the timing model, the
+// instruction-buffer experiment, and the serving data plane's batching
+// observability.
 type ExecStats struct {
-	Instructions int
-	ByOp         map[isa.Opcode]int
-	MACs         int64 // multiply-accumulates performed by mv_mul
-	VectorOps    int64 // element-wise operations performed by the MFUs
-	DRAMReads    int64 // words read
-	DRAMWrites   int64 // words written
+	Instructions int                `json:"instructions"`
+	ByOp         map[isa.Opcode]int `json:"by_op,omitempty"`
+	MACs         int64              `json:"macs"`        // multiply-accumulates performed by mv_mul
+	VectorOps    int64              `json:"vector_ops"`  // element-wise operations performed by the MFUs
+	DRAMReads    int64              `json:"dram_reads"`  // words read
+	DRAMWrites   int64              `json:"dram_writes"` // words written
+	// TileCacheHits counts m_rd instructions served from the
+	// weight-stationary tile cache (no DRAM read, no requantization);
+	// TileCacheMisses counts m_rd instructions that had to quantize.
+	TileCacheHits   int64 `json:"tile_cache_hits"`
+	TileCacheMisses int64 `json:"tile_cache_misses"`
 }
 
-// Machine is one simulated accelerator instance.
+// Minus returns the work accumulated since prev, an earlier snapshot of the
+// same machine's stats — the per-batch delta the serving data plane reports.
+func (s ExecStats) Minus(prev ExecStats) ExecStats {
+	d := ExecStats{
+		Instructions:    s.Instructions - prev.Instructions,
+		ByOp:            map[isa.Opcode]int{},
+		MACs:            s.MACs - prev.MACs,
+		VectorOps:       s.VectorOps - prev.VectorOps,
+		DRAMReads:       s.DRAMReads - prev.DRAMReads,
+		DRAMWrites:      s.DRAMWrites - prev.DRAMWrites,
+		TileCacheHits:   s.TileCacheHits - prev.TileCacheHits,
+		TileCacheMisses: s.TileCacheMisses - prev.TileCacheMisses,
+	}
+	for op, c := range s.ByOp {
+		if dc := c - prev.ByOp[op]; dc != 0 {
+			d.ByOp[op] = dc
+		}
+	}
+	return d
+}
+
+// Machine is one simulated accelerator instance. A Machine is not safe for
+// concurrent use; the serving layer pools machines so each executes one
+// (possibly batched) program at a time.
 type Machine struct {
 	cfg    Config
 	codec  *bfp.Codec
-	vrf    [][]fp16.Num
 	mshape []struct{ rows, cols int } // configured shapes for m_rd
 	mrf    []*matrixReg
-	dram   DRAM
+	tiles  []tileEntry
+	dram   *trackedDRAM
 	stats  ExecStats
+
+	// streams holds per-stream register files and scratch arenas; stream 0
+	// is the default context Run executes in. See exec.go.
+	streams []*streamCtx
+	base    int // banked-window base of the current RunBatch
+
+	// bvecs/bprods gather per-stream operands for the batched MVM without
+	// allocating per instruction.
+	bvecs  [][]bfp.Block
+	bprods [][]float64
+
+	sigm, tanh *[1 << 16]fp16.Num
 }
 
 // New builds a machine with a fresh private DRAM.
@@ -135,7 +266,9 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // NewWithDRAM builds a machine over the given DRAM port (nil allocates a
-// private Memory of cfg.DRAMWords).
+// private Memory of cfg.DRAMWords). The machine's own port (DRAMPort)
+// wraps dram to track writes for tile-cache invalidation; use UnwrapDRAM
+// to reach the device underneath.
 func NewWithDRAM(cfg Config, dram DRAM) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -153,11 +286,14 @@ func NewWithDRAM(cfg Config, dram DRAM) (*Machine, error) {
 	m := &Machine{
 		cfg:    cfg,
 		codec:  codec,
-		vrf:    make([][]fp16.Num, cfg.VRegs),
 		mshape: make([]struct{ rows, cols int }, cfg.MRegs),
 		mrf:    make([]*matrixReg, cfg.MRegs),
-		dram:   dram,
+		tiles:  make([]tileEntry, cfg.MRegs),
 	}
+	inner, _ := dram.(ReaderInto)
+	m.dram = &trackedDRAM{inner: dram, innerInto: inner, m: m}
+	m.sigm, m.tanh = actTables()
+	m.ensureStreams(1)
 	m.stats.ByOp = map[isa.Opcode]int{}
 	return m, nil
 }
@@ -165,19 +301,42 @@ func NewWithDRAM(cfg Config, dram DRAM) (*Machine, error) {
 // Config returns the instance configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// DRAMPort returns the machine's DRAM.
+// DRAMPort returns the machine's DRAM port. Writes through it are tracked
+// for tile-cache invalidation; UnwrapDRAM recovers the wrapped device.
 func (m *Machine) DRAMPort() DRAM { return m.dram }
 
-// Stats returns execution statistics so far.
-func (m *Machine) Stats() ExecStats { return m.stats }
+// Stats returns execution statistics so far. The returned ByOp map is a
+// copy, so the result is a stable snapshot (usable as a Minus baseline).
+func (m *Machine) Stats() ExecStats {
+	st := m.stats
+	st.ByOp = make(map[isa.Opcode]int, len(m.stats.ByOp))
+	for op, c := range m.stats.ByOp {
+		st.ByOp[op] = c
+	}
+	return st
+}
 
 // ResetStats zeroes the statistics.
 func (m *Machine) ResetStats() {
 	m.stats = ExecStats{ByOp: map[isa.Opcode]int{}}
 }
 
+// invalidateTiles drops every cached tile overlapping the written range.
+func (m *Machine) invalidateTiles(addr, n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range m.tiles {
+		t := &m.tiles[i]
+		if t.valid && addr < t.addr+t.words && t.addr < addr+n {
+			t.valid = false
+		}
+	}
+}
+
 // ConfigureMatrix sets the shape m_rd loads into matrix register reg; this
 // models the control registers the host programs before launching a chain.
+// Changing a register's shape invalidates its cached tile.
 func (m *Machine) ConfigureMatrix(reg, rows, cols int) error {
 	if reg < 0 || reg >= m.cfg.MRegs {
 		return fmt.Errorf("accel: matrix register %d out of range", reg)
@@ -185,255 +344,31 @@ func (m *Machine) ConfigureMatrix(reg, rows, cols int) error {
 	if rows <= 0 || cols <= 0 {
 		return fmt.Errorf("accel: matrix shape %dx%d", rows, cols)
 	}
+	if m.mshape[reg].rows != rows || m.mshape[reg].cols != cols {
+		m.tiles[reg].valid = false
+	}
 	m.mshape[reg] = struct{ rows, cols int }{rows, cols}
 	return nil
 }
 
 // ReadVector returns a copy of a vector register (for tests and the host
-// interface).
+// interface). It reads stream 0, the context Run executes in.
 func (m *Machine) ReadVector(reg int) ([]fp16.Num, error) {
+	return m.ReadVectorStream(0, reg)
+}
+
+// ReadVectorStream returns a copy of a vector register in the given batch
+// stream's register file.
+func (m *Machine) ReadVectorStream(stream, reg int) ([]fp16.Num, error) {
+	if stream < 0 || stream >= len(m.streams) {
+		return nil, fmt.Errorf("accel: stream %d out of range (%d)", stream, len(m.streams))
+	}
 	if reg < 0 || reg >= m.cfg.VRegs {
 		return nil, fmt.Errorf("accel: vector register %d out of range", reg)
 	}
-	if m.vrf[reg] == nil {
+	sc := m.streams[stream]
+	if sc.vrf[reg] == nil {
 		return nil, fmt.Errorf("accel: vector register %d is empty", reg)
 	}
-	return append([]fp16.Num{}, m.vrf[reg]...), nil
-}
-
-// ErrProgramTooLarge is returned when a program exceeds the instruction
-// buffer.
-var ErrProgramTooLarge = errors.New("accel: program exceeds instruction buffer")
-
-// Run executes the program to completion (through end_chain or the end of
-// the sequence).
-func (m *Machine) Run(p isa.Program) error {
-	if m.cfg.InstrBufBytes > 0 && p.Bytes() > m.cfg.InstrBufBytes {
-		return fmt.Errorf("%w: %d > %d bytes", ErrProgramTooLarge, p.Bytes(), m.cfg.InstrBufBytes)
-	}
-	for pc, ins := range p {
-		done, err := m.step(ins)
-		if err != nil {
-			return fmt.Errorf("accel: pc %d (%s): %w", pc, ins, err)
-		}
-		if done {
-			return nil
-		}
-	}
-	return nil
-}
-
-func (m *Machine) vreg(r uint8) (int, error) {
-	if int(r) >= m.cfg.VRegs {
-		return 0, fmt.Errorf("vector register r%d out of range (%d)", r, m.cfg.VRegs)
-	}
-	return int(r), nil
-}
-
-func (m *Machine) loadedV(r uint8) ([]fp16.Num, error) {
-	idx, err := m.vreg(r)
-	if err != nil {
-		return nil, err
-	}
-	if m.vrf[idx] == nil {
-		return nil, fmt.Errorf("vector register r%d read before write", r)
-	}
-	return m.vrf[idx], nil
-}
-
-// shardLen decodes a length-register selector: 0 = VecLen, 1 = VecLen/2,
-// 2 = VecLen/4.
-func (m *Machine) shardLen(mode uint8) (int, error) {
-	switch mode {
-	case 0:
-		return m.cfg.VecLen, nil
-	case 1:
-		return m.cfg.VecLen / 2, nil
-	case 2:
-		return m.cfg.VecLen / 4, nil
-	}
-	return 0, fmt.Errorf("unknown vector length mode %d", mode)
-}
-
-// step executes one instruction; done reports end_chain.
-func (m *Machine) step(ins isa.Instr) (done bool, err error) {
-	m.stats.Instructions++
-	m.stats.ByOp[ins.Op]++
-	switch ins.Op {
-	case isa.OpVRead:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		// Src2 selects the vector length register: 0 = full VecLen,
-		// 1 = VecLen/2, 2 = VecLen/4 (scaled-down accelerators operate on
-		// 1/n shards of the hidden dimension, §2.3).
-		n, err := m.shardLen(ins.Src2)
-		if err != nil {
-			return false, err
-		}
-		vals, err := m.dram.ReadWords(int(ins.Imm), n)
-		if err != nil {
-			return false, err
-		}
-		m.vrf[dst] = vals
-		m.stats.DRAMReads += int64(n)
-
-	case isa.OpVWrite:
-		src, err := m.loadedV(ins.Src1)
-		if err != nil {
-			return false, err
-		}
-		if err := m.dram.WriteWords(int(ins.Imm), src); err != nil {
-			return false, err
-		}
-		m.stats.DRAMWrites += int64(len(src))
-
-	case isa.OpMRead:
-		if int(ins.Dst) >= m.cfg.MRegs {
-			return false, fmt.Errorf("matrix register r%d out of range (%d)", ins.Dst, m.cfg.MRegs)
-		}
-		shape := m.mshape[ins.Dst]
-		if shape.rows == 0 {
-			return false, fmt.Errorf("matrix register r%d has no configured shape", ins.Dst)
-		}
-		words, err := m.dram.ReadWords(int(ins.Imm), shape.rows*shape.cols)
-		if err != nil {
-			return false, err
-		}
-		mat, err := m.codec.QuantizeMatrix(fp16.ToSlice64(words), shape.rows, shape.cols, m.cfg.NativeDim)
-		if err != nil {
-			return false, err
-		}
-		m.mrf[ins.Dst] = &matrixReg{rows: shape.rows, cols: shape.cols, mat: mat}
-		m.stats.DRAMReads += int64(shape.rows * shape.cols)
-
-	case isa.OpMVMul:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		if int(ins.Src1) >= m.cfg.MRegs || m.mrf[ins.Src1] == nil {
-			return false, fmt.Errorf("matrix register r%d not loaded", ins.Src1)
-		}
-		vec, err := m.loadedV(ins.Src2)
-		if err != nil {
-			return false, err
-		}
-		mr := m.mrf[ins.Src1]
-		if len(vec) != mr.cols {
-			return false, fmt.Errorf("mv_mul shape mismatch: matrix %dx%d, vector %d", mr.rows, mr.cols, len(vec))
-		}
-		vb, err := m.codec.QuantizeVector(fp16.ToSlice64(vec), m.cfg.NativeDim)
-		if err != nil {
-			return false, err
-		}
-		prod, err := bfp.MatVec(mr.mat, vb)
-		if err != nil {
-			return false, err
-		}
-		m.vrf[dst] = fp16.FromSlice64(prod)
-		m.stats.MACs += int64(mr.rows) * int64(mr.cols)
-
-	case isa.OpVVAdd, isa.OpVVSub, isa.OpVVMul:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		a, err := m.loadedV(ins.Src1)
-		if err != nil {
-			return false, err
-		}
-		b, err := m.loadedV(ins.Src2)
-		if err != nil {
-			return false, err
-		}
-		if len(a) != len(b) {
-			return false, fmt.Errorf("%s length mismatch: %d vs %d", ins.Op, len(a), len(b))
-		}
-		out := make([]fp16.Num, len(a))
-		for i := range a {
-			switch ins.Op {
-			case isa.OpVVAdd:
-				out[i] = fp16.Add(a[i], b[i])
-			case isa.OpVVSub:
-				out[i] = fp16.Sub(a[i], b[i])
-			case isa.OpVVMul:
-				out[i] = fp16.Mul(a[i], b[i])
-			}
-		}
-		m.vrf[dst] = out
-		m.stats.VectorOps += int64(len(a))
-
-	case isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		a, err := m.loadedV(ins.Src1)
-		if err != nil {
-			return false, err
-		}
-		out := make([]fp16.Num, len(a))
-		for i, x := range a {
-			switch ins.Op {
-			case isa.OpVSigm:
-				out[i] = fp16.Sigmoid(x)
-			case isa.OpVTanh:
-				out[i] = fp16.Tanh(x)
-			case isa.OpVRelu:
-				if fp16.Less(x, fp16.PositiveZero) {
-					out[i] = fp16.PositiveZero
-				} else {
-					out[i] = x
-				}
-			case isa.OpVPass:
-				out[i] = x
-			}
-		}
-		m.vrf[dst] = out
-		m.stats.VectorOps += int64(len(a))
-
-	case isa.OpVConst:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		// Src1 selects the length register, as for v_rd.
-		n, err := m.shardLen(ins.Src1)
-		if err != nil {
-			return false, err
-		}
-		out := make([]fp16.Num, n)
-		c := fp16.Num(ins.Imm)
-		for i := range out {
-			out[i] = c
-		}
-		m.vrf[dst] = out
-		m.stats.VectorOps += int64(len(out))
-
-	case isa.OpVRsub:
-		dst, err := m.vreg(ins.Dst)
-		if err != nil {
-			return false, err
-		}
-		a, err := m.loadedV(ins.Src1)
-		if err != nil {
-			return false, err
-		}
-		c := fp16.Num(ins.Imm)
-		out := make([]fp16.Num, len(a))
-		for i, x := range a {
-			out[i] = fp16.Sub(c, x)
-		}
-		m.vrf[dst] = out
-		m.stats.VectorOps += int64(len(a))
-
-	case isa.OpEndChain:
-		return true, nil
-
-	default:
-		return false, fmt.Errorf("unimplemented opcode %v", ins.Op)
-	}
-	return false, nil
+	return append([]fp16.Num{}, sc.vrf[reg]...), nil
 }

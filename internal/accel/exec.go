@@ -1,0 +1,445 @@
+package accel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mlvfpga/internal/bfp"
+	"mlvfpga/internal/fp16"
+	"mlvfpga/internal/isa"
+)
+
+// The MFU activation functions are pure maps over 16-bit inputs, so the
+// simulator models them the way the hardware does: as lookup tables, built
+// once from the exact fp16 routines (bit-identical by construction).
+var (
+	actOnce sync.Once
+	sigmTab [1 << 16]fp16.Num
+	tanhTab [1 << 16]fp16.Num
+)
+
+func actTables() (sigm, tanh *[1 << 16]fp16.Num) {
+	actOnce.Do(func() {
+		for i := 0; i < 1<<16; i++ {
+			sigmTab[i] = fp16.Sigmoid(fp16.Num(i))
+			tanhTab[i] = fp16.Tanh(fp16.Num(i))
+		}
+	})
+	return &sigmTab, &tanhTab
+}
+
+// streamCtx is one batch stream's architectural and scratch state: a
+// private vector register file plus the preallocated buffers the
+// steady-state step loop reuses instead of allocating per instruction.
+type streamCtx struct {
+	off int // DRAM offset applied to banked (>= window base) addresses
+
+	vrf [][]fp16.Num
+	ver []uint64 // bumped on every write to the corresponding vreg
+
+	// qblk memoizes the BFP quantization of each vector register; qver
+	// records the register version it was computed at. In an LSTM step the
+	// same x/h vector feeds four mv_muls, so the memo cuts vector
+	// quantization 4x.
+	qver []uint64
+	qblk [][]bfp.Block
+
+	f64  []float64 // float64 staging for quantization
+	prod []float64 // mv_mul product staging
+}
+
+func (m *Machine) newStream() *streamCtx {
+	return &streamCtx{
+		vrf:  make([][]fp16.Num, m.cfg.VRegs),
+		ver:  make([]uint64, m.cfg.VRegs),
+		qver: make([]uint64, m.cfg.VRegs),
+		qblk: make([][]bfp.Block, m.cfg.VRegs),
+	}
+}
+
+func (m *Machine) ensureStreams(n int) {
+	for len(m.streams) < n {
+		m.streams = append(m.streams, m.newStream())
+	}
+	for len(m.bvecs) < n {
+		m.bvecs = append(m.bvecs, nil)
+		m.bprods = append(m.bprods, nil)
+	}
+}
+
+// StreamWindow describes how a batched execution banks DRAM: addresses at
+// or above Base are per-stream (stream s accesses addr+Offsets[s]); lower
+// addresses are shared across streams (weights, biases, code constants).
+// m_rd addresses are never banked — the whole point of batching is that
+// every stream multiplies against the same stationary tile.
+type StreamWindow struct {
+	Base    int
+	Offsets []int
+}
+
+// ErrProgramTooLarge is returned when a program exceeds the instruction
+// buffer.
+var ErrProgramTooLarge = errors.New("accel: program exceeds instruction buffer")
+
+// ErrNoStreams is returned by RunBatch when the window has no offsets.
+var ErrNoStreams = errors.New("accel: RunBatch requires at least one stream")
+
+// Run executes the program to completion (through end_chain or the end of
+// the sequence) in stream 0.
+func (m *Machine) Run(p isa.Program) error {
+	m.base = 0
+	m.streams[0].off = 0
+	return m.exec(p, m.streams[:1])
+}
+
+// RunBatch executes one program over len(w.Offsets) input streams.
+// Stream s runs against a private register file, with DRAM accesses at or
+// above w.Base shifted by w.Offsets[s]; each m_rd tile is fetched and
+// quantized (or served from cache) once for the whole batch. The results —
+// register files, DRAM writes and accumulated ExecStats — are bit-identical
+// to running the program sequentially once per stream, provided the
+// per-stream DRAM ranges do not overlap each other or the shared window.
+func (m *Machine) RunBatch(p isa.Program, w StreamWindow) error {
+	if len(w.Offsets) == 0 {
+		return ErrNoStreams
+	}
+	m.ensureStreams(len(w.Offsets))
+	for i, off := range w.Offsets {
+		m.streams[i].off = off
+	}
+	m.base = w.Base
+	return m.exec(p, m.streams[:len(w.Offsets)])
+}
+
+func (m *Machine) exec(p isa.Program, scs []*streamCtx) error {
+	if m.cfg.InstrBufBytes > 0 && p.Bytes() > m.cfg.InstrBufBytes {
+		return fmt.Errorf("%w: %d > %d bytes", ErrProgramTooLarge, p.Bytes(), m.cfg.InstrBufBytes)
+	}
+	for pc, ins := range p {
+		done, err := m.stepAll(ins, scs)
+		if err != nil {
+			return fmt.Errorf("accel: pc %d (%s): %w", pc, ins, err)
+		}
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// stepAll executes one instruction across every stream. Stats are counted
+// once per stream so a batched run accumulates exactly what the equivalent
+// sequential runs would.
+func (m *Machine) stepAll(ins isa.Instr, scs []*streamCtx) (done bool, err error) {
+	n := len(scs)
+	m.stats.Instructions += n
+	m.stats.ByOp[ins.Op] += n
+	switch ins.Op {
+	case isa.OpMRead:
+		return false, m.mRead(ins, n)
+	case isa.OpMVMul:
+		return false, m.mvMul(ins, scs)
+	case isa.OpEndChain:
+		return true, nil
+	default:
+		for _, sc := range scs {
+			if err := m.step1(sc, ins); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+}
+
+func (m *Machine) vreg(r uint8) (int, error) {
+	if int(r) >= m.cfg.VRegs {
+		return 0, fmt.Errorf("vector register r%d out of range (%d)", r, m.cfg.VRegs)
+	}
+	return int(r), nil
+}
+
+func (m *Machine) loadedV(sc *streamCtx, r uint8) ([]fp16.Num, error) {
+	idx, err := m.vreg(r)
+	if err != nil {
+		return nil, err
+	}
+	if sc.vrf[idx] == nil {
+		return nil, fmt.Errorf("vector register r%d read before write", r)
+	}
+	return sc.vrf[idx], nil
+}
+
+// dstBuf returns vector register idx resized to n elements, reusing its
+// backing array when capacity allows (the steady-state case: register
+// shapes are fixed by the program, so after the first run every write
+// lands in a preallocated buffer). The register's version is bumped,
+// invalidating its quantization memo.
+func (m *Machine) dstBuf(sc *streamCtx, idx, n int) []fp16.Num {
+	buf := sc.vrf[idx]
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		c := n
+		if c < m.cfg.VecLen {
+			c = m.cfg.VecLen
+		}
+		buf = make([]fp16.Num, n, c)
+	}
+	sc.vrf[idx] = buf
+	sc.ver[idx]++
+	return buf
+}
+
+func ensureF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// bankAddr applies the stream's banking offset to a DRAM address inside
+// the batched window.
+func (m *Machine) bankAddr(sc *streamCtx, imm uint32) int {
+	addr := int(imm)
+	if sc.off != 0 && addr >= m.base {
+		addr += sc.off
+	}
+	return addr
+}
+
+// shardLen decodes a length-register selector: 0 = VecLen, 1 = VecLen/2,
+// 2 = VecLen/4.
+func (m *Machine) shardLen(mode uint8) (int, error) {
+	switch mode {
+	case 0:
+		return m.cfg.VecLen, nil
+	case 1:
+		return m.cfg.VecLen / 2, nil
+	case 2:
+		return m.cfg.VecLen / 4, nil
+	}
+	return 0, fmt.Errorf("unknown vector length mode %d", mode)
+}
+
+// mRead executes m_rd once for the whole batch: on a tile-cache hit the
+// register already holds the quantized tile for that DRAM range and shape;
+// on a miss the tile is read and quantized into the packed layout and the
+// cache entry recorded. Stats mirror nStreams sequential runs: the first
+// sequential run would miss and the remaining nStreams-1 would hit.
+func (m *Machine) mRead(ins isa.Instr, nStreams int) error {
+	if int(ins.Dst) >= m.cfg.MRegs {
+		return fmt.Errorf("matrix register r%d out of range (%d)", ins.Dst, m.cfg.MRegs)
+	}
+	shape := m.mshape[ins.Dst]
+	if shape.rows == 0 {
+		return fmt.Errorf("matrix register r%d has no configured shape", ins.Dst)
+	}
+	// Matrix addresses are never banked: weights are shared by all streams.
+	addr := int(ins.Imm)
+	words := shape.rows * shape.cols
+	t := &m.tiles[ins.Dst]
+	if t.valid && t.addr == addr && t.words == words {
+		m.stats.TileCacheHits += int64(nStreams)
+		return nil
+	}
+	vals, err := m.dram.ReadWords(addr, words)
+	if err != nil {
+		return err
+	}
+	mat, err := m.codec.QuantizeMatrixPacked(fp16.ToSlice64(vals), shape.rows, shape.cols, m.cfg.NativeDim)
+	if err != nil {
+		return err
+	}
+	m.mrf[ins.Dst] = &matrixReg{rows: shape.rows, cols: shape.cols, mat: mat}
+	m.tiles[ins.Dst] = tileEntry{addr: addr, words: words, rows: shape.rows, cols: shape.cols, valid: true}
+	m.stats.DRAMReads += int64(words)
+	m.stats.TileCacheMisses++
+	m.stats.TileCacheHits += int64(nStreams - 1)
+	return nil
+}
+
+// mvMul executes one matrix-vector multiply for every stream against the
+// stationary tile: per-stream vectors are quantized (through the per-
+// register memo), gathered, and multiplied rows-outer/streams-inner so the
+// packed tile streams through the cache once per batch.
+func (m *Machine) mvMul(ins isa.Instr, scs []*streamCtx) error {
+	dst, err := m.vreg(ins.Dst)
+	if err != nil {
+		return err
+	}
+	if int(ins.Src1) >= m.cfg.MRegs || m.mrf[ins.Src1] == nil {
+		return fmt.Errorf("matrix register r%d not loaded", ins.Src1)
+	}
+	mr := m.mrf[ins.Src1]
+	src := int(ins.Src2)
+	for si, sc := range scs {
+		vec, err := m.loadedV(sc, ins.Src2)
+		if err != nil {
+			return err
+		}
+		if len(vec) != mr.cols {
+			return fmt.Errorf("mv_mul shape mismatch: matrix %dx%d, vector %d", mr.rows, mr.cols, len(vec))
+		}
+		if sc.qver[src] != sc.ver[src] {
+			f := ensureF64(&sc.f64, len(vec))
+			fp16.ToSlice64Into(f, vec)
+			qb, err := m.codec.QuantizeVectorInto(sc.qblk[src], f, m.cfg.NativeDim)
+			if err != nil {
+				return err
+			}
+			sc.qblk[src] = qb
+			sc.qver[src] = sc.ver[src]
+		}
+		m.bvecs[si] = sc.qblk[src]
+		m.bprods[si] = ensureF64(&sc.prod, mr.rows)
+	}
+	if err := mr.mat.MatVecBatchInto(m.bprods[:len(scs)], m.bvecs[:len(scs)]); err != nil {
+		return err
+	}
+	for si, sc := range scs {
+		out := m.dstBuf(sc, dst, mr.rows)
+		fp16.FromSlice64Into(out, m.bprods[si])
+		m.stats.MACs += int64(mr.rows) * int64(mr.cols)
+	}
+	return nil
+}
+
+// step1 executes one non-batched-special instruction in one stream.
+// Element-wise destinations may alias their sources: each output element
+// depends only on the same-index input elements, which are read before the
+// write (the scratch-arena aliasing rule documented in DESIGN.md §7).
+func (m *Machine) step1(sc *streamCtx, ins isa.Instr) error {
+	switch ins.Op {
+	case isa.OpVRead:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return err
+		}
+		// Src2 selects the vector length register: 0 = full VecLen,
+		// 1 = VecLen/2, 2 = VecLen/4 (scaled-down accelerators operate on
+		// 1/n shards of the hidden dimension, §2.3).
+		n, err := m.shardLen(ins.Src2)
+		if err != nil {
+			return err
+		}
+		buf := m.dstBuf(sc, dst, n)
+		if err := m.dram.ReadWordsInto(buf, m.bankAddr(sc, ins.Imm)); err != nil {
+			sc.vrf[dst] = nil // failed load leaves the register unreadable
+			return err
+		}
+		m.stats.DRAMReads += int64(n)
+
+	case isa.OpVWrite:
+		src, err := m.loadedV(sc, ins.Src1)
+		if err != nil {
+			return err
+		}
+		if err := m.dram.WriteWords(m.bankAddr(sc, ins.Imm), src); err != nil {
+			return err
+		}
+		m.stats.DRAMWrites += int64(len(src))
+
+	case isa.OpVVAdd, isa.OpVVSub, isa.OpVVMul:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return err
+		}
+		a, err := m.loadedV(sc, ins.Src1)
+		if err != nil {
+			return err
+		}
+		b, err := m.loadedV(sc, ins.Src2)
+		if err != nil {
+			return err
+		}
+		if len(a) != len(b) {
+			return fmt.Errorf("%s length mismatch: %d vs %d", ins.Op, len(a), len(b))
+		}
+		out := m.dstBuf(sc, dst, len(a))
+		switch ins.Op {
+		case isa.OpVVAdd:
+			for i := range a {
+				out[i] = fp16.Add(a[i], b[i])
+			}
+		case isa.OpVVSub:
+			for i := range a {
+				out[i] = fp16.Sub(a[i], b[i])
+			}
+		case isa.OpVVMul:
+			for i := range a {
+				out[i] = fp16.Mul(a[i], b[i])
+			}
+		}
+		m.stats.VectorOps += int64(len(a))
+
+	case isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return err
+		}
+		a, err := m.loadedV(sc, ins.Src1)
+		if err != nil {
+			return err
+		}
+		out := m.dstBuf(sc, dst, len(a))
+		switch ins.Op {
+		case isa.OpVSigm:
+			for i, x := range a {
+				out[i] = m.sigm[x]
+			}
+		case isa.OpVTanh:
+			for i, x := range a {
+				out[i] = m.tanh[x]
+			}
+		case isa.OpVRelu:
+			for i, x := range a {
+				if fp16.Less(x, fp16.PositiveZero) {
+					out[i] = fp16.PositiveZero
+				} else {
+					out[i] = x
+				}
+			}
+		case isa.OpVPass:
+			copy(out, a)
+		}
+		m.stats.VectorOps += int64(len(a))
+
+	case isa.OpVConst:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return err
+		}
+		// Src1 selects the length register, as for v_rd.
+		n, err := m.shardLen(ins.Src1)
+		if err != nil {
+			return err
+		}
+		out := m.dstBuf(sc, dst, n)
+		c := fp16.Num(ins.Imm)
+		for i := range out {
+			out[i] = c
+		}
+		m.stats.VectorOps += int64(len(out))
+
+	case isa.OpVRsub:
+		dst, err := m.vreg(ins.Dst)
+		if err != nil {
+			return err
+		}
+		a, err := m.loadedV(sc, ins.Src1)
+		if err != nil {
+			return err
+		}
+		c := fp16.Num(ins.Imm)
+		out := m.dstBuf(sc, dst, len(a))
+		for i, x := range a {
+			out[i] = fp16.Sub(c, x)
+		}
+		m.stats.VectorOps += int64(len(a))
+
+	default:
+		return fmt.Errorf("unimplemented opcode %v", ins.Op)
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package accel
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"mlvfpga/internal/isa"
+)
+
+// mvmMachine builds a warm-able machine with a 4x4 matrix at DRAM 0 and an
+// input vector slot at 16.
+func mvmMachine(t *testing.T) (*Machine, isa.Program) {
+	t.Helper()
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ConfigureMatrix(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	writeVec(t, m, 0, []float64{
+		2, 0, 0, 0,
+		0, 1, 0, 0,
+		1, 1, 0, 0,
+		0, 0, 0, -1,
+	})
+	writeVec(t, m, 16, []float64{1, 2, 3, 4})
+	p, err := isa.Assemble(`
+		m_rd r0, 0
+		v_rd r1, 16
+		mv_mul r2, r0, r1
+		v_wr r2, 32
+		end_chain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestTileCacheHitsAcrossRuns(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TileCacheMisses != 1 || st.TileCacheHits != 0 {
+		t.Fatalf("cold run: misses=%d hits=%d, want 1/0", st.TileCacheMisses, st.TileCacheHits)
+	}
+	reads := st.DRAMReads
+	for i := 0; i < 3; i++ {
+		if err := m.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = m.Stats()
+	if st.TileCacheMisses != 1 || st.TileCacheHits != 3 {
+		t.Errorf("warm runs: misses=%d hits=%d, want 1/3", st.TileCacheMisses, st.TileCacheHits)
+	}
+	// Warm m_rd reads no DRAM; only the 4-word v_rd per run.
+	if got := st.DRAMReads - reads; got != 3*4 {
+		t.Errorf("warm DRAM reads = %d, want 12", got)
+	}
+}
+
+func TestTileCacheInvalidatedByOverlappingWrite(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite one word inside the cached tile through the host port.
+	writeVec(t, m, 5, []float64{3}) // matrix[1][1]: 1 -> 3
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TileCacheMisses != 2 {
+		t.Errorf("misses = %d, want 2 (write must invalidate)", st.TileCacheMisses)
+	}
+	got := readVecReg(t, m, 2)
+	want := []float64{2, 6, 3, -4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("mv_mul[%d] = %v, want %v (stale tile?)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTileCacheSurvivesNonOverlappingWrite(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// The input slot at 16 and output at 32 do not overlap the tile [0,16).
+	writeVec(t, m, 16, []float64{4, 3, 2, 1})
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TileCacheMisses != 1 || st.TileCacheHits != 1 {
+		t.Errorf("misses=%d hits=%d, want 1/1", st.TileCacheMisses, st.TileCacheHits)
+	}
+	got := readVecReg(t, m, 2)
+	want := []float64{8, 3, 7, -1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("mv_mul[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTileCacheInvalidatedByReshape(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// Same shape: cache stays.
+	if err := m.ConfigureMatrix(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.TileCacheMisses != 1 || st.TileCacheHits != 1 {
+		t.Fatalf("same-shape reconfigure: misses=%d hits=%d, want 1/1", st.TileCacheMisses, st.TileCacheHits)
+	}
+	// New shape: must requantize.
+	if err := m.ConfigureMatrix(0, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := isa.Assemble("m_rd r0, 0\nend_chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.TileCacheMisses != 2 {
+		t.Errorf("reshape: misses = %d, want 2", st.TileCacheMisses)
+	}
+}
+
+// TestSteadyStateZeroAllocs is the headline acceptance guard: a warm run
+// touching every steady-state opcode performs no heap allocation.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ConfigureMatrix(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	writeVec(t, m, 0, []float64{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1})
+	writeVec(t, m, 16, []float64{0.5, -0.25, 1, -1})
+	p, err := isa.Assemble(`
+		m_rd r0, 0
+		v_rd r1, 16
+		mv_mul r2, r0, r1
+		vv_add r3, r2, r1
+		vv_sub r4, r3, r1
+		vv_mul r5, r4, r2
+		v_sigm r6, r5
+		v_tanh r7, r5
+		v_relu r8, r5
+		v_pass r9, r8
+		v_const r10, 0x3c00
+		v_rsub r11, r5, 0x3c00
+		v_wr r11, 32
+		end_chain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := m.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Run allocates %v times, want 0", allocs)
+	}
+}
+
+func TestCachedMReadZeroAllocs(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	mrd, err := isa.Assemble("m_rd r0, 0\nend_chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(mrd); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := m.Run(mrd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached m_rd allocates %v times, want 0", allocs)
+	}
+}
+
+func TestRunBatchRequiresStreams(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.RunBatch(p, StreamWindow{}); !errors.Is(err, ErrNoStreams) {
+		t.Errorf("RunBatch with no offsets = %v, want ErrNoStreams", err)
+	}
+}
+
+// TestRunBatchMatchesSequential checks the batch path against independent
+// sequential machines at the ISA level: banked inputs/outputs, identical
+// register results, identical accumulated stats.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	const B = 3
+	const base = 16 // words below 16 (the matrix) are shared
+	mat := []float64{
+		2, 0, 0, 0,
+		0, 1, 0, 0,
+		1, 1, 0, 0,
+		0, 0, 0, -1,
+	}
+	inputs := [B][]float64{
+		{1, 2, 3, 4},
+		{-1, 0.5, 2, -0.25},
+		{0, 0, 1, 0},
+	}
+	src := `
+		m_rd r0, 0
+		v_rd r1, 16
+		mv_mul r2, r0, r1
+		v_sigm r3, r2
+		vv_add r4, r3, r1
+		v_wr r4, 24
+		end_chain`
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched machine: stream s's window is [16+8s, 24+8s).
+	bm, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.ConfigureMatrix(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	writeVec(t, bm, 0, mat)
+	w := StreamWindow{Base: base}
+	for s := 0; s < B; s++ {
+		writeVec(t, bm, base+8*s, inputs[s])
+		w.Offsets = append(w.Offsets, 8*s)
+	}
+	if err := bm.RunBatch(p, w); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: B independent sequential machines (same cold start).
+	var wantStats ExecStats
+	wantStats.ByOp = map[isa.Opcode]int{}
+	for s := 0; s < B; s++ {
+		sm, err := New(smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sm.ConfigureMatrix(0, 4, 4); err != nil {
+			t.Fatal(err)
+		}
+		writeVec(t, sm, 0, mat)
+		writeVec(t, sm, base, inputs[s])
+		if err := sm.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, reg := range []int{2, 3, 4} {
+			want, err := sm.ReadVector(reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bm.ReadVectorStream(s, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("stream %d r%d = %v, want %v (bit-exact)", s, reg, got, want)
+			}
+		}
+		// Banked v_wr landed in the stream's window.
+		got, err := bm.DRAMPort().ReadWords(24+8*s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sm.DRAMPort().ReadWords(24, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream %d DRAM output %v, want %v", s, got, want)
+		}
+		// Accumulate what B sequential runs on ONE machine would count:
+		// the first misses the tile, later ones hit.
+		st := sm.Stats()
+		if s > 0 {
+			st.TileCacheMisses = 0
+			st.TileCacheHits = 1
+			st.DRAMReads -= 16 // no tile refetch
+		}
+		wantStats.Instructions += st.Instructions
+		wantStats.MACs += st.MACs
+		wantStats.VectorOps += st.VectorOps
+		wantStats.DRAMReads += st.DRAMReads
+		wantStats.DRAMWrites += st.DRAMWrites
+		wantStats.TileCacheHits += st.TileCacheHits
+		wantStats.TileCacheMisses += st.TileCacheMisses
+		for op, c := range st.ByOp {
+			wantStats.ByOp[op] += c
+		}
+	}
+	if got := bm.Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("batched stats = %+v, want %+v", got, wantStats)
+	}
+}
+
+func TestUnwrapDRAM(t *testing.T) {
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.DRAMPort().(*Memory); ok {
+		t.Fatal("DRAMPort should be wrapped for write tracking")
+	}
+	if _, ok := UnwrapDRAM(m.DRAMPort()).(*Memory); !ok {
+		t.Errorf("UnwrapDRAM = %T, want *Memory", UnwrapDRAM(m.DRAMPort()))
+	}
+	// Unwrapping a bare DRAM is the identity.
+	mem := NewMemory(4)
+	if UnwrapDRAM(mem) != DRAM(mem) {
+		t.Error("UnwrapDRAM of a bare Memory must return it")
+	}
+}
+
+func TestStatsMinus(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Stats().Minus(before)
+	if d.Instructions != 5 || d.ByOp[isa.OpMVMul] != 1 {
+		t.Errorf("delta = %+v, want one run's worth", d)
+	}
+	if d.TileCacheHits != 1 || d.TileCacheMisses != 0 {
+		t.Errorf("delta cache stats = %d/%d, want 1 hit", d.TileCacheHits, d.TileCacheMisses)
+	}
+}

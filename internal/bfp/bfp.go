@@ -73,6 +73,24 @@ func (b Block) Len() int { return len(b.Mant) }
 // elements are rounded to nearest (ties away from zero, matching a simple
 // hardware rounder).
 func (c *Codec) Quantize(xs []float64) Block {
+	var b Block
+	c.QuantizeInto(&b, xs)
+	return b
+}
+
+// QuantizeInto is Quantize writing into b, reusing b.Mant's backing array
+// when it is large enough. It is the allocation-free quantization path the
+// accelerator's steady-state execution engine runs per mv_mul; results are
+// identical to Quantize.
+func (c *Codec) QuantizeInto(b *Block, xs []float64) {
+	mant := b.Mant
+	if cap(mant) < len(xs) {
+		mant = make([]int32, len(xs))
+	}
+	mant = mant[:len(xs)]
+	b.Mant = mant
+	b.Exp = 0
+
 	maxAbs := 0.0
 	for _, x := range xs {
 		a := math.Abs(x)
@@ -80,21 +98,24 @@ func (c *Codec) Quantize(xs []float64) Block {
 			maxAbs = a
 		}
 	}
-	b := Block{Mant: make([]int32, len(xs))}
 	if maxAbs == 0 {
-		return b
+		for i := range mant {
+			mant[i] = 0
+		}
+		return
 	}
 	// Choose exp so that maxAbs/2^exp fits in maxMag:
 	// exp = ceil(log2(maxAbs / maxMag)).
 	exp := int(math.Ceil(math.Log2(maxAbs / float64(c.maxMag))))
 	// Guard against boundary rounding pushing past the max magnitude.
-	for math.Round(maxAbs/math.Pow(2, float64(exp))) > float64(c.maxMag) {
+	for math.Round(math.Ldexp(maxAbs, -exp)) > float64(c.maxMag) {
 		exp++
 	}
-	scale := math.Pow(2, float64(-exp))
+	scale := math.Ldexp(1, -exp)
 	for i, x := range xs {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
-			continue // encode as zero: hardware flushes non-finite input
+			mant[i] = 0 // encode as zero: hardware flushes non-finite input
+			continue
 		}
 		m := math.Round(x * scale)
 		if m > float64(c.maxMag) {
@@ -103,10 +124,9 @@ func (c *Codec) Quantize(xs []float64) Block {
 		if m < -float64(c.maxMag) {
 			m = -float64(c.maxMag)
 		}
-		b.Mant[i] = int32(m)
+		mant[i] = int32(m)
 	}
 	b.Exp = exp
-	return b
 }
 
 // Dequantize converts a block back to float64.
@@ -130,7 +150,7 @@ func Dot(a, b Block) (float64, error) {
 	for i := range a.Mant {
 		acc += int64(a.Mant[i]) * int64(b.Mant[i])
 	}
-	return float64(acc) * math.Pow(2, float64(a.Exp+b.Exp)), nil
+	return math.Ldexp(float64(acc), a.Exp+b.Exp), nil
 }
 
 // Matrix is a row-major matrix quantized row-block-wise: each row is split
@@ -175,20 +195,32 @@ func (c *Codec) QuantizeMatrix(data []float64, rows, cols, blockSize int) (*Matr
 // QuantizeVector converts a vector into blocks matching a matrix's column
 // blocking, so MatVec can pair them up.
 func (c *Codec) QuantizeVector(xs []float64, blockSize int) ([]Block, error) {
+	return c.QuantizeVectorInto(nil, xs, blockSize)
+}
+
+// QuantizeVectorInto is QuantizeVector reusing dst's blocks and their
+// mantissa arrays. It returns the (possibly regrown) block slice; after a
+// warm-up call with the same shape it performs no allocation.
+func (c *Codec) QuantizeVectorInto(dst []Block, xs []float64, blockSize int) ([]Block, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("bfp: block size must be positive, got %d", blockSize)
 	}
 	nb := (len(xs) + blockSize - 1) / blockSize
-	out := make([]Block, nb)
+	if cap(dst) < nb {
+		grown := make([]Block, nb)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:nb]
 	for j := 0; j < nb; j++ {
 		lo := j * blockSize
 		hi := lo + blockSize
 		if hi > len(xs) {
 			hi = len(xs)
 		}
-		out[j] = c.Quantize(xs[lo:hi])
+		c.QuantizeInto(&dst[j], xs[lo:hi])
 	}
-	return out, nil
+	return dst, nil
 }
 
 // MatVec multiplies a block-quantized matrix by a block-quantized vector,
@@ -222,6 +254,143 @@ func MatVec(m *Matrix, v []Block) ([]float64, error) {
 		out[r] = sum
 	}
 	return out, nil
+}
+
+// PackedMatrix is the weight-stationary, on-chip form of a block-quantized
+// matrix: every row's mantissas live in one flat row-major array (rows are
+// padded to a whole number of blocks with zero lanes) and the per-block
+// shared exponents in a parallel array. This is the layout one MVM tile
+// actually holds after m_rd, and the flat contiguous storage is what lets
+// the dot-product loop stream through memory with no per-block pointer
+// chasing — the property the batched data plane relies on to keep a tile
+// hot while several input vectors consume it.
+type PackedMatrix struct {
+	Rows, Cols, BlockSize int
+	// Stride is the padded row length in mantissas: NumBlocks()*BlockSize.
+	Stride int
+	// Mant holds Rows*Stride mantissas row-major; padding lanes are zero.
+	Mant []int32
+	// Exp holds Rows*NumBlocks() shared exponents row-major.
+	Exp []int32
+}
+
+// NumBlocks returns the number of column blocks per row.
+func (pm *PackedMatrix) NumBlocks() int { return pm.Stride / pm.BlockSize }
+
+// QuantizeMatrixPacked converts a row-major rows x cols float matrix
+// directly into the packed on-chip layout. Mantissas and exponents are
+// identical to QuantizeMatrix's: each row block is quantized independently
+// with a shared exponent.
+func (c *Codec) QuantizeMatrixPacked(data []float64, rows, cols, blockSize int) (*PackedMatrix, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("bfp: matrix shape %dx%d does not match %d values", rows, cols, len(data))
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("bfp: block size must be positive, got %d", blockSize)
+	}
+	nb := (cols + blockSize - 1) / blockSize
+	pm := &PackedMatrix{
+		Rows: rows, Cols: cols, BlockSize: blockSize,
+		Stride: nb * blockSize,
+		Mant:   make([]int32, rows*nb*blockSize),
+		Exp:    make([]int32, rows*nb),
+	}
+	var scratch Block
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		for j := 0; j < nb; j++ {
+			lo := j * blockSize
+			hi := lo + blockSize
+			if hi > cols {
+				hi = cols
+			}
+			c.QuantizeInto(&scratch, row[lo:hi])
+			copy(pm.Mant[r*pm.Stride+lo:], scratch.Mant)
+			pm.Exp[r*nb+j] = int32(scratch.Exp)
+		}
+	}
+	return pm, nil
+}
+
+// checkVec validates that v's blocking matches the matrix's columns, the
+// same contract MatVec enforces.
+func (pm *PackedMatrix) checkVec(v []Block) error {
+	nb := pm.NumBlocks()
+	if len(v) != nb {
+		return fmt.Errorf("bfp: vector has %d blocks, matrix needs %d", len(v), nb)
+	}
+	for j := 0; j < nb; j++ {
+		want := pm.BlockSize
+		if j == nb-1 {
+			want = pm.Cols - j*pm.BlockSize
+		}
+		if v[j].Len() != want {
+			return fmt.Errorf("bfp: vector block %d has %d elements, want %d", j, v[j].Len(), want)
+		}
+	}
+	return nil
+}
+
+// rowDot is one row's matrix-vector contribution: per-block integer dot
+// products scaled by exact powers of two and accumulated in block order,
+// bit-identical to summing Dot over the unpacked row.
+func (pm *PackedMatrix) rowDot(r int, v []Block) float64 {
+	nb := len(v)
+	base := r * pm.Stride
+	var sum float64
+	for j := range v {
+		vm := v[j].Mant
+		lo := base + j*pm.BlockSize
+		wm := pm.Mant[lo : lo+len(vm)]
+		var acc int64
+		for i := range vm {
+			acc += int64(wm[i]) * int64(vm[i])
+		}
+		sum += math.Ldexp(float64(acc), int(pm.Exp[r*nb+j])+v[j].Exp)
+	}
+	return sum
+}
+
+// MatVecInto multiplies the packed matrix by a block-quantized vector into
+// out (length Rows) without allocating. Results are bit-identical to
+// MatVec on the equivalent unpacked Matrix.
+func (pm *PackedMatrix) MatVecInto(out []float64, v []Block) error {
+	if err := pm.checkVec(v); err != nil {
+		return err
+	}
+	if len(out) != pm.Rows {
+		return fmt.Errorf("bfp: output has %d elements, matrix has %d rows", len(out), pm.Rows)
+	}
+	for r := 0; r < pm.Rows; r++ {
+		out[r] = pm.rowDot(r, v)
+	}
+	return nil
+}
+
+// MatVecBatchInto computes outs[s] = M * vs[s] for every stream s in one
+// pass over the matrix: rows iterate in the outer loop so each row's
+// mantissas are consumed by all B streams while hot in cache — the
+// BrainWave-style batched MVM that amortizes one weight-stationary tile
+// across a micro-batch. Each stream's result is bit-identical to a
+// standalone MatVecInto.
+func (pm *PackedMatrix) MatVecBatchInto(outs [][]float64, vs [][]Block) error {
+	if len(outs) != len(vs) {
+		return fmt.Errorf("bfp: %d outputs for %d vectors", len(outs), len(vs))
+	}
+	for s := range vs {
+		if err := pm.checkVec(vs[s]); err != nil {
+			return fmt.Errorf("stream %d: %w", s, err)
+		}
+		if len(outs[s]) != pm.Rows {
+			return fmt.Errorf("bfp: stream %d output has %d elements, matrix has %d rows", s, len(outs[s]), pm.Rows)
+		}
+	}
+	for r := 0; r < pm.Rows; r++ {
+		for s := range vs {
+			outs[s][r] = pm.rowDot(r, vs[s])
+		}
+	}
+	return nil
 }
 
 // QuantError returns the max absolute error introduced by quantizing xs with

@@ -208,3 +208,20 @@ func ToSlice64(ns []Num) []float64 {
 	}
 	return out
 }
+
+// FromSlice64Into rounds xs element-wise into dst, which must be at least
+// as long as xs. It is the allocation-free form of FromSlice64 used by the
+// accelerator's steady-state execution engine.
+func FromSlice64Into(dst []Num, xs []float64) {
+	for i, x := range xs {
+		dst[i] = FromFloat64(x)
+	}
+}
+
+// ToSlice64Into widens ns element-wise into dst, which must be at least as
+// long as ns. It is the allocation-free form of ToSlice64.
+func ToSlice64Into(dst []float64, ns []Num) {
+	for i, n := range ns {
+		dst[i] = n.Float64()
+	}
+}

@@ -1,0 +1,190 @@
+// Package inferbench holds the online data-plane benchmark bodies, shared
+// by the repo's `go test -bench` wrappers and by cmd/mlv-bench-infer,
+// which records them into BENCH_infer.json.
+package inferbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// The steady-state shape matches the recorded pre-optimization baseline:
+// DeepBench LSTM h=256 truncated to 8 timesteps on a 2-tile instance.
+const (
+	ssHidden = 256
+	ssSteps  = 8
+	ssTiles  = 2
+	// BatchStreams is the RunBatch width measured by InferBatched.
+	BatchStreams = 8
+)
+
+func steadyKernel(b *testing.B) (*kernels.Kernel, [][]float64) {
+	b.Helper()
+	w := kernels.RandomWeights(kernels.LSTM, ssHidden, 1)
+	k, err := kernels.Build(w, ssSteps, ssTiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	xs := make([][]float64, ssSteps)
+	for t := range xs {
+		x := make([]float64, ssHidden)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		xs[t] = x
+	}
+	return k, xs
+}
+
+// InferSteadyState measures one warm single-stream inference: tiles cached,
+// register files sized, zero allocation per run.
+func InferSteadyState(b *testing.B) {
+	k, xs := steadyKernel(b)
+	m, err := k.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t, x := range xs {
+		if err := k.SetInput(m, t, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.Run(k.Prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(k.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// InferBatched measures one warm RunBatch over BatchStreams input streams
+// (one op = a whole batch; per-inference cost is ns_per_op/BatchStreams).
+func InferBatched(b *testing.B) {
+	k, xs := steadyKernel(b)
+	m, err := k.NewBatchMachine(BatchStreams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := k.Window(BatchStreams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < BatchStreams; s++ {
+		for t, x := range xs {
+			if err := k.SetInputStream(m, s, t, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := m.RunBatch(k.Prog, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunBatch(k.Prog, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ServeConcurrent measures the full HTTP data plane under concurrent
+// clients: a DeepBench GRU h=512 t=1 lease served through /infer with
+// micro-batching.
+func ServeConcurrent(b *testing.B) {
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(resource.PaperCluster(), db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lease, err := svc.Deploy(kernels.LayerSpec{Kind: kernels.GRU, Hidden: 512, TimeSteps: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := rms.DefaultInferOptions()
+	dp := rms.NewDataPlane(svc, opts)
+	defer dp.Close()
+	srv := httptest.NewServer(dp.Handler())
+	defer srv.Close()
+
+	r := rand.New(rand.NewSource(3))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"id":%d,"inputs":[[`, lease.ID)
+	for i := 0; i < 512; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%.4f", r.NormFloat64())
+	}
+	sb.WriteString("]]}")
+	body := sb.String()
+
+	// Warm the engine (kernel build + machine pool) outside the timer.
+	if err := postInfer(srv.URL, body); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := postInfer(srv.URL, body); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func postInfer(url, body string) error {
+	resp, err := http.Post(url+"/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("infer: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Result is one recorded measurement for BENCH_infer.json.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// NsPerInference normalizes batched results to a single stream.
+	NsPerInference float64 `json:"ns_per_inference,omitempty"`
+	Note           string  `json:"note,omitempty"`
+}
+
+// Measure runs fn through testing.Benchmark with memory stats.
+func Measure(name string, streams int, fn func(*testing.B), note string) Result {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	r := Result{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Note:        note,
+	}
+	if streams > 1 {
+		r.NsPerInference = float64(res.NsPerOp()) / float64(streams)
+	}
+	return r
+}

@@ -6,6 +6,7 @@ package kernels
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mlvfpga/internal/accel"
@@ -110,11 +111,7 @@ func sqrtf(x float64) float64 {
 	if x <= 0 {
 		return 1
 	}
-	z := x
-	for i := 0; i < 40; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
+	return math.Sqrt(x)
 }
 
 // Kernel is a compiled inference task: the program, the initial DRAM
@@ -140,12 +137,33 @@ func (k *Kernel) OutputAddr(t int) int { return k.outputBase + t*k.Spec.Hidden }
 // NewMachine builds a machine loaded with the kernel's DRAM image and
 // matrix shapes.
 func (k *Kernel) NewMachine() (*accel.Machine, error) {
-	return k.NewMachineWithDRAM(nil)
+	return k.newMachine(k.Cfg, nil)
 }
 
 // NewMachineWithDRAM is NewMachine over a caller-provided DRAM port.
 func (k *Kernel) NewMachineWithDRAM(dram accel.DRAM) (*accel.Machine, error) {
-	m, err := accel.NewWithDRAM(k.Cfg, dram)
+	return k.newMachine(k.Cfg, dram)
+}
+
+// NewBatchMachine builds a machine sized for RunBatch over up to batch
+// input streams. The DRAM is right-sized to the shared image plus the
+// banked per-stream windows instead of the full default board, so a
+// serving pool of batch machines stays cheap.
+func (k *Kernel) NewBatchMachine(batch int) (*accel.Machine, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("kernels: batch = %d", batch)
+	}
+	cfg := k.Cfg
+	need := k.inputBase + batch*k.StreamStride()
+	if need > cfg.DRAMWords {
+		return nil, fmt.Errorf("kernels: batch %d needs %d DRAM words, board has %d", batch, need, cfg.DRAMWords)
+	}
+	cfg.DRAMWords = need
+	return k.newMachine(cfg, nil)
+}
+
+func (k *Kernel) newMachine(cfg accel.Config, dram accel.DRAM) (*accel.Machine, error) {
+	m, err := accel.NewWithDRAM(cfg, dram)
 	if err != nil {
 		return nil, err
 	}
@@ -162,17 +180,53 @@ func (k *Kernel) NewMachineWithDRAM(dram accel.DRAM) (*accel.Machine, error) {
 	return m, nil
 }
 
+// StreamStride is the DRAM footprint of one stream's banked window: the
+// per-timestep input block followed by the per-timestep output block
+// (contiguous in the kernel layout).
+func (k *Kernel) StreamStride() int { return 2 * k.Spec.Hidden * k.Spec.TimeSteps }
+
+// Window returns the StreamWindow for a RunBatch over batch streams:
+// everything below inputBase (weights, biases) is shared; stream s's
+// inputs and outputs live at the kernel's addresses shifted by
+// s*StreamStride().
+func (k *Kernel) Window(batch int) (accel.StreamWindow, error) {
+	if batch <= 0 {
+		return accel.StreamWindow{}, fmt.Errorf("kernels: batch = %d", batch)
+	}
+	offs := make([]int, batch)
+	for s := range offs {
+		offs[s] = s * k.StreamStride()
+	}
+	return accel.StreamWindow{Base: k.inputBase, Offsets: offs}, nil
+}
+
+// StreamInputAddr returns the DRAM word address of stream s's x_t.
+func (k *Kernel) StreamInputAddr(s, t int) int { return k.InputAddr(t) + s*k.StreamStride() }
+
+// StreamOutputAddr returns the DRAM word address of stream s's h_t.
+func (k *Kernel) StreamOutputAddr(s, t int) int { return k.OutputAddr(t) + s*k.StreamStride() }
+
 // SetInput writes x_t into the machine's DRAM.
 func (k *Kernel) SetInput(m *accel.Machine, t int, x []float64) error {
+	return k.SetInputStream(m, 0, t, x)
+}
+
+// SetInputStream writes stream s's x_t into the machine's DRAM.
+func (k *Kernel) SetInputStream(m *accel.Machine, s, t int, x []float64) error {
 	if len(x) != k.Spec.Hidden {
 		return fmt.Errorf("kernels: input length %d, want %d", len(x), k.Spec.Hidden)
 	}
-	return m.DRAMPort().WriteWords(k.InputAddr(t), fp16.FromSlice64(x))
+	return m.DRAMPort().WriteWords(k.StreamInputAddr(s, t), fp16.FromSlice64(x))
 }
 
 // ReadOutput reads h_t back from DRAM.
 func (k *Kernel) ReadOutput(m *accel.Machine, t int) ([]float64, error) {
-	words, err := m.DRAMPort().ReadWords(k.OutputAddr(t), k.Spec.Hidden)
+	return k.ReadOutputStream(m, 0, t)
+}
+
+// ReadOutputStream reads stream s's h_t back from DRAM.
+func (k *Kernel) ReadOutputStream(m *accel.Machine, s, t int) ([]float64, error) {
+	words, err := m.DRAMPort().ReadWords(k.StreamOutputAddr(s, t), k.Spec.Hidden)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,20 @@ import (
 //	POST /release  {"id":3}                                    -> 204
 //	GET  /status                                               -> ClusterStatus
 //	GET  /lease/{id}                                           -> Lease
-func Handler(s *Service) http.Handler {
+//
+// Handler exposes the admission API only; DataPlane.Handler adds the
+// /infer and /healthz serving endpoints.
+func Handler(s *Service) http.Handler { return handler(s, nil) }
+
+// Handler exposes the admission API plus the serving endpoints:
+//
+//	POST /infer    {"id":3,"inputs":[[...h floats...], ...]}   -> InferResult
+//	GET  /healthz                                              -> 200 "ok"
+//
+// /release drains the lease's engine before freeing its blocks.
+func (dp *DataPlane) Handler() http.Handler { return handler(dp.svc, dp) }
+
+func handler(s *Service, dp *DataPlane) http.Handler {
 	mux := http.NewServeMux()
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
@@ -82,7 +95,11 @@ func Handler(s *Service) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.Release(req.ID); err != nil {
+		release := s.Release
+		if dp != nil {
+			release = dp.Release
+		}
+		if err := release(req.ID); err != nil {
 			if errors.Is(err, ErrUnknownLease) {
 				writeErr(w, http.StatusNotFound, err)
 				return
@@ -96,6 +113,39 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Status())
 	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+
+	if dp != nil {
+		mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+				return
+			}
+			var req struct {
+				ID     int         `json:"id"`
+				Inputs [][]float64 `json:"inputs"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			res, err := dp.Infer(req.ID, req.Inputs)
+			switch {
+			case errors.Is(err, ErrUnknownLease):
+				writeErr(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrLeaseClosing):
+				writeErr(w, http.StatusServiceUnavailable, err)
+			case err != nil:
+				writeErr(w, http.StatusBadRequest, err)
+			default:
+				writeJSON(w, http.StatusOK, res)
+			}
+		})
+	}
 
 	mux.HandleFunc("/lease/", func(w http.ResponseWriter, r *http.Request) {
 		var id int

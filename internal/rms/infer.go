@@ -1,0 +1,372 @@
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/kernels"
+)
+
+// ErrLeaseClosing is returned by Infer when the lease's engine is shutting
+// down (release or server drain).
+var ErrLeaseClosing = errors.New("rms: lease is closing")
+
+// InferOptions tunes the online data plane.
+type InferOptions struct {
+	// MaxBatch is the largest micro-batch one machine executes; a full
+	// batch flushes immediately.
+	MaxBatch int
+	// FlushDelay bounds how long a partial batch waits for co-riders
+	// before it flushes.
+	FlushDelay time.Duration
+	// Machines is the per-lease machine pool size: how many batches of a
+	// lease can execute concurrently.
+	Machines int
+	// Tiles is the simulated tile-engine count per machine.
+	Tiles int
+	// MantissaBits overrides the BFP mantissa width (0 = default).
+	MantissaBits int
+	// Seed derives per-lease weights (Seed + lease id), standing in for a
+	// real deployment's model upload.
+	Seed int64
+}
+
+// DefaultInferOptions returns the serving defaults.
+func DefaultInferOptions() InferOptions {
+	return InferOptions{
+		MaxBatch:   8,
+		FlushDelay: 500 * time.Microsecond,
+		Machines:   2,
+		Tiles:      2,
+		Seed:       1,
+	}
+}
+
+// InferResult is one request's answer plus batching observability: which
+// stream of how large a batch served it, how long it queued, and the
+// execution-stat delta of the batch that carried it (shared by its
+// co-riders — TileCacheHits there is what weight-stationary batching
+// saves).
+type InferResult struct {
+	LeaseID    int             `json:"lease_id"`
+	Outputs    [][]float64     `json:"outputs"`
+	BatchSize  int             `json:"batch_size"`
+	Stream     int             `json:"stream"`
+	QueueWait  time.Duration   `json:"queue_wait_ns"`
+	BatchStats accel.ExecStats `json:"batch_stats"`
+}
+
+type inferRequest struct {
+	inputs   [][]float64
+	enqueued time.Time
+	resp     chan inferResponse
+}
+
+type inferResponse struct {
+	result *InferResult
+	err    error
+}
+
+// inferEngine is one lease's serving state: the compiled kernel, a
+// free-list of warm machines (weights resident in every tile cache), and
+// the micro-batching collector goroutine.
+type inferEngine struct {
+	leaseID int
+	kern    *kernels.Kernel
+	opts    InferOptions
+
+	reqs     chan *inferRequest
+	pool     chan *accel.Machine
+	done     chan struct{}
+	loopDone chan struct{}
+	running  sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newInferEngine(lease *Lease, opts InferOptions) (*inferEngine, error) {
+	spec := lease.Spec
+	w := kernels.RandomWeights(spec.Kind, spec.Hidden, opts.Seed+int64(lease.ID))
+	kern, err := kernels.Build(w, spec.TimeSteps, opts.Tiles)
+	if err != nil {
+		return nil, fmt.Errorf("rms: building kernel for lease %d: %w", lease.ID, err)
+	}
+	kern.Cfg.MantissaBits = opts.MantissaBits
+	e := &inferEngine{
+		leaseID:  lease.ID,
+		kern:     kern,
+		opts:     opts,
+		reqs:     make(chan *inferRequest, opts.MaxBatch*opts.Machines),
+		pool:     make(chan *accel.Machine, opts.Machines),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for i := 0; i < opts.Machines; i++ {
+		m, err := kern.NewBatchMachine(opts.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		// Warm the tile cache (and size the register files) so the first
+		// request already runs the steady-state path.
+		if err := m.Run(kern.Prog); err != nil {
+			return nil, fmt.Errorf("rms: warming lease %d: %w", lease.ID, err)
+		}
+		e.pool <- m
+	}
+	go e.loop()
+	return e, nil
+}
+
+// submit enqueues a request unless the engine is closing.
+func (e *inferEngine) submit(req *inferRequest) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrLeaseClosing
+	}
+	e.reqs <- req
+	return nil
+}
+
+// close stops admission, serves everything already queued, and waits for
+// in-flight batches to finish.
+func (e *inferEngine) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	<-e.loopDone
+	e.running.Wait()
+}
+
+// loop collects micro-batches and dispatches each to a pooled machine.
+// Collection continues while a batch executes, so up to opts.Machines
+// batches of one lease run concurrently.
+func (e *inferEngine) loop() {
+	defer close(e.loopDone)
+	for {
+		batch, ok := e.collect()
+		if !ok {
+			return
+		}
+		m := <-e.pool
+		e.running.Add(1)
+		go e.execute(m, batch)
+	}
+}
+
+// collect blocks for the first request, then greedily drains whatever else
+// is queued; a partial batch waits up to FlushDelay for co-riders. A full
+// batch flushes immediately.
+func (e *inferEngine) collect() ([]*inferRequest, bool) {
+	var first *inferRequest
+	select {
+	case first = <-e.reqs:
+	case <-e.done:
+		// Graceful drain: serve what is already queued, then stop.
+		select {
+		case first = <-e.reqs:
+		default:
+			return nil, false
+		}
+	}
+	batch := append(make([]*inferRequest, 0, e.opts.MaxBatch), first)
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case r := <-e.reqs:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= e.opts.MaxBatch || e.opts.FlushDelay <= 0 {
+		return batch, true
+	}
+	timer := time.NewTimer(e.opts.FlushDelay)
+	defer timer.Stop()
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case r := <-e.reqs:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch, true
+		case <-e.done:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// execute runs one micro-batch on m and answers every rider.
+func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
+	defer e.running.Done()
+	defer func() { e.pool <- m }()
+
+	fail := func(err error) {
+		for _, req := range batch {
+			req.resp <- inferResponse{err: err}
+		}
+	}
+	w, err := e.kern.Window(len(batch))
+	if err != nil {
+		fail(err)
+		return
+	}
+	for s, req := range batch {
+		for t, x := range req.inputs {
+			if err := e.kern.SetInputStream(m, s, t, x); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+	started := time.Now()
+	before := m.Stats()
+	if err := m.RunBatch(e.kern.Prog, w); err != nil {
+		fail(err)
+		return
+	}
+	delta := m.Stats().Minus(before)
+	steps := e.kern.Spec.TimeSteps
+	for s, req := range batch {
+		outs := make([][]float64, steps)
+		var rerr error
+		for t := range outs {
+			if outs[t], rerr = e.kern.ReadOutputStream(m, s, t); rerr != nil {
+				break
+			}
+		}
+		if rerr != nil {
+			req.resp <- inferResponse{err: rerr}
+			continue
+		}
+		req.resp <- inferResponse{result: &InferResult{
+			LeaseID:    e.leaseID,
+			Outputs:    outs,
+			BatchSize:  len(batch),
+			Stream:     s,
+			QueueWait:  started.Sub(req.enqueued),
+			BatchStats: delta,
+		}}
+	}
+}
+
+// DataPlane serves inferences against admitted leases: per-lease machine
+// pools with resident (weight-stationary) tiles, fed by a micro-batching
+// queue so concurrent clients share each tile fetch.
+type DataPlane struct {
+	svc  *Service
+	opts InferOptions
+
+	mu      sync.Mutex
+	engines map[int]*engineSlot
+}
+
+type engineSlot struct {
+	once sync.Once
+	e    *inferEngine
+	err  error
+}
+
+// NewDataPlane builds a data plane over the admission service.
+func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1
+	}
+	if opts.Machines <= 0 {
+		opts.Machines = 1
+	}
+	if opts.Tiles <= 0 {
+		opts.Tiles = 1
+	}
+	return &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}}
+}
+
+// Infer runs the lease's layer on inputs (one vector of the layer's hidden
+// size per timestep) and returns the per-timestep hidden states. The
+// request rides a micro-batch with whatever else is in flight for the
+// lease.
+func (dp *DataPlane) Infer(leaseID int, inputs [][]float64) (*InferResult, error) {
+	lease, ok := dp.svc.Lease(leaseID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
+	}
+	spec := lease.Spec
+	if len(inputs) != spec.TimeSteps {
+		return nil, fmt.Errorf("rms: got %d input vectors, layer has %d timesteps", len(inputs), spec.TimeSteps)
+	}
+	for t, x := range inputs {
+		if len(x) != spec.Hidden {
+			return nil, fmt.Errorf("rms: input %d has %d elements, hidden size is %d", t, len(x), spec.Hidden)
+		}
+	}
+	e, err := dp.engine(lease)
+	if err != nil {
+		return nil, err
+	}
+	req := &inferRequest{inputs: inputs, enqueued: time.Now(), resp: make(chan inferResponse, 1)}
+	if err := e.submit(req); err != nil {
+		return nil, err
+	}
+	r := <-req.resp
+	return r.result, r.err
+}
+
+// engine returns the lease's serving engine, building it on first use.
+func (dp *DataPlane) engine(lease *Lease) (*inferEngine, error) {
+	dp.mu.Lock()
+	slot, ok := dp.engines[lease.ID]
+	if !ok {
+		slot = &engineSlot{}
+		dp.engines[lease.ID] = slot
+	}
+	dp.mu.Unlock()
+	slot.once.Do(func() { slot.e, slot.err = newInferEngine(lease, dp.opts) })
+	if slot.err != nil {
+		return nil, slot.err
+	}
+	return slot.e, nil
+}
+
+// Release drains and stops the lease's engine, then frees its blocks.
+func (dp *DataPlane) Release(leaseID int) error {
+	dp.mu.Lock()
+	slot := dp.engines[leaseID]
+	delete(dp.engines, leaseID)
+	dp.mu.Unlock()
+	if slot != nil {
+		// Ensure the once has resolved before closing.
+		slot.once.Do(func() {})
+		if slot.e != nil {
+			slot.e.close()
+		}
+	}
+	return dp.svc.Release(leaseID)
+}
+
+// Close drains and stops every engine (leases stay admitted; pair with
+// Service.Release for a full teardown).
+func (dp *DataPlane) Close() {
+	dp.mu.Lock()
+	slots := make([]*engineSlot, 0, len(dp.engines))
+	for id, s := range dp.engines {
+		slots = append(slots, s)
+		delete(dp.engines, id)
+	}
+	dp.mu.Unlock()
+	for _, s := range slots {
+		s.once.Do(func() {})
+		if s.e != nil {
+			s.e.close()
+		}
+	}
+}

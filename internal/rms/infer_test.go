@@ -1,0 +1,281 @@
+package rms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/resource"
+)
+
+func testPlane(t *testing.T, opts InferOptions) (*Service, *DataPlane, *Lease) {
+	t.Helper()
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := svc.Deploy(kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := NewDataPlane(svc, opts)
+	t.Cleanup(dp.Close)
+	return svc, dp, lease
+}
+
+func testInputs(spec kernels.LayerSpec, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, spec.TimeSteps)
+	for t := range xs {
+		x := make([]float64, spec.Hidden)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		xs[t] = x
+	}
+	return xs
+}
+
+// referenceOutputs runs the lease's layer directly on a standalone machine
+// (same derived weights), bypassing the data plane.
+func referenceOutputs(t *testing.T, lease *Lease, opts InferOptions, inputs [][]float64) [][]float64 {
+	t.Helper()
+	spec := lease.Spec
+	w := kernels.RandomWeights(spec.Kind, spec.Hidden, opts.Seed+int64(lease.ID))
+	k, err := kernels.Build(w, spec.TimeSteps, opts.Tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt, x := range inputs {
+		if err := k.SetInput(m, tt, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(k.Prog); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float64, spec.TimeSteps)
+	for tt := range outs {
+		if outs[tt], err = k.ReadOutput(m, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return outs
+}
+
+func TestInferMatchesDirectKernel(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	_, dp, lease := testPlane(t, opts)
+	inputs := testInputs(lease.Spec, 3)
+	res, err := dp.Infer(lease.ID, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, lease, opts, inputs)
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Error("data-plane inference differs from direct kernel execution")
+	}
+	if res.LeaseID != lease.ID || res.BatchSize < 1 {
+		t.Errorf("result metadata = %+v", res)
+	}
+	if res.BatchStats.Instructions == 0 {
+		t.Error("batch stats not threaded through")
+	}
+}
+
+// TestInferBatchesConcurrentRequests forces co-riding: with a generous
+// flush delay, 4 concurrent requests must share one batch, every rider
+// must see BatchSize 4, and each must still get exactly its own
+// single-stream answer (batching determinism through the whole stack).
+func TestInferBatchesConcurrentRequests(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 4
+	opts.FlushDelay = 200 * time.Millisecond
+	_, dp, lease := testPlane(t, opts)
+
+	// Prime the engine so the batch window opens after all goroutines are
+	// submitting.
+	if _, err := dp.Infer(lease.ID, testInputs(lease.Spec, 99)); err != nil {
+		t.Fatal(err)
+	}
+
+	const B = 4
+	results := make([]*InferResult, B)
+	inputs := make([][][]float64, B)
+	var wg sync.WaitGroup
+	for i := 0; i < B; i++ {
+		inputs[i] = testInputs(lease.Spec, int64(i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := dp.Infer(lease.ID, inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		if res.BatchSize != B {
+			t.Errorf("request %d rode batch of %d, want %d", i, res.BatchSize, B)
+		}
+		want := referenceOutputs(t, lease, opts, inputs[i])
+		if !reflect.DeepEqual(res.Outputs, want) {
+			t.Errorf("request %d: batched result differs from solo execution", i)
+		}
+	}
+	// A warm batch serves every rider's m_rd from the tile cache.
+	if hits := results[0].BatchStats.TileCacheHits; hits == 0 {
+		t.Error("batched run recorded no tile-cache hits")
+	}
+	if misses := results[0].BatchStats.TileCacheMisses; misses != 0 {
+		t.Errorf("warm batch missed the tile cache %d times", misses)
+	}
+}
+
+func TestInferUnknownAndReleasedLease(t *testing.T) {
+	opts := DefaultInferOptions()
+	_, dp, lease := testPlane(t, opts)
+	if _, err := dp.Infer(9999, testInputs(lease.Spec, 1)); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("unknown lease: %v", err)
+	}
+	if _, err := dp.Infer(lease.ID, testInputs(lease.Spec, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Infer(lease.ID, testInputs(lease.Spec, 1)); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("released lease: %v", err)
+	}
+}
+
+func TestInferValidatesShape(t *testing.T) {
+	opts := DefaultInferOptions()
+	_, dp, lease := testPlane(t, opts)
+	if _, err := dp.Infer(lease.ID, [][]float64{{1, 2}}); err == nil {
+		t.Error("short input accepted")
+	}
+	bad := testInputs(lease.Spec, 1)
+	bad[1] = bad[1][:10]
+	if _, err := dp.Infer(lease.ID, bad); err == nil {
+		t.Error("wrong hidden size accepted")
+	}
+}
+
+// TestInferConcurrentLoad hammers one lease from many goroutines; run
+// under -race this is the data plane's concurrency guard.
+func TestInferConcurrentLoad(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 2
+	opts.MaxBatch = 4
+	opts.FlushDelay = 100 * time.Microsecond
+	_, dp, lease := testPlane(t, opts)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := dp.Infer(lease.ID, testInputs(lease.Spec, int64(g*10+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInferHTTP(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultInferOptions()
+	dp := NewDataPlane(svc, opts)
+	defer dp.Close()
+	srv := httptest.NewServer(dp.Handler())
+	defer srv.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp = post("/deploy", map[string]any{"kind": "LSTM", "hidden": 256, "timesteps": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy: %d", resp.StatusCode)
+	}
+	var lease Lease
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	resp = post("/infer", map[string]any{"id": lease.ID, "inputs": testInputs(spec, 5)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d", resp.StatusCode)
+	}
+	var res InferResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(res.Outputs) != 2 || len(res.Outputs[0]) != 256 {
+		t.Errorf("infer outputs shape %dx%d", len(res.Outputs), len(res.Outputs[0]))
+	}
+
+	resp = post("/infer", map[string]any{"id": lease.ID, "inputs": [][]float64{{1}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad shape: %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = post("/release", map[string]any{"id": lease.ID})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("release: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = post("/infer", map[string]any{"id": lease.ID, "inputs": testInputs(spec, 5)})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("infer after release: %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	if got := svc.Status().ActiveLeases; got != 0 {
+		t.Errorf("active leases after release = %d", got)
+	}
+}

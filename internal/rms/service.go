@@ -3,6 +3,7 @@ package rms
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -164,6 +165,19 @@ func (s *Service) Release(id int) error {
 	}
 	delete(s.leases, id)
 	return nil
+}
+
+// Leases returns the active leases sorted by id (used by graceful
+// shutdown to drain every deployment).
+func (s *Service) Leases() []*Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Lease, 0, len(s.leases))
+	for _, l := range s.leases {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Lease returns an active lease by id.

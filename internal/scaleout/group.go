@@ -334,7 +334,7 @@ func (sg *ScaledGroup) Run(ms []*accel.Machine) error {
 			defer wg.Done()
 			errs[d] = ms[d].Run(sg.Progs[d])
 			if errs[d] != nil {
-				if s, ok := ms[d].DRAMPort().(*GroupSync); ok {
+				if s, ok := accel.UnwrapDRAM(ms[d].DRAMPort()).(*GroupSync); ok {
 					s.Abort()
 				}
 			}

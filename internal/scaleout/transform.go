@@ -334,7 +334,7 @@ func (sp *ScaledPair) Run(ms [2]*accel.Machine) error {
 			defer wg.Done()
 			errs[d] = ms[d].Run(sp.Progs[d])
 			if errs[d] != nil {
-				if s, ok := ms[d].DRAMPort().(*SyncModule); ok {
+				if s, ok := accel.UnwrapDRAM(ms[d].DRAMPort()).(*SyncModule); ok {
 					s.Abort()
 				}
 			}
