@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer fuzz repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-cluster soak fuzz repro examples clean
 
 all: check
 
@@ -31,6 +31,15 @@ bench:
 bench-infer:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferSteadyState|BenchmarkInferBatched|BenchmarkServeConcurrent' -benchmem .
 	$(GO) run ./cmd/mlv-bench-infer
+
+# Run the cluster soak + registry benchmarks and refresh BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/mlv-bench-cluster
+
+# Failure-injection soak: kill one device mid-run, drain another, assert
+# no request or lease is lost. -short keeps it CI-sized.
+soak:
+	$(GO) test -race -short -run 'TestSoak|TestControlLoop' -v ./internal/cluster
 
 # Reproduce the paper's evaluation with side-by-side published values.
 repro:

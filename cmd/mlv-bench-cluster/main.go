@@ -1,0 +1,143 @@
+// mlv-bench-cluster runs the failure-injection soak and writes
+// BENCH_cluster.json: control-plane pass latencies (the cost of one
+// sweep + evacuate + rebalance tick over a serving fleet), soak verdicts
+// (requests lost, leases lost, migrations) and per-operation timings for
+// the registry hot paths.
+//
+// Usage:
+//
+//	mlv-bench-cluster [-o BENCH_cluster.json] [-short]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"mlvfpga/internal/cluster"
+)
+
+type report struct {
+	Recorded string `json:"recorded"`
+	Host     struct {
+		CPU          string `json:"cpu"`
+		HardwareCPUs int    `json:"hardware_cpus"`
+		Note         string `json:"note"`
+	} `json:"host"`
+	Command string `json:"command"`
+	Soak    struct {
+		Scenario   string `json:"scenario"`
+		Accepted   int    `json:"accepted"`
+		Completed  int    `json:"completed"`
+		Failed     int    `json:"failed"`
+		LostLeases int    `json:"lost_leases"`
+		Stranded   int    `json:"stranded"`
+		Migrations int    `json:"migrations"`
+		MaxDepth   int    `json:"max_depth"`
+		Ticks      int    `json:"ticks"`
+	} `json:"soak"`
+	TickLatency struct {
+		P50NS float64 `json:"p50_ns"`
+		P90NS float64 `json:"p90_ns"`
+		P99NS float64 `json:"p99_ns"`
+		MaxNS float64 `json:"max_ns"`
+		Note  string  `json:"note"`
+	} `json:"tick_latency"`
+	Registry struct {
+		HeartbeatNS float64 `json:"heartbeat_ns_per_op"`
+		SweepNS     float64 `json:"sweep_ns_per_op"`
+		SnapshotNS  float64 `json:"snapshot_ns_per_op"`
+		Devices     int     `json:"devices"`
+	} `json:"registry"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_cluster.json", "output file")
+	short := flag.Bool("short", false, "run the CI-sized soak")
+	flag.Parse()
+
+	opts := cluster.DefaultSoakOptions()
+	if *short {
+		opts = cluster.ShortSoakOptions()
+	}
+	fmt.Printf("mlv-bench-cluster: soak (%d leases x %d requests, kill@%d drain@%d)...\n",
+		opts.Leases, opts.Requests, opts.KillAtStep, opts.DrainAtStep)
+	res, err := cluster.RunSoak(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rep report
+	rep.Recorded = time.Now().UTC().Format("2006-01-02")
+	rep.Host.CPU = "see `lscpu`"
+	rep.Host.HardwareCPUs = runtime.NumCPU()
+	rep.Host.Note = "tick latencies are wall-clock over a live serving fleet; compare shapes, not absolute ns"
+	rep.Command = "go run ./cmd/mlv-bench-cluster"
+	rep.Soak.Scenario = fmt.Sprintf("4 devices, kill device %d mid-run, drain device %d, %d clients/lease",
+		res.KilledDevice, res.DrainedDevice, opts.Clients)
+	rep.Soak.Accepted = res.Accepted
+	rep.Soak.Completed = res.Completed
+	rep.Soak.Failed = res.Failed
+	rep.Soak.LostLeases = res.LostLeases
+	rep.Soak.Stranded = res.Stranded
+	rep.Soak.Migrations = res.Migrations
+	rep.Soak.MaxDepth = res.MaxDepth
+	rep.Soak.Ticks = len(res.Reports)
+	rep.TickLatency.P50NS = float64(res.TickLatencyPercentile(0.50))
+	rep.TickLatency.P90NS = float64(res.TickLatencyPercentile(0.90))
+	rep.TickLatency.P99NS = float64(res.TickLatencyPercentile(0.99))
+	rep.TickLatency.MaxNS = float64(res.TickLatencyPercentile(1.0))
+	rep.TickLatency.Note = "one control pass: registry sweep + evacuation + load-driven rebalance (migrations included)"
+
+	benchRegistry(&rep)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mlv-bench-cluster: %d/%d requests, %d migrations, tick p50 %.0fns p99 %.0fns -> %s\n",
+		res.Completed, res.Accepted, res.Migrations, rep.TickLatency.P50NS, rep.TickLatency.P99NS, *out)
+	if res.Failed != 0 || res.LostLeases != 0 || res.Stranded != 0 {
+		log.Fatalf("soak failed: %d failed requests, %d lost leases, %d stranded placements",
+			res.Failed, res.LostLeases, res.Stranded)
+	}
+}
+
+// benchRegistry times the registry hot paths over a 64-device fleet.
+func benchRegistry(rep *report) {
+	const devices = 64
+	clk := cluster.NewFakeClock(time.Unix(0, 0))
+	reg := cluster.NewRegistry(clk, cluster.DefaultRegistryConfig())
+	for i := 0; i < devices; i++ {
+		if err := reg.Register(i, "XCVU37P", 12); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep.Registry.Devices = devices
+
+	const iters = 100000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		_ = reg.Heartbeat(i % devices)
+	}
+	rep.Registry.HeartbeatNS = float64(time.Since(start)) / iters
+
+	start = time.Now()
+	for i := 0; i < iters/10; i++ {
+		_ = reg.Sweep()
+	}
+	rep.Registry.SweepNS = float64(time.Since(start)) / (iters / 10)
+
+	start = time.Now()
+	for i := 0; i < iters/10; i++ {
+		_ = reg.Snapshot()
+	}
+	rep.Registry.SnapshotNS = float64(time.Since(start)) / (iters / 10)
+}

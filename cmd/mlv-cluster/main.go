@@ -1,0 +1,147 @@
+// mlv-cluster is the operator CLI for a running mlv-serve fleet: it talks
+// to the /cluster HTTP surface to inspect device health, drain or revive
+// devices, inject failures, and force a control-plane pass.
+//
+// Usage:
+//
+//	mlv-cluster [-addr host:port] devices
+//	mlv-cluster [-addr host:port] drain <device-id>
+//	mlv-cluster [-addr host:port] undrain <device-id>
+//	mlv-cluster [-addr host:port] kill <device-id>
+//	mlv-cluster [-addr host:port] heartbeat <device-id>
+//	mlv-cluster [-addr host:port] rebalance
+//	mlv-cluster [-addr host:port] status
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"mlvfpga/internal/cluster"
+	"mlvfpga/internal/rms"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mlv-cluster [-addr host:port] <devices|drain|undrain|kill|heartbeat|rebalance|status> [device-id]")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "mlv-serve address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	deviceArg := func() int {
+		if flag.NArg() != 2 {
+			usage()
+		}
+		id, err := strconv.Atoi(flag.Arg(1))
+		if err != nil {
+			fatalf("bad device id %q", flag.Arg(1))
+		}
+		return id
+	}
+	post := func(path string, body any) []byte {
+		b, err := json.Marshal(body)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			fatalf("%s: %s %s", path, resp.Status, bytes.TrimSpace(out))
+		}
+		return out
+	}
+	get := func(path string, v any) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			out, _ := io.ReadAll(resp.Body)
+			fatalf("%s: %s %s", path, resp.Status, bytes.TrimSpace(out))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			fatalf("decoding %s: %v", path, err)
+		}
+	}
+
+	switch flag.Arg(0) {
+	case "devices":
+		var devs []cluster.DeviceInfo
+		get("/cluster/devices", &devs)
+		fmt.Printf("%-4s %-10s %-7s %-9s %s\n", "ID", "TYPE", "BLOCKS", "STATE", "LAST BEAT")
+		for _, d := range devs {
+			fmt.Printf("%-4d %-10s %-7d %-9s %s ago\n", d.ID, d.Type, d.Blocks, d.State, d.SinceBeat.Round(time.Millisecond))
+		}
+	case "drain":
+		post("/cluster/drain", map[string]any{"id": deviceArg()})
+		fmt.Println("ok")
+	case "undrain":
+		post("/cluster/drain", map[string]any{"id": deviceArg(), "undrain": true})
+		fmt.Println("ok")
+	case "kill":
+		post("/cluster/kill", map[string]any{"id": deviceArg()})
+		fmt.Println("ok")
+	case "heartbeat":
+		post("/cluster/heartbeat", map[string]any{"id": deviceArg()})
+		fmt.Println("ok")
+	case "rebalance":
+		out := post("/cluster/rebalance", struct{}{})
+		var rep cluster.TickReport
+		if err := json.Unmarshal(out, &rep); err != nil {
+			fatalf("decoding report: %v", err)
+		}
+		fmt.Printf("tick %d: %d transitions, %d actions, %d deferred\n",
+			rep.Tick, len(rep.Transitions), len(rep.Events), rep.Deferred)
+		for _, tr := range rep.Transitions {
+			fmt.Printf("  device %d: %s -> %s\n", tr.Device, tr.From, tr.To)
+		}
+		for _, ev := range rep.Events {
+			line := fmt.Sprintf("  lease %d: %s %d -> %d", ev.Lease, ev.Kind, ev.FromDepth, ev.ToDepth)
+			if ev.Err != "" {
+				line += " FAILED: " + ev.Err
+			}
+			fmt.Println(line)
+		}
+	case "status":
+		var st rms.ClusterStatus
+		get("/status", &st)
+		var devs []cluster.DeviceInfo
+		get("/cluster/devices", &devs)
+		states := map[int]cluster.State{}
+		for _, d := range devs {
+			states[d.ID] = d.State
+		}
+		fmt.Printf("utilization %.1f%%, %d active leases\n", st.Utilization*100, st.ActiveLeases)
+		for _, f := range st.FPGAs {
+			fmt.Printf("  fpga %d (%s): %d/%d blocks free, %s\n",
+				f.ID, f.Device, f.FreeBlocks, f.TotalBlocks, states[f.ID])
+		}
+	default:
+		usage()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mlv-cluster: "+format+"\n", args...)
+	os.Exit(1)
+}

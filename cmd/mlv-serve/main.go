@@ -2,7 +2,11 @@
 // (the Fig. 7 integration API): a hypervisor or orchestrator deploys and
 // releases AS ISA-based accelerators on the simulated heterogeneous
 // cluster, observes virtual-block occupancy, and serves inferences against
-// admitted leases through a micro-batching data plane.
+// admitted leases through a micro-batching data plane. The cluster control
+// plane runs on top: simulated device agents heartbeat the fleet registry,
+// a periodic control tick evacuates dead or draining devices and
+// re-partitions leases against their live load, and the /cluster endpoints
+// expose the fleet to operators (see cmd/mlv-cluster).
 //
 // Usage:
 //
@@ -11,7 +15,9 @@
 //	curl -X POST localhost:8080/deploy -d '{"kind":"GRU","hidden":512,"timesteps":1}'
 //	curl -X POST localhost:8080/infer -d '{"id":1,"inputs":[[0.1, ... 512 floats]]}'
 //	curl localhost:8080/status
-//	curl localhost:8080/healthz
+//	curl localhost:8080/cluster/devices
+//	curl -X POST localhost:8080/cluster/drain -d '{"id":2}'
+//	curl localhost:8080/debug/vars
 //	curl -X POST localhost:8080/release -d '{"id":1}'
 //
 // SIGINT/SIGTERM stop admission, drain in-flight batches, and release
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"mlvfpga/internal/cluster"
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rms"
@@ -42,6 +49,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "largest inference micro-batch")
 	flushDelay := flag.Duration("flush-delay", 500*time.Microsecond, "partial-batch flush deadline")
 	machines := flag.Int("machines", 2, "per-lease machine pool size")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "simulated device heartbeat interval")
+	tick := flag.Duration("tick", time.Second, "control-plane tick interval (0 disables the loop)")
 	flag.Parse()
 
 	mode := rms.Flexible
@@ -59,9 +68,51 @@ func main() {
 	opts.Machines = *machines
 	dp := rms.NewDataPlane(svc, opts)
 
+	cp := cluster.New(cluster.WallClock{}, cluster.DefaultConfig(), svc, dp)
+
+	// Simulated device agents: every registered device heartbeats on the
+	// interval, except devices an operator killed (POST /cluster/kill) —
+	// those stay Dead until an explicit /cluster/heartbeat revives them.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				for _, d := range cp.Registry().Snapshot() {
+					if d.State == cluster.Dead {
+						continue
+					}
+					_ = cp.Heartbeat(d.ID)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	if *tick > 0 {
+		go func() {
+			t := time.NewTicker(*tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					rep := cp.Tick()
+					for _, ev := range rep.Events {
+						log.Printf("mlv-serve: control: lease %d %s %d->%d %s",
+							ev.Lease, ev.Kind, ev.FromDepth, ev.ToDepth, ev.Err)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           dp.Handler(),
+		Handler:           cp.Handler(dp.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -83,6 +134,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	close(stop)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/netmodel"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// LoadSource supplies a lease's live serving load. *rms.DataPlane
+// implements it; tests and the soak harness script their own.
+type LoadSource interface {
+	Load(leaseID int) (rms.LoadStats, bool)
+}
+
+// Resizer adjusts a lease's data-plane concurrency after a depth change.
+// *rms.DataPlane implements it.
+type Resizer interface {
+	Resize(leaseID, machines int) error
+}
+
+// Config tunes the control plane.
+type Config struct {
+	// Registry tunes the health state machine.
+	Registry RegistryConfig
+	// Planner tunes depth selection.
+	Planner PlannerConfig
+	// MigrationBudget bounds migrations attempted per tick (evacuations
+	// and rebalances combined), so a mass failure cannot stampede the
+	// fleet. Zero means the default.
+	MigrationBudget int
+	// RetryBackoff is the initial wait after a failed migration before
+	// the lease is retried; it doubles per consecutive failure up to
+	// MaxBackoff.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential retry backoff.
+	MaxBackoff time.Duration
+	// MachinesPerPiece sizes the data-plane machine pool as depth ×
+	// MachinesPerPiece on depth changes.
+	MachinesPerPiece int
+	// Ring, when set, prices scale-ups (see PlannerConfig.MaxStepComm).
+	Ring *netmodel.Ring
+}
+
+// DefaultConfig returns serving defaults.
+func DefaultConfig() Config {
+	return Config{
+		Registry:         DefaultRegistryConfig(),
+		Planner:          DefaultPlannerConfig(),
+		MigrationBudget:  4,
+		RetryBackoff:     250 * time.Millisecond,
+		MaxBackoff:       4 * time.Second,
+		MachinesPerPiece: 2,
+	}
+}
+
+// Event is one control action taken (or attempted) during a tick.
+type Event struct {
+	Lease int `json:"lease"`
+	// Kind is "evacuate", "scale_up" or "scale_down".
+	Kind      string `json:"kind"`
+	FromDepth int    `json:"from_depth"`
+	ToDepth   int    `json:"to_depth"`
+	// Err is set when the action failed (the lease backs off and
+	// retries on a later tick).
+	Err string `json:"err,omitempty"`
+}
+
+// TickReport is the deterministic record of one control-loop pass.
+type TickReport struct {
+	Tick        int          `json:"tick"`
+	Transitions []Transition `json:"transitions,omitempty"`
+	Events      []Event      `json:"events,omitempty"`
+	// Deferred counts actions skipped because the migration budget was
+	// exhausted or the lease was in backoff.
+	Deferred int `json:"deferred,omitempty"`
+}
+
+// leaseState is the control plane's per-lease memory between ticks.
+type leaseState struct {
+	idleTicks    int
+	backoff      time.Duration
+	backoffUntil time.Time
+}
+
+// ControlPlane is the fleet controller: it owns the device registry,
+// installs its health view as the admission service's placement filter,
+// and on every Tick evacuates dead/draining devices and re-partitions
+// leases against their live load.
+type ControlPlane struct {
+	clock Clock
+	cfg   Config
+	reg   *Registry
+	svc   *rms.Service
+	loads LoadSource
+	sizer Resizer
+
+	mu     sync.Mutex
+	leases map[int]*leaseState
+	ticks  int
+	// comm caches the per-spec comm-cost function (keyed by spec string).
+	comm map[string]func(depth int) time.Duration
+}
+
+// New builds a control plane over the admission service, seeding the
+// registry from the service's device inventory and installing the
+// health-based placement filter. dp supplies load signals and resizing;
+// pass the *rms.DataPlane for both (or nil to run placement-only).
+func New(clock Clock, cfg Config, svc *rms.Service, dp interface {
+	LoadSource
+	Resizer
+}) *ControlPlane {
+	def := DefaultConfig()
+	if cfg.MigrationBudget <= 0 {
+		cfg.MigrationBudget = def.MigrationBudget
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = def.RetryBackoff
+	}
+	if cfg.MaxBackoff < cfg.RetryBackoff {
+		cfg.MaxBackoff = def.MaxBackoff
+	}
+	if cfg.MachinesPerPiece <= 0 {
+		cfg.MachinesPerPiece = def.MachinesPerPiece
+	}
+	if cfg.Planner.ScaleUpQueue <= 0 {
+		cfg.Planner.ScaleUpQueue = def.Planner.ScaleUpQueue
+	}
+	if cfg.Planner.ScaleDownIdleTicks <= 0 {
+		cfg.Planner.ScaleDownIdleTicks = def.Planner.ScaleDownIdleTicks
+	}
+	cp := &ControlPlane{
+		clock:  clock,
+		cfg:    cfg,
+		reg:    NewRegistry(clock, cfg.Registry),
+		svc:    svc,
+		leases: map[int]*leaseState{},
+		comm:   map[string]func(depth int) time.Duration{},
+	}
+	if dp != nil {
+		cp.loads = dp
+		cp.sizer = dp
+	}
+	for _, f := range svc.Status().FPGAs {
+		if err := cp.reg.Register(f.ID, f.Device, f.TotalBlocks); err != nil {
+			panic(err) // unreachable: Status lists each device once
+		}
+	}
+	svc.SetPlacementFilter(cp.reg.Placeable)
+	return cp
+}
+
+// Registry exposes the device table (for the HTTP surface and tests).
+func (cp *ControlPlane) Registry() *Registry { return cp.reg }
+
+// Heartbeat records a device liveness beat.
+func (cp *ControlPlane) Heartbeat(id int) error { return cp.reg.Heartbeat(id) }
+
+// Drain starts a graceful evacuation of the device.
+func (cp *ControlPlane) Drain(id int) error { return cp.reg.Drain(id) }
+
+// Undrain returns a draining device to service.
+func (cp *ControlPlane) Undrain(id int) error { return cp.reg.Undrain(id) }
+
+// ReportDead marks a device failed immediately.
+func (cp *ControlPlane) ReportDead(id int) error { return cp.reg.ReportDead(id) }
+
+// ObserveError inspects a serving error for positive device-failure
+// evidence (a scaleout.DeviceError) and, when the failed device is known,
+// marks it Dead without waiting out the heartbeat timers. It reports
+// whether a device was condemned.
+func (cp *ControlPlane) ObserveError(err error) (int, bool) {
+	var de *scaleout.DeviceError
+	if !errors.As(err, &de) {
+		return 0, false
+	}
+	if cp.reg.ReportDead(de.Device) != nil {
+		return 0, false
+	}
+	return de.Device, true
+}
+
+// Tick runs one control pass: sweep the health state machine, evacuate
+// leases off dead and draining devices, then re-partition leases against
+// their load — all under the migration budget, with per-lease exponential
+// backoff on failure. Lease order is ascending by id and every time read
+// comes from the injected clock, so a scripted run replays exactly.
+func (cp *ControlPlane) Tick() *TickReport {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ticks++
+	rep := &TickReport{Tick: cp.ticks}
+	rep.Transitions = cp.reg.Sweep()
+	now := cp.clock.Now()
+	budget := cp.cfg.MigrationBudget
+	avoid := func(id int) bool { return !cp.reg.Placeable(id) }
+
+	leases := cp.svc.Leases()
+	live := map[int]bool{}
+	for _, l := range leases {
+		live[l.ID] = true
+		if cp.leases[l.ID] == nil {
+			cp.leases[l.ID] = &leaseState{}
+		}
+	}
+	for id := range cp.leases {
+		if !live[id] {
+			delete(cp.leases, id)
+		}
+	}
+
+	// Phase 1: evacuate leases touching dead or draining devices.
+	evacuated := map[int]bool{}
+	for _, l := range leases {
+		force := false
+		hit := false
+		for _, pl := range l.Placements {
+			if st, ok := cp.reg.State(pl.FPGA); ok {
+				if st == Dead {
+					hit, force = true, true
+				} else if st == Draining {
+					hit = true
+				}
+			}
+		}
+		if !hit {
+			continue
+		}
+		st := cp.leases[l.ID]
+		if budget <= 0 || now.Before(st.backoffUntil) {
+			rep.Deferred++
+			continue
+		}
+		budget--
+		// Try the current depth first; if the shrunken fleet cannot host
+		// it, walk down the ladder — a shallower placement beats a lease
+		// stranded on a dead device.
+		try := []int{l.Depth}
+		if ladder, err := cp.svc.FeasibleDepths(l.Spec); err == nil {
+			for i := len(ladder) - 1; i >= 0; i-- {
+				if ladder[i] < l.Depth {
+					try = append(try, ladder[i])
+				}
+			}
+		}
+		ev := Event{Lease: l.ID, Kind: "evacuate", FromDepth: l.Depth, ToDepth: l.Depth}
+		for _, depth := range try {
+			ev.ToDepth = depth
+			_, err := cp.svc.Migrate(l.ID, depth, avoid, force)
+			if err == nil {
+				ev.Err = ""
+				break
+			}
+			ev.Err = err.Error()
+			if !errors.Is(err, rms.ErrNoCapacity) {
+				break
+			}
+		}
+		if ev.Err != "" {
+			cp.failLocked(st, now)
+			metrics.MigrationFailures.Add(1)
+		} else {
+			cp.okLocked(st)
+			evacuated[l.ID] = true
+			metrics.Migrations.Add(1)
+			if ev.ToDepth != ev.FromDepth && cp.sizer != nil {
+				if rerr := cp.sizer.Resize(l.ID, ev.ToDepth*cp.cfg.MachinesPerPiece); rerr != nil {
+					ev.Err = rerr.Error()
+				}
+			}
+		}
+		rep.Events = append(rep.Events, ev)
+	}
+
+	// Phase 2: load-driven re-partitioning.
+	for _, l := range leases {
+		if evacuated[l.ID] {
+			continue // one move per lease per tick
+		}
+		st := cp.leases[l.ID]
+		var load rms.LoadStats
+		if cp.loads != nil {
+			load, _ = cp.loads.Load(l.ID) // ok=false reads as idle
+		}
+		if load.QueueDepth == 0 && load.InFlight == 0 {
+			st.idleTicks++
+		} else {
+			st.idleTicks = 0
+		}
+		ladder, err := cp.svc.FeasibleDepths(l.Spec)
+		if err != nil {
+			continue
+		}
+		target := cp.cfg.Planner.TargetDepth(l.Depth, st.idleTicks, load, ladder, cp.commCostLocked(l))
+		if target == l.Depth {
+			continue
+		}
+		if budget <= 0 || now.Before(st.backoffUntil) {
+			rep.Deferred++
+			continue
+		}
+		budget--
+		kind := "scale_up"
+		if target < l.Depth {
+			kind = "scale_down"
+		}
+		ev := Event{Lease: l.ID, Kind: kind, FromDepth: l.Depth, ToDepth: target}
+		if _, err := cp.svc.Migrate(l.ID, target, avoid, false); err != nil {
+			ev.Err = err.Error()
+			cp.failLocked(st, now)
+			metrics.MigrationFailures.Add(1)
+		} else {
+			cp.okLocked(st)
+			st.idleTicks = 0
+			metrics.Migrations.Add(1)
+			if cp.sizer != nil {
+				if rerr := cp.sizer.Resize(l.ID, target*cp.cfg.MachinesPerPiece); rerr != nil {
+					ev.Err = rerr.Error()
+				}
+			}
+		}
+		rep.Events = append(rep.Events, ev)
+	}
+	return rep
+}
+
+// failLocked applies exponential backoff after a failed migration.
+func (cp *ControlPlane) failLocked(st *leaseState, now time.Time) {
+	if st.backoff <= 0 {
+		st.backoff = cp.cfg.RetryBackoff
+	} else if st.backoff *= 2; st.backoff > cp.cfg.MaxBackoff {
+		st.backoff = cp.cfg.MaxBackoff
+	}
+	st.backoffUntil = now.Add(st.backoff)
+}
+
+// okLocked clears a lease's backoff after a successful migration.
+func (cp *ControlPlane) okLocked(st *leaseState) {
+	st.backoff = 0
+	st.backoffUntil = time.Time{}
+}
+
+// commCostLocked returns the cached comm-cost function for a lease's spec
+// (nil when no ring is configured — no veto).
+func (cp *ControlPlane) commCostLocked(l *rms.Lease) func(depth int) time.Duration {
+	if cp.cfg.Ring == nil {
+		return nil
+	}
+	key := l.SpecString
+	if fn, ok := cp.comm[key]; ok {
+		return fn
+	}
+	depths, err := cp.svc.FeasibleDepths(l.Spec)
+	if err != nil {
+		return nil
+	}
+	fn := CommCost(cp.cfg.Ring, RNNLadder(l.Spec, depths))
+	cp.comm[key] = fn
+	return fn
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// fakePlane scripts load observations and records resizes, standing in for
+// the rms.DataPlane in deterministic control-plane tests.
+type fakePlane struct {
+	mu      sync.Mutex
+	loads   map[int]rms.LoadStats
+	resized map[int]int
+}
+
+func newFakePlane() *fakePlane {
+	return &fakePlane{loads: map[int]rms.LoadStats{}, resized: map[int]int{}}
+}
+
+func (f *fakePlane) Load(id int) (rms.LoadStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.loads[id]
+	return l, ok
+}
+
+func (f *fakePlane) Resize(id, machines int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resized[id] = machines
+	return nil
+}
+
+func (f *fakePlane) setLoad(id int, l rms.LoadStats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads[id] = l
+}
+
+func testControlPlane(t *testing.T, cluster resource.ClusterSpec, cfg Config) (*ControlPlane, *rms.Service, *fakePlane, *FakeClock) {
+	t.Helper()
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(cluster, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := NewFakeClock(time.Unix(1000, 0))
+	fp := newFakePlane()
+	return New(clk, cfg, svc, fp), svc, fp, clk
+}
+
+func testSpec() kernels.LayerSpec {
+	return kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 10}
+}
+
+func TestNewSeedsRegistryFromService(t *testing.T) {
+	cp, _, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	snap := cp.Registry().Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("registry has %d devices, want 4", len(snap))
+	}
+	for i, d := range snap {
+		if d.ID != i || d.State != Healthy || d.Blocks <= 0 || d.Type == "" {
+			t.Fatalf("device %d seeded badly: %+v", i, d)
+		}
+	}
+}
+
+func TestPlacementFilterInstalled(t *testing.T) {
+	cp, svc, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := lease.Placements[0].FPGA
+	if err := svc.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A drained device must not receive the next placement even without a
+	// control tick: the registry is the service's placement filter.
+	if err := cp.Drain(home); err != nil {
+		t.Fatal(err)
+	}
+	lease2, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range lease2.Placements {
+		if pl.FPGA == home {
+			t.Fatalf("placement landed on drained device %d", home)
+		}
+	}
+}
+
+func TestTickEvacuatesDrainedDevice(t *testing.T) {
+	cp, svc, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := lease.Placements[0].FPGA
+	if err := cp.Drain(home); err != nil {
+		t.Fatal(err)
+	}
+	rep := cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "evacuate" || rep.Events[0].Err != "" {
+		t.Fatalf("events = %+v, want one clean evacuation", rep.Events)
+	}
+	got, _ := svc.Lease(lease.ID)
+	if got.Migrations != 1 || got.Depth != lease.Depth {
+		t.Fatalf("lease after evacuation: %+v", got)
+	}
+	for _, pl := range got.Placements {
+		if pl.FPGA == home {
+			t.Fatalf("lease still on drained device %d", home)
+		}
+	}
+	// A second tick is a no-op: nothing left to evacuate.
+	if rep := cp.Tick(); len(rep.Events) != 0 {
+		t.Fatalf("second tick acted: %+v", rep.Events)
+	}
+}
+
+func TestTickEvacuatesDeadDevice(t *testing.T) {
+	cp, svc, _, clk := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := lease.Placements[0].FPGA
+
+	// The device goes silent: everyone else heartbeats, it does not.
+	clk.Advance(6 * time.Second)
+	for _, d := range cp.Registry().Snapshot() {
+		if d.ID != home {
+			_ = cp.Heartbeat(d.ID)
+		}
+	}
+	rep := cp.Tick()
+	if len(rep.Transitions) != 1 || rep.Transitions[0].To != Dead {
+		t.Fatalf("transitions = %+v, want %d -> dead", rep.Transitions, home)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "evacuate" || rep.Events[0].Err != "" {
+		t.Fatalf("events = %+v, want one clean evacuation", rep.Events)
+	}
+	got, _ := svc.Lease(lease.ID)
+	for _, pl := range got.Placements {
+		if pl.FPGA == home {
+			t.Fatalf("lease still on dead device %d", home)
+		}
+	}
+}
+
+func TestDepthAdaptsToLoad(t *testing.T) {
+	// Four XCVU37P: the only cluster shape whose ladder reaches depth 4
+	// (the depth-4 deployment is homogeneous 4×XCVU37P).
+	cfg := DefaultConfig()
+	cp, svc, fp, _ := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, cfg)
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Depth != 1 {
+		t.Fatalf("greedy deploy at depth %d, want 1", lease.Depth)
+	}
+
+	// Burst: a deep backlog scales the lease one rung up.
+	fp.setLoad(lease.ID, rms.LoadStats{QueueDepth: cfg.Planner.ScaleUpQueue + 2})
+	rep := cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "scale_up" || rep.Events[0].ToDepth != 2 {
+		t.Fatalf("events = %+v, want scale_up to 2", rep.Events)
+	}
+	got, _ := svc.Lease(lease.ID)
+	if got.Depth != 2 || len(got.Placements) != 2 {
+		t.Fatalf("lease after burst: depth %d, %d placements", got.Depth, len(got.Placements))
+	}
+	if fp.resized[lease.ID] != 2*cfg.MachinesPerPiece {
+		t.Fatalf("resized to %d machines, want %d", fp.resized[lease.ID], 2*cfg.MachinesPerPiece)
+	}
+
+	// Burst persists: up to the top rung.
+	rep = cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].ToDepth != 4 {
+		t.Fatalf("events = %+v, want scale_up to 4", rep.Events)
+	}
+
+	// Burst ends: hysteresis holds for ScaleDownIdleTicks ticks, then the
+	// lease steps back down one rung per tick.
+	fp.setLoad(lease.ID, rms.LoadStats{})
+	for i := 0; i < cfg.Planner.ScaleDownIdleTicks-1; i++ {
+		if rep := cp.Tick(); len(rep.Events) != 0 {
+			t.Fatalf("tick %d acted during hysteresis: %+v", i, rep.Events)
+		}
+	}
+	rep = cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "scale_down" || rep.Events[0].ToDepth != 2 {
+		t.Fatalf("events = %+v, want scale_down to 2", rep.Events)
+	}
+	for i := 0; i < cfg.Planner.ScaleDownIdleTicks; i++ {
+		rep = cp.Tick()
+	}
+	if len(rep.Events) != 1 || rep.Events[0].ToDepth != 1 {
+		t.Fatalf("events = %+v, want scale_down to 1", rep.Events)
+	}
+	got, _ = svc.Lease(lease.ID)
+	if got.Depth != 1 || len(got.Placements) != 1 {
+		t.Fatalf("lease after cooldown: depth %d", got.Depth)
+	}
+}
+
+func TestMigrationBudgetBoundsATick(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationBudget = 1
+	cp, svc, fp, _ := testControlPlane(t, resource.PaperCluster(), cfg)
+	var ids []int
+	for i := 0; i < 2; i++ {
+		lease, err := svc.Deploy(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, lease.ID)
+		fp.setLoad(lease.ID, rms.LoadStats{QueueDepth: 100})
+	}
+	rep := cp.Tick()
+	if len(rep.Events) != 1 || rep.Deferred != 1 {
+		t.Fatalf("budgeted tick: %d events, %d deferred, want 1 and 1", len(rep.Events), rep.Deferred)
+	}
+	// The deferred lease gets its turn on the next tick (the first one's
+	// burst has passed, so it no longer competes for the budget).
+	fp.setLoad(ids[0], rms.LoadStats{})
+	rep = cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Lease != ids[1] {
+		t.Fatalf("second tick events = %+v, want lease %d", rep.Events, ids[1])
+	}
+}
+
+func TestFailedMigrationBacksOff(t *testing.T) {
+	// A single-device cluster: evacuating its only device can never
+	// succeed, so the control plane must retry with exponential backoff.
+	cfg := DefaultConfig()
+	cp, svc, _, clk := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 1}, cfg)
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	rep := cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Err == "" {
+		t.Fatalf("events = %+v, want one failed evacuation", rep.Events)
+	}
+	if !strings.Contains(rep.Events[0].Err, "no capacity") {
+		t.Fatalf("err = %q, want capacity failure", rep.Events[0].Err)
+	}
+	// Within the backoff window the lease is deferred, not retried.
+	rep = cp.Tick()
+	if len(rep.Events) != 0 || rep.Deferred != 1 {
+		t.Fatalf("tick inside backoff: %+v (deferred %d)", rep.Events, rep.Deferred)
+	}
+	// Past the window it retries (and fails again, doubling the backoff).
+	clk.Advance(cfg.RetryBackoff + time.Millisecond)
+	rep = cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Err == "" {
+		t.Fatalf("tick after backoff: %+v", rep.Events)
+	}
+	clk.Advance(cfg.RetryBackoff + time.Millisecond) // first doubling: still inside
+	rep = cp.Tick()
+	if rep.Deferred != 1 {
+		t.Fatalf("backoff did not double: %+v", rep)
+	}
+	// The lease is stranded but intact the whole time.
+	got, ok := svc.Lease(lease.ID)
+	if !ok || len(got.Placements) != 1 {
+		t.Fatalf("lease lost during failed evacuation: %+v", got)
+	}
+}
+
+func TestObserveError(t *testing.T) {
+	cp, _, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	err := fmt.Errorf("serving: %w", &scaleout.DeviceError{Device: 2, Err: fmt.Errorf("link down")})
+	dev, ok := cp.ObserveError(err)
+	if !ok || dev != 2 {
+		t.Fatalf("ObserveError = %d,%v", dev, ok)
+	}
+	if st, _ := cp.Registry().State(2); st != Dead {
+		t.Fatalf("device 2 state = %v, want dead", st)
+	}
+	if _, ok := cp.ObserveError(fmt.Errorf("plain error")); ok {
+		t.Fatal("plain error condemned a device")
+	}
+	if _, ok := cp.ObserveError(&scaleout.DeviceError{Device: 99}); ok {
+		t.Fatal("unknown device condemned")
+	}
+}

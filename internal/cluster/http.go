@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes the control plane as a JSON HTTP API, layered over the
+// base handler (the rms data-plane mux) so one server serves both:
+//
+//	GET  /cluster/devices                   -> []DeviceInfo
+//	POST /cluster/drain     {"id":2}        -> 204 (add "undrain":true to revert)
+//	POST /cluster/heartbeat {"id":2}        -> 204
+//	POST /cluster/kill      {"id":2}        -> 204 (immediate Dead, as from failure evidence)
+//	POST /cluster/rebalance                 -> TickReport (one control pass, on demand)
+//
+// base may be nil when the control plane runs standalone.
+func (cp *ControlPlane) Handler(base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	// deviceOp decodes {"id":N} and applies fn, sharing the shape of the
+	// drain/heartbeat/kill endpoints.
+	deviceOp := func(fn func(id int) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+				return
+			}
+			var req struct {
+				ID int `json:"id"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			if err := fn(req.ID); err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}
+
+	mux.HandleFunc("/cluster/devices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cp.reg.Snapshot())
+	})
+
+	mux.HandleFunc("/cluster/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req struct {
+			ID      int  `json:"id"`
+			Undrain bool `json:"undrain"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		op := cp.Drain
+		if req.Undrain {
+			op = cp.Undrain
+		}
+		if err := op(req.ID); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.Handle("/cluster/heartbeat", deviceOp(cp.Heartbeat))
+	mux.Handle("/cluster/kill", deviceOp(cp.ReportDead))
+
+	mux.HandleFunc("/cluster/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		writeJSON(w, http.StatusOK, cp.Tick())
+	})
+
+	if base != nil {
+		mux.Handle("/", base)
+	}
+	return mux
+}

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/metrics"
+)
+
+// State is a device's position in the health state machine:
+//
+//	            heartbeat                 heartbeat
+//	   ┌─────────────────────┐   ┌─────────────────────────┐
+//	   ▼                     │   ▼                         │
+//	Healthy ──SuspectAfter──► Suspect ──DeadAfter──► Dead ─┘
+//	   │
+//	   └──Drain()──► Draining ──Undrain()──► Healthy
+//
+// Suspect devices take no new placements but keep their leases (the miss
+// may be a hiccup); Dead and Draining devices are evacuated. A heartbeat
+// revives Suspect and Dead devices; Draining is an administrative state
+// cleared only by Undrain.
+type State int
+
+const (
+	// Healthy devices heartbeat on time and accept placements.
+	Healthy State = iota
+	// Suspect devices missed heartbeats for SuspectAfter: no new
+	// placements, existing leases stay put pending recovery.
+	Suspect
+	// Dead devices missed heartbeats for DeadAfter: leases are
+	// force-migrated off.
+	Dead
+	// Draining devices are administratively leaving: no new placements
+	// and leases migrate off gracefully (make-before-break).
+	Draining
+)
+
+func (s State) String() string {
+	switch s {
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Draining:
+		return "draining"
+	}
+	return "healthy"
+}
+
+// MarshalJSON renders the state name for API clients.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses a state name (the CLI reads device snapshots).
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "healthy":
+		*s = Healthy
+	case "suspect":
+		*s = Suspect
+	case "dead":
+		*s = Dead
+	case "draining":
+		*s = Draining
+	default:
+		return fmt.Errorf("cluster: unknown state %q", name)
+	}
+	return nil
+}
+
+// RegistryConfig tunes the health state machine.
+type RegistryConfig struct {
+	// SuspectAfter is the missed-heartbeat window before Healthy devices
+	// turn Suspect.
+	SuspectAfter time.Duration
+	// DeadAfter is the window before Suspect devices turn Dead.
+	DeadAfter time.Duration
+}
+
+// DefaultRegistryConfig matches a 500ms heartbeat interval: suspect after
+// three missed beats, dead after ten.
+func DefaultRegistryConfig() RegistryConfig {
+	return RegistryConfig{SuspectAfter: 1500 * time.Millisecond, DeadAfter: 5 * time.Second}
+}
+
+// device is the registry's record of one fleet member.
+type device struct {
+	id       int
+	typ      string
+	blocks   int
+	state    State
+	draining bool // sticky admin flag, survives health transitions
+	lastBeat time.Time
+}
+
+// DeviceInfo is a point-in-time view of a registry entry.
+type DeviceInfo struct {
+	ID int `json:"id"`
+	// Type is the device type name (the typed capacity's device class).
+	Type string `json:"type"`
+	// Blocks is the device's virtual-block capacity.
+	Blocks int   `json:"blocks"`
+	State  State `json:"state"`
+	// SinceBeat is how long ago the device last heartbeat.
+	SinceBeat time.Duration `json:"since_heartbeat_ns"`
+}
+
+// Transition is one state change observed by a sweep or report.
+type Transition struct {
+	Device int   `json:"device"`
+	From   State `json:"from"`
+	To     State `json:"to"`
+}
+
+// Registry is the fleet's device table: typed capacities plus the health
+// state machine, driven entirely by the injected clock.
+type Registry struct {
+	mu      sync.Mutex
+	clock   Clock
+	cfg     RegistryConfig
+	devices map[int]*device
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(clock Clock, cfg RegistryConfig) *Registry {
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultRegistryConfig().SuspectAfter
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter * 3
+	}
+	return &Registry{clock: clock, cfg: cfg, devices: map[int]*device{}}
+}
+
+// Register adds a device with its typed capacity, initially Healthy as of
+// the current clock.
+func (r *Registry) Register(id int, deviceType string, blocks int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.devices[id]; ok {
+		return fmt.Errorf("cluster: device %d already registered", id)
+	}
+	r.devices[id] = &device{id: id, typ: deviceType, blocks: blocks, lastBeat: r.clock.Now()}
+	return nil
+}
+
+// Heartbeat records a liveness beat, reviving Suspect and Dead devices.
+// Draining devices stay Draining — the beat only refreshes their clock.
+func (r *Registry) Heartbeat(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return fmt.Errorf("cluster: heartbeat from unknown device %d", id)
+	}
+	d.lastBeat = r.clock.Now()
+	if d.state == Suspect || d.state == Dead {
+		if d.draining {
+			d.state = Draining
+		} else {
+			d.state = Healthy
+		}
+	}
+	return nil
+}
+
+// Drain marks a device as administratively leaving.
+func (r *Registry) Drain(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return fmt.Errorf("cluster: drain of unknown device %d", id)
+	}
+	d.draining = true
+	if d.state == Healthy {
+		d.state = Draining
+	}
+	return nil
+}
+
+// Undrain returns a draining device to service.
+func (r *Registry) Undrain(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return fmt.Errorf("cluster: undrain of unknown device %d", id)
+	}
+	d.draining = false
+	if d.state == Draining {
+		d.state = Healthy
+	}
+	return nil
+}
+
+// ReportDead marks a device Dead immediately — the path for positive
+// failure evidence (a scaleout.DeviceError) that should not wait out the
+// heartbeat timers.
+func (r *Registry) ReportDead(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return fmt.Errorf("cluster: failure report for unknown device %d", id)
+	}
+	if d.state != Dead {
+		metrics.HeartbeatMisses.Add(1)
+		d.state = Dead
+	}
+	return nil
+}
+
+// Sweep advances the health state machine against the clock and returns
+// the transitions, sorted by device id (deterministic under a fake
+// clock). Each downgrade counts as a heartbeat miss.
+func (r *Registry) Sweep() []Transition {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	var out []Transition
+	for _, d := range r.devices {
+		overdue := now.Sub(d.lastBeat)
+		next := d.state
+		switch d.state {
+		case Healthy, Draining:
+			if overdue > r.cfg.DeadAfter {
+				next = Dead
+			} else if overdue > r.cfg.SuspectAfter {
+				next = Suspect
+			}
+		case Suspect:
+			if overdue > r.cfg.DeadAfter {
+				next = Dead
+			}
+		}
+		if next != d.state {
+			out = append(out, Transition{Device: d.id, From: d.state, To: next})
+			d.state = next
+			metrics.HeartbeatMisses.Add(1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// State returns a device's current state.
+func (r *Registry) State(id int) (State, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return Healthy, false
+	}
+	return d.state, true
+}
+
+// Placeable reports whether new soft blocks may land on the device: only
+// Healthy members take placements.
+func (r *Registry) Placeable(id int) bool {
+	st, ok := r.State(id)
+	return ok && st == Healthy
+}
+
+// Evacuate reports whether leases must migrate off the device (Dead or
+// Draining).
+func (r *Registry) Evacuate(id int) bool {
+	st, ok := r.State(id)
+	return ok && (st == Dead || st == Draining)
+}
+
+// Snapshot lists every device sorted by id.
+func (r *Registry) Snapshot() []DeviceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	out := make([]DeviceInfo, 0, len(r.devices))
+	for _, d := range r.devices {
+		out = append(out, DeviceInfo{
+			ID: d.id, Type: d.typ, Blocks: d.blocks,
+			State: d.state, SinceBeat: now.Sub(d.lastBeat),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

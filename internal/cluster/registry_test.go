@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T) (*Registry, *FakeClock) {
+	t.Helper()
+	clk := NewFakeClock(time.Unix(1000, 0))
+	r := NewRegistry(clk, DefaultRegistryConfig())
+	for id, typ := range []string{"a", "a", "b"} {
+		if err := r.Register(id, typ, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, clk
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	r, clk := testRegistry(t)
+	if tr := r.Sweep(); len(tr) != 0 {
+		t.Fatalf("fresh registry swept to %v", tr)
+	}
+	if !r.Placeable(1) {
+		t.Fatal("healthy device not placeable")
+	}
+
+	// Devices 0 and 2 heartbeat; device 1 goes silent.
+	clk.Advance(2 * time.Second)
+	for _, id := range []int{0, 2} {
+		if err := r.Heartbeat(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := r.Sweep()
+	if len(tr) != 1 || tr[0] != (Transition{Device: 1, From: Healthy, To: Suspect}) {
+		t.Fatalf("sweep = %v, want device 1 healthy->suspect", tr)
+	}
+	if r.Placeable(1) {
+		t.Fatal("suspect device must not take placements")
+	}
+	if r.Evacuate(1) {
+		t.Fatal("suspect device must keep its leases")
+	}
+
+	// Still silent past DeadAfter: suspect -> dead, now evacuated.
+	clk.Advance(4 * time.Second)
+	_ = r.Heartbeat(0)
+	_ = r.Heartbeat(2)
+	tr = r.Sweep()
+	if len(tr) != 1 || tr[0] != (Transition{Device: 1, From: Suspect, To: Dead}) {
+		t.Fatalf("sweep = %v, want device 1 suspect->dead", tr)
+	}
+	if !r.Evacuate(1) {
+		t.Fatal("dead device must be evacuated")
+	}
+
+	// A late heartbeat revives it.
+	if err := r.Heartbeat(1); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State(1); st != Healthy {
+		t.Fatalf("state after revival = %v, want healthy", st)
+	}
+}
+
+func TestDrainIsSticky(t *testing.T) {
+	r, clk := testRegistry(t)
+	if err := r.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State(2); st != Draining {
+		t.Fatalf("state = %v, want draining", st)
+	}
+	if r.Placeable(2) || !r.Evacuate(2) {
+		t.Fatal("draining device must refuse placements and evacuate leases")
+	}
+
+	// Heartbeats do not clear the admin flag.
+	if err := r.Heartbeat(2); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State(2); st != Draining {
+		t.Fatalf("heartbeat cleared draining: %v", st)
+	}
+
+	// Health transitions ride on top: silence turns it suspect, the next
+	// beat returns it to Draining (not Healthy).
+	clk.Advance(2 * time.Second)
+	_ = r.Heartbeat(0)
+	_ = r.Heartbeat(1)
+	_ = r.Sweep()
+	if st, _ := r.State(2); st != Suspect {
+		t.Fatalf("silent draining device = %v, want suspect", st)
+	}
+	_ = r.Heartbeat(2)
+	if st, _ := r.State(2); st != Draining {
+		t.Fatalf("revived draining device = %v, want draining", st)
+	}
+
+	if err := r.Undrain(2); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State(2); st != Healthy || !r.Placeable(2) {
+		t.Fatalf("undrained device = %v, want healthy", st)
+	}
+}
+
+func TestReportDead(t *testing.T) {
+	r, _ := testRegistry(t)
+	if err := r.ReportDead(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r.State(0); st != Dead {
+		t.Fatalf("state = %v, want dead", st)
+	}
+	if err := r.ReportDead(99); err == nil {
+		t.Fatal("report for unknown device must fail")
+	}
+	if err := r.Heartbeat(99); err == nil {
+		t.Fatal("heartbeat from unknown device must fail")
+	}
+	if err := r.Drain(99); err == nil {
+		t.Fatal("drain of unknown device must fail")
+	}
+}
+
+func TestSnapshotSortedAndJSON(t *testing.T) {
+	r, clk := testRegistry(t)
+	_ = r.Drain(1)
+	clk.Advance(time.Second)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d devices, want 3", len(snap))
+	}
+	for i, d := range snap {
+		if d.ID != i {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+		if d.SinceBeat != time.Second {
+			t.Fatalf("since_beat = %v, want 1s", d.SinceBeat)
+		}
+	}
+	b, err := json.Marshal(snap[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["state"] != "draining" {
+		t.Fatalf("state marshalled as %v, want \"draining\"", got["state"])
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+func rmsTestDatabase() *rms.Database {
+	return rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+}
+
+// TestSoakFailureInjection is the acceptance scenario: real serving
+// across 4 simulated devices while one is killed mid-run and another is
+// drained. Every accepted request must complete and no lease may be lost.
+func TestSoakFailureInjection(t *testing.T) {
+	o := DefaultSoakOptions()
+	if testing.Short() {
+		o = ShortSoakOptions()
+	}
+	res, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Accepted {
+		t.Fatalf("lost requests: accepted %d, completed %d, failed %d",
+			res.Accepted, res.Completed, res.Failed)
+	}
+	if res.LostLeases != 0 {
+		t.Fatalf("%d leases lost", res.LostLeases)
+	}
+	// The killed device must have timed out to Dead and the drained one
+	// must be Draining, with no lease left on either by the end.
+	states := map[int]State{}
+	for _, d := range res.Devices {
+		states[d.ID] = d.State
+	}
+	if states[res.KilledDevice] != Dead {
+		t.Fatalf("killed device %d ended %v, want dead", res.KilledDevice, states[res.KilledDevice])
+	}
+	if res.DrainedDevice >= 0 && states[res.DrainedDevice] != Draining {
+		t.Fatalf("drained device %d ended %v, want draining", res.DrainedDevice, states[res.DrainedDevice])
+	}
+	// The end-state invariant: whether by evacuation or by a depth change
+	// that re-placed it, no lease may still touch a dead or draining
+	// device when the run settles.
+	if res.Stranded != 0 {
+		t.Fatalf("%d placements stranded on dead/draining devices", res.Stranded)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations recorded on surviving leases")
+	}
+	t.Logf("soak: %d requests, %d migrations, max depth %d, tick p50 %v p99 %v",
+		res.Completed, res.Migrations, res.MaxDepth,
+		res.TickLatencyPercentile(0.50), res.TickLatencyPercentile(0.99))
+}
+
+// TestSoakDepthScalesUnderBurst asserts the load-driven part end to end:
+// the client burst drives a lease deeper than its deploy depth, and the
+// decision log records both directions.
+func TestSoakDepthScalesUnderBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burst soak needs the full request count")
+	}
+	o := DefaultSoakOptions()
+	o.KillAtStep, o.DrainAtStep = -1, -1 // isolate the load signal
+	res, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d requests failed", res.Failed)
+	}
+	if res.MaxDepth < 2 {
+		t.Fatalf("burst never scaled any lease deeper: max depth %d", res.MaxDepth)
+	}
+	ups, downs := 0, 0
+	for _, rep := range res.Reports {
+		for _, ev := range rep.Events {
+			if ev.Err != "" {
+				continue
+			}
+			switch ev.Kind {
+			case "scale_up":
+				ups++
+			case "scale_down":
+				downs++
+			}
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("depth did not adapt both ways: %d scale-ups, %d scale-downs", ups, downs)
+	}
+}
+
+// TestControlLoopDeterministic replays an identical scripted run — fake
+// clock, scripted loads, scripted failures — twice and requires
+// bit-identical decision logs.
+func TestControlLoopDeterministic(t *testing.T) {
+	run := func() []byte {
+		db := rmsTestDatabase()
+		svc, err := rms.NewService(resource.PaperCluster(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := NewFakeClock(time.Unix(42, 0))
+		fp := newFakePlane()
+		cp := New(clk, DefaultConfig(), svc, fp)
+		var ids []int
+		for i := 0; i < 3; i++ {
+			l, err := svc.Deploy(testSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, l.ID)
+		}
+		rng := rand.New(rand.NewSource(7))
+		var log []*TickReport
+		for step := 0; step < 40; step++ {
+			clk.Advance(500 * time.Millisecond)
+			for _, d := range cp.Registry().Snapshot() {
+				if step >= 10 && d.ID == 1 {
+					continue // scripted kill
+				}
+				_ = cp.Heartbeat(d.ID)
+			}
+			if step == 20 {
+				_ = cp.Drain(3)
+			}
+			for _, id := range ids {
+				// Scripted load: pseudo-random bursts from a fixed seed.
+				q := 0
+				if rng.Intn(3) == 0 {
+					q = 10 + rng.Intn(10)
+				}
+				fp.setLoad(id, rms.LoadStats{QueueDepth: q})
+			}
+			log = append(log, cp.Tick())
+		}
+		b, err := json.Marshal(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("scripted control runs diverged:\n%s\n---\n%s", a, b)
+	}
+}

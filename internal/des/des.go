@@ -102,6 +102,26 @@ func (e *Engine) After(delay time.Duration, fn func(now time.Duration)) error {
 	return e.At(e.now+delay, fn)
 }
 
+// Every schedules fn at start, then every interval thereafter for as long
+// as fn returns true — the periodic pump used for heartbeats and control
+// ticks in simulated clusters. Rescheduling happens after fn runs, so fn
+// observes a strictly increasing virtual time.
+func (e *Engine) Every(start, interval time.Duration, fn func(now time.Duration) bool) error {
+	if interval <= 0 {
+		return errors.New("des: non-positive interval")
+	}
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		if !fn(now) {
+			return
+		}
+		if err := e.At(now+interval, tick); err != nil {
+			panic(err) // unreachable: now+interval is never in the past
+		}
+	}
+	return e.At(start, tick)
+}
+
 // Step executes the earliest pending event. It reports whether an event was
 // executed.
 func (e *Engine) Step() bool {

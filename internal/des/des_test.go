@@ -111,3 +111,34 @@ func TestReset(t *testing.T) {
 		t.Errorf("reused engine state: Now=%v Processed=%d", e.Now(), e.Processed())
 	}
 }
+
+func TestEvery(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	if err := e.Every(10*time.Millisecond, 5*time.Millisecond, func(now time.Duration) bool {
+		fired = append(fired, now)
+		return len(fired) < 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An interleaved one-shot event must see the pump's FIFO behavior.
+	if err := e.Every(0, time.Millisecond, func(now time.Duration) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events pending after a stopped pump", e.Pending())
+	}
+	if err := e.Every(0, 0, func(time.Duration) bool { return false }); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

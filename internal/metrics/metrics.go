@@ -1,0 +1,27 @@
+// Package metrics holds the process-wide expvar counters shared by the
+// runtime manager's data plane and the cluster control plane, so operators
+// and the control loop read one view. The counters are registered once at
+// init (expvar panics on duplicate names) and exported on every serving
+// mux under /debug/vars.
+package metrics
+
+import "expvar"
+
+var (
+	// LeasesActive is a gauge of admitted deployments (+1 on Deploy,
+	// -1 on Release).
+	LeasesActive = expvar.NewInt("mlv_leases_active")
+	// InfersServed counts answered inference requests.
+	InfersServed = expvar.NewInt("mlv_infers_served")
+	// BatchesFlushed counts executed micro-batches.
+	BatchesFlushed = expvar.NewInt("mlv_batches_flushed")
+	// Migrations counts lease re-placements (depth changes and
+	// evacuations) performed by the cluster control plane.
+	Migrations = expvar.NewInt("mlv_migrations")
+	// MigrationFailures counts migration attempts that found no
+	// capacity and went into backoff.
+	MigrationFailures = expvar.NewInt("mlv_migration_failures")
+	// HeartbeatMisses counts device health downgrades
+	// (healthy→suspect and suspect→dead sweep transitions).
+	HeartbeatMisses = expvar.NewInt("mlv_heartbeat_misses")
+)

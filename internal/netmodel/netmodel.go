@@ -105,6 +105,37 @@ func (r *Ring) TransferTime(a, b int, n int64) (time.Duration, error) {
 	return time.Duration(hops)*r.link.Latency + r.link.AddedLatency + serialization, nil
 }
 
+// AllGatherTime models the per-step all-gather of a scaled-out deployment
+// whose members each contribute shardBytes: every member broadcasts its
+// shard while receiving the others'. The modelled time is the worst-case
+// member-to-member hop latency plus serialization of the (k-1) incoming
+// shards, charged once per step (the sync modules pipeline the two ring
+// directions). The control plane uses this to veto depth scale-ups whose
+// communication cost would eat the throughput gain.
+func (r *Ring) AllGatherTime(members []int, shardBytes int64) (time.Duration, error) {
+	if len(members) <= 1 {
+		return 0, nil
+	}
+	if shardBytes < 0 {
+		return 0, fmt.Errorf("netmodel: negative shard size %d", shardBytes)
+	}
+	worst := 0
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			hops, err := r.Hops(a, b)
+			if err != nil {
+				return 0, err
+			}
+			if hops > worst {
+				worst = hops
+			}
+		}
+	}
+	serialization := time.Duration(float64(shardBytes) * float64(len(members)-1) /
+		(r.link.BandwidthGBs * 1e9) * float64(time.Second))
+	return time.Duration(worst)*r.link.Latency + r.link.AddedLatency + serialization, nil
+}
+
 // WithAddedLatency returns a copy of the ring with the programmable delay
 // module set to d.
 func (r *Ring) WithAddedLatency(d time.Duration) *Ring {

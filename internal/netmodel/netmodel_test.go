@@ -127,3 +127,39 @@ func TestQuickTransferMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAllGatherTime(t *testing.T) {
+	ring, err := NewRing(4, Link{Latency: 100 * time.Nanosecond, BandwidthGBs: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single member: no exchange.
+	if d, err := ring.AllGatherTime([]int{2}, 1000); err != nil || d != 0 {
+		t.Errorf("1-member all-gather = %v, %v", d, err)
+	}
+	// Adjacent pair: one hop plus one incoming shard (1000 B at 1 GB/s = 1us).
+	d, err := ring.AllGatherTime([]int{0, 1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100*time.Nanosecond + time.Microsecond; d != want {
+		t.Errorf("pair all-gather = %v, want %v", d, want)
+	}
+	// Full ring: worst hop distance is 2, three incoming shards.
+	d4, err := ring.AllGatherTime([]int{0, 1, 2, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 200*time.Nanosecond + 3*time.Microsecond; d4 != want {
+		t.Errorf("4-way all-gather = %v, want %v", d4, want)
+	}
+	if d4 <= d {
+		t.Error("deeper deployments must pay more for the all-gather")
+	}
+	if _, err := ring.AllGatherTime([]int{0, 9}, 10); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := ring.AllGatherTime([]int{0, 1}, -1); err == nil {
+		t.Error("negative shard size accepted")
+	}
+}

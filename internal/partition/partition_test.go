@@ -271,3 +271,36 @@ func TestQuickMinCutIsMinimal(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLadder(t *testing.T) {
+	// Pipeline a-b-c-d with bandwidths 64, 8, 64, partitioned twice:
+	// depth 1 costs nothing, depth 2 pays the 8-bit min cut, depth 4 pays
+	// every cut.
+	p := softblock.NewPipeline("p", []*softblock.Block{
+		leaf("a", 10), leaf("b", 10), leaf("c", 10), leaf("d", 10),
+	}, []int{64, 8, 64})
+	res, err := Partition(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := res.Ladder()
+	if len(ladder) != res.MaxPieces() {
+		t.Fatalf("ladder has %d rungs, want %d", len(ladder), res.MaxPieces())
+	}
+	if ladder[0] != (Rung{Pieces: 1, CutBits: 0}) {
+		t.Errorf("rung 1 = %+v, want free single-device deployment", ladder[0])
+	}
+	if ladder[1] != (Rung{Pieces: 2, CutBits: 8}) {
+		t.Errorf("rung 2 = %+v, want the 8-bit min cut", ladder[1])
+	}
+	last := ladder[len(ladder)-1]
+	if last.Pieces != res.MaxPieces() || last.CutBits != 64+8+64 {
+		t.Errorf("deepest rung = %+v, want all cuts paid (%d bits)", last, 64+8+64)
+	}
+	// Cost must be monotonic: more devices never talk less.
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].CutBits < ladder[i-1].CutBits {
+			t.Errorf("ladder cost not monotonic: %+v after %+v", ladder[i], ladder[i-1])
+		}
+	}
+}

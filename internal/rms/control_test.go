@@ -1,0 +1,382 @@
+package rms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/resource"
+)
+
+// Regression test: Service.Release (the admission-surface release, not
+// DataPlane.Release) must drain the lease's in-flight data-plane batches
+// before freeing placements. The request below sits in the micro-batch
+// flush window when Release lands; the drain hook must serve it
+// immediately instead of leaving it to race the deallocation (or to wait
+// out the full FlushDelay on a leaked engine).
+func TestServiceReleaseDrainsDataPlane(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 4
+	opts.FlushDelay = 5 * time.Second
+	svc, dp, lease := testPlane(t, opts)
+
+	type answer struct {
+		res *InferResult
+		err error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		res, err := dp.Infer(lease.ID, testInputs(lease.Spec, 7))
+		got <- answer{res, err}
+	}()
+
+	// Wait until the engine exists and has picked the request into its
+	// batch window (queue drained, nothing served yet).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := dp.Load(lease.ID); ok && st.QueueDepth == 0 && st.Served == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the batch window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let collect enter the flush wait
+
+	start := time.Now()
+	if err := svc.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-got:
+		if a.err != nil {
+			t.Fatalf("queued infer lost to release: %v", a.err)
+		}
+		if len(a.res.Outputs) != lease.Spec.TimeSteps {
+			t.Errorf("drained infer returned %d outputs", len(a.res.Outputs))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued infer still pending after Release returned")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("release drain took %v, want well under the %v flush delay", el, opts.FlushDelay)
+	}
+	if st := svc.Status(); st.ActiveLeases != 0 || st.Utilization != 0 {
+		t.Errorf("after release: %d leases, utilization %v", st.ActiveLeases, st.Utilization)
+	}
+	if _, ok := dp.Load(lease.ID); ok {
+		t.Error("engine still registered after Service.Release")
+	}
+}
+
+func TestDeployWithDepth(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 256, TimeSteps: 2}
+
+	depths, err := svc.Depths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(depths) < 3 || depths[0] != 1 {
+		t.Fatalf("ladder = %v, want [1 2 4]", depths)
+	}
+
+	for _, d := range depths {
+		lease, err := svc.DeployWith(spec, PlaceOptions{Depth: d})
+		if err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+		if lease.Depth != d || len(lease.Placements) != d {
+			t.Errorf("depth %d: got depth %d with %d placements", d, lease.Depth, len(lease.Placements))
+		}
+		seen := map[int]bool{}
+		for _, pl := range lease.Placements {
+			if seen[pl.FPGA] {
+				t.Errorf("depth %d: device %d used twice", d, pl.FPGA)
+			}
+			seen[pl.FPGA] = true
+		}
+		if err := svc.Release(lease.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := svc.DeployWith(spec, PlaceOptions{Depth: 3}); !errors.Is(err, ErrNoSuchDepth) {
+		t.Errorf("depth 3: %v, want ErrNoSuchDepth", err)
+	}
+
+	// Avoid must keep placements off the vetoed device.
+	lease, err := svc.DeployWith(spec, PlaceOptions{Depth: 2, Avoid: func(id int) bool { return id == 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range lease.Placements {
+		if pl.FPGA == 0 {
+			t.Error("placement landed on avoided device 0")
+		}
+	}
+}
+
+func TestPlacementFilterVetoes(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	svc.SetPlacementFilter(func(id int) bool { return id != 1 })
+	lease, err := svc.Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range lease.Placements {
+		if pl.FPGA == 1 {
+			t.Error("placement landed on filtered device 1")
+		}
+	}
+	// Veto everything: capacity error, typed for the 503 mapping.
+	svc.SetPlacementFilter(func(int) bool { return false })
+	if _, err := svc.Deploy(spec); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("all-vetoed deploy: %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestMigrateAcrossDepths(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 256, TimeSteps: 2}
+	lease, err := svc.DeployWith(spec, PlaceOptions{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := lease.ID
+	baseline := svc.Status().Utilization
+
+	up, err := svc.Migrate(id, 2, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID != id || up.Depth != 2 || len(up.Placements) != 2 || up.Migrations != 1 {
+		t.Errorf("after scale-up: %+v", up)
+	}
+
+	down, err := svc.Migrate(id, 1, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Depth != 1 || len(down.Placements) != 1 || down.Migrations != 2 {
+		t.Errorf("after scale-down: %+v", down)
+	}
+	if got := svc.Status().Utilization; got != baseline {
+		t.Errorf("utilization %v after round-trip migration, want %v", got, baseline)
+	}
+
+	if _, err := svc.Migrate(id, 3, nil, false); !errors.Is(err, ErrNoSuchDepth) {
+		t.Errorf("migrate to depth 3: %v, want ErrNoSuchDepth", err)
+	}
+	if _, err := svc.Migrate(9999, 1, nil, false); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("migrate unknown lease: %v, want ErrUnknownLease", err)
+	}
+
+	// A migration that cannot place (every device vetoed) must fail with
+	// ErrNoCapacity and — even when forced — leave the lease placed
+	// exactly as before.
+	before, _ := svc.Lease(id)
+	all := func(int) bool { return true }
+	if _, err := svc.Migrate(id, 2, all, false); !errorsIsCapacity(err) {
+		t.Errorf("vetoed migrate: %v, want ErrNoCapacity", err)
+	}
+	if _, err := svc.Migrate(id, 2, all, true); !errorsIsCapacity(err) {
+		t.Errorf("forced vetoed migrate: %v, want ErrNoCapacity", err)
+	}
+	after, ok := svc.Lease(id)
+	if !ok || len(after.Placements) != len(before.Placements) || after.Placements[0] != before.Placements[0] {
+		t.Errorf("failed forced migration did not restore placements: %+v vs %+v", after, before)
+	}
+}
+
+func errorsIsCapacity(err error) bool { return errors.Is(err, ErrNoCapacity) }
+
+// Migration must avoid a named device even when force-releasing first —
+// the evacuation path for dead devices.
+func TestForcedMigrationEvacuatesDevice(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.LayerSpec{Kind: kernels.GRU, Hidden: 256, TimeSteps: 2}
+	lease, err := svc.DeployWith(spec, PlaceOptions{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := lease.Placements[0].FPGA
+	avoid := func(id int) bool { return id == dead }
+	moved, err := svc.Migrate(lease.ID, 1, avoid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range moved.Placements {
+		if pl.FPGA == dead {
+			t.Errorf("evacuated lease still on dead device %d", dead)
+		}
+	}
+}
+
+func TestDataPlaneResize(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	_, dp, lease := testPlane(t, opts)
+	inputs := testInputs(lease.Spec, 11)
+	want, err := dp.Infer(lease.ID, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := dp.Load(lease.ID); st.Machines != 1 {
+		t.Fatalf("machines = %d, want 1", st.Machines)
+	}
+	if err := dp.Resize(lease.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dp.Infer(lease.ID, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Outputs) != len(want.Outputs) {
+		t.Fatal("resize changed output shape")
+	}
+	for ti := range got.Outputs {
+		for i := range got.Outputs[ti] {
+			if got.Outputs[ti][i] != want.Outputs[ti][i] {
+				t.Fatal("resize changed inference results")
+			}
+		}
+	}
+	st, ok := dp.Load(lease.ID)
+	if !ok || st.Machines != 3 {
+		t.Errorf("after resize: %+v ok=%v, want 3 machines", st, ok)
+	}
+	if st.Served != 1 {
+		t.Errorf("new engine served = %d, want 1", st.Served)
+	}
+	if err := dp.Resize(9999, 2); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("resize unknown lease: %v", err)
+	}
+}
+
+// Capacity exhaustion over HTTP must answer 503 (load balancers retry
+// elsewhere), never 500 (bugs).
+func TestDeployCapacity503(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	body := `{"kind":"LSTM","hidden":1024,"timesteps":4}`
+	saw503 := false
+	for i := 0; i < 64; i++ {
+		resp, err := http.Post(srv.URL+"/deploy", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			continue
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("deploy %d: status %d, want 503", i, resp.StatusCode)
+		}
+		saw503 = true
+		break
+	}
+	if !saw503 {
+		t.Fatal("cluster never filled up — test layer too small")
+	}
+}
+
+func TestExpvarOnMux(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"mlv_leases_active", "mlv_infers_served", "mlv_batches_flushed",
+		"mlv_migrations", "mlv_heartbeat_misses",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("expvar %q missing from /debug/vars (have %s)", key, strings.Join(keysOf(vars), ","))
+		}
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFeasibleDepths(t *testing.T) {
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 10}
+	all, err := svc.Depths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible, err := svc.FeasibleDepths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The database offers a depth-4 deployment (4×XCVU37P), but the paper
+	// cluster has only three of that type: the rung exists on paper, not
+	// in the fleet.
+	if len(all) != 3 || all[2] != 4 {
+		t.Fatalf("Depths = %v, want [1 2 4]", all)
+	}
+	if len(feasible) != 2 || feasible[0] != 1 || feasible[1] != 2 {
+		t.Fatalf("FeasibleDepths = %v, want [1 2]", feasible)
+	}
+
+	wide, err := NewService(resource.ClusterSpec{resource.XCVU37P.Name: 4}, testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible, err = wide.FeasibleDepths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feasible) != 3 {
+		t.Fatalf("FeasibleDepths on 4-wide cluster = %v, want [1 2 4]", feasible)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"mlvfpga/internal/hsvital"
@@ -77,12 +78,15 @@ func (d Deployment) TotalBlocks() int {
 }
 
 // Database caches deployment options per layer (the system controller's
-// mapping-result store, Fig. 7).
+// mapping-result store, Fig. 7). It is safe for concurrent use: the
+// admission service and the cluster control plane consult it from
+// different goroutines.
 type Database struct {
 	mode PolicyMode
 	p    perf.Params
 	net  scaleout.TwoFPGAOptions
 
+	mu    sync.Mutex
 	cache map[kernels.LayerSpec][]Deployment
 }
 
@@ -106,6 +110,8 @@ func deviceTypes() []string {
 // Options returns the deployments for a layer, sorted by the greedy key:
 // ascending soft-block count (§2.3), then latency, then total blocks.
 func (db *Database) Options(spec kernels.LayerSpec) ([]Deployment, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if opts, ok := db.cache[spec]; ok {
 		return opts, nil
 	}

@@ -3,6 +3,7 @@ package rms
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strings"
@@ -118,6 +119,11 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+
+	// Process-wide counters (leases, infers, batches, migrations,
+	// heartbeat misses — see internal/metrics) for operators and the
+	// cluster control plane.
+	mux.Handle("/debug/vars", expvar.Handler())
 
 	if dp != nil {
 		mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlvfpga/internal/accel"
 	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
 )
 
 // ErrLeaseClosing is returned by Infer when the lease's engine is shutting
@@ -83,6 +85,12 @@ type inferEngine struct {
 	done     chan struct{}
 	loopDone chan struct{}
 	running  sync.WaitGroup
+
+	// Load observability for the cluster control plane.
+	served   atomic.Int64
+	batches  atomic.Int64
+	inFlight atomic.Int64
+	waitEWMA atomic.Int64 // nanoseconds, alpha = 1/4
 
 	mu     sync.RWMutex
 	closed bool
@@ -210,6 +218,8 @@ func (e *inferEngine) collect() ([]*inferRequest, bool) {
 func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 	defer e.running.Done()
 	defer func() { e.pool <- m }()
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
 
 	fail := func(err error) {
 		for _, req := range batch {
@@ -236,6 +246,20 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 		return
 	}
 	delta := m.Stats().Minus(before)
+	e.batches.Add(1)
+	e.served.Add(int64(len(batch)))
+	metrics.BatchesFlushed.Add(1)
+	metrics.InfersServed.Add(int64(len(batch)))
+	for _, req := range batch {
+		// EWMA of queue wait, alpha 1/4: new = old + (sample-old)/4.
+		wait := int64(started.Sub(req.enqueued))
+		for {
+			old := e.waitEWMA.Load()
+			if e.waitEWMA.CompareAndSwap(old, old+(wait-old)/4) {
+				break
+			}
+		}
+	}
 	steps := e.kern.Spec.TimeSteps
 	for s, req := range batch {
 		outs := make([][]float64, steps)
@@ -273,11 +297,16 @@ type DataPlane struct {
 
 type engineSlot struct {
 	once sync.Once
-	e    *inferEngine
-	err  error
+	// ready flips after e/err are final, so lock-free readers (Load) can
+	// check it without racing the once body.
+	ready atomic.Bool
+	e     *inferEngine
+	err   error
 }
 
-// NewDataPlane builds a data plane over the admission service.
+// NewDataPlane builds a data plane over the admission service and
+// registers its drain hook, so Service.Release (called directly or via
+// HTTP) always drains the lease's engine before freeing placements.
 func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1
@@ -288,7 +317,81 @@ func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
 	if opts.Tiles <= 0 {
 		opts.Tiles = 1
 	}
-	return &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}}
+	dp := &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}}
+	svc.SetDrainer(dp.drainEngine)
+	return dp
+}
+
+// LoadStats is a lease's live serving load, the control plane's
+// depth-selection signal.
+type LoadStats struct {
+	// QueueDepth is the number of requests waiting for a batch right now.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of batches executing right now.
+	InFlight int `json:"in_flight"`
+	// Served and Batches are lifetime totals for the engine.
+	Served  int64 `json:"served"`
+	Batches int64 `json:"batches"`
+	// Machines is the engine's current pool size.
+	Machines int `json:"machines"`
+	// AvgQueueWait is an EWMA of request queue wait.
+	AvgQueueWait time.Duration `json:"avg_queue_wait_ns"`
+}
+
+// Load reports a lease's serving load. ok is false when the lease has no
+// engine yet (nothing inferred since deploy or resize) — callers should
+// treat that as an idle lease.
+func (dp *DataPlane) Load(leaseID int) (LoadStats, bool) {
+	dp.mu.Lock()
+	slot := dp.engines[leaseID]
+	dp.mu.Unlock()
+	if slot == nil || !slot.ready.Load() || slot.e == nil {
+		return LoadStats{}, false
+	}
+	e := slot.e
+	return LoadStats{
+		QueueDepth:   len(e.reqs),
+		InFlight:     int(e.inFlight.Load()),
+		Served:       e.served.Load(),
+		Batches:      e.batches.Load(),
+		Machines:     e.opts.Machines,
+		AvgQueueWait: time.Duration(e.waitEWMA.Load()),
+	}, true
+}
+
+// Resize swaps the lease's engine for one with the given machine-pool
+// size (the data-plane side of a depth migration: a deeper deployment
+// executes more concurrent batches). The swap is lossless — new requests
+// go to the new engine immediately while the old engine drains its queue
+// and finishes in-flight batches before retiring.
+func (dp *DataPlane) Resize(leaseID, machines int) error {
+	lease, ok := dp.svc.Lease(leaseID)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
+	}
+	if machines <= 0 {
+		machines = 1
+	}
+	opts := dp.opts
+	opts.Machines = machines
+	e, err := newInferEngine(lease, opts)
+	if err != nil {
+		return err
+	}
+	slot := &engineSlot{e: e}
+	slot.once.Do(func() {}) // mark resolved: e is pre-built
+	slot.ready.Store(true)
+	dp.mu.Lock()
+	old := dp.engines[leaseID]
+	dp.engines[leaseID] = slot
+	dp.mu.Unlock()
+	if old != nil {
+		old.once.Do(func() {})
+		if old.e != nil {
+			old.e.close()
+		}
+	}
+	return nil
 }
 
 // Infer runs the lease's layer on inputs (one vector of the layer's hidden
@@ -330,15 +433,26 @@ func (dp *DataPlane) engine(lease *Lease) (*inferEngine, error) {
 		dp.engines[lease.ID] = slot
 	}
 	dp.mu.Unlock()
-	slot.once.Do(func() { slot.e, slot.err = newInferEngine(lease, dp.opts) })
+	slot.once.Do(func() {
+		slot.e, slot.err = newInferEngine(lease, dp.opts)
+		slot.ready.Store(true)
+	})
 	if slot.err != nil {
 		return nil, slot.err
 	}
 	return slot.e, nil
 }
 
-// Release drains and stops the lease's engine, then frees its blocks.
+// Release frees the lease. The engine drain happens inside
+// Service.Release via the registered drain hook, so releasing through
+// either surface is equivalent.
 func (dp *DataPlane) Release(leaseID int) error {
+	return dp.svc.Release(leaseID)
+}
+
+// drainEngine retires the lease's engine: admission stops, queued
+// requests are served, in-flight batches finish. Idempotent.
+func (dp *DataPlane) drainEngine(leaseID int) {
 	dp.mu.Lock()
 	slot := dp.engines[leaseID]
 	delete(dp.engines, leaseID)
@@ -350,7 +464,6 @@ func (dp *DataPlane) Release(leaseID int) error {
 			slot.e.close()
 		}
 	}
-	return dp.svc.Release(leaseID)
 }
 
 // Close drains and stops every engine (leases stay admitted; pair with

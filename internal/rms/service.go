@@ -9,6 +9,7 @@ import (
 
 	"mlvfpga/internal/hsvital"
 	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
 )
 
 // Service is the long-lived system controller of Fig. 7, exposed to the
@@ -24,6 +25,13 @@ type Service struct {
 
 	nextID int
 	leases map[int]*Lease
+
+	// filter, when set, vetoes devices for every placement (the cluster
+	// control plane installs its health view here).
+	filter func(fpgaID int) bool
+	// drainer, when set, runs before a lease's placements are freed so the
+	// data plane can drain in-flight batches (see SetDrainer).
+	drainer func(leaseID int)
 }
 
 // Placement locates one soft block of a lease.
@@ -47,6 +55,12 @@ type Lease struct {
 	Placements []Placement `json:"placements"`
 	// Latency is the modelled per-inference latency of this deployment.
 	Latency time.Duration `json:"latency_ns"`
+	// Depth is the deployment's piece count — its rung on the partition
+	// ladder (1, 2 or 4 devices).
+	Depth int `json:"depth"`
+	// Migrations counts how many times the control plane re-placed this
+	// lease (depth changes and evacuations).
+	Migrations int `json:"migrations"`
 }
 
 // ClusterStatus is a point-in-time occupancy snapshot.
@@ -73,6 +87,10 @@ var ErrNoCapacity = errors.New("rms: no capacity for layer right now")
 // ErrUnknownLease is returned by Release for an unknown id.
 var ErrUnknownLease = errors.New("rms: unknown lease")
 
+// ErrNoSuchDepth is returned when the mapping database has no deployment
+// with the requested piece count for a layer.
+var ErrNoSuchDepth = errors.New("rms: no deployment at requested depth")
+
 // NewService builds a service over a fresh cluster.
 func NewService(cluster map[string]int, db *Database) (*Service, error) {
 	if db == nil {
@@ -85,33 +103,64 @@ func NewService(cluster map[string]int, db *Database) (*Service, error) {
 	return &Service{ctrl: ctrl, db: db, leases: map[int]*Lease{}}, nil
 }
 
+// PlaceOptions constrains a deployment beyond the default greedy policy.
+type PlaceOptions struct {
+	// Depth restricts placement to deployments with exactly this many
+	// pieces (0 = any, walked in the database's greedy order).
+	Depth int
+	// Avoid vetoes devices for this placement, in addition to the
+	// service-wide placement filter.
+	Avoid func(fpgaID int) bool
+}
+
+// SetPlacementFilter installs a device veto consulted by every placement:
+// ok(fpgaID) must return true for a device to receive soft blocks. The
+// cluster control plane uses this to keep new placements off suspect,
+// dead and draining devices. A nil filter allows every device.
+func (s *Service) SetPlacementFilter(ok func(fpgaID int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.filter = ok
+}
+
+// SetDrainer registers fn to run before Release frees a lease's
+// placements. The data plane installs its engine drain here so a release
+// can never race an enqueued micro-batch: queued requests are served and
+// in-flight batches finish before the virtual blocks are freed.
+func (s *Service) SetDrainer(fn func(leaseID int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainer = fn
+}
+
 // Deploy admits an accelerator for the layer using the greedy policy
 // (fewest soft blocks first) and returns the lease. It fails with
 // ErrNoCapacity when nothing fits right now and ErrUndeployable when the
 // layer can never be deployed.
 func (s *Service) Deploy(spec kernels.LayerSpec) (*Lease, error) {
+	return s.DeployWith(spec, PlaceOptions{})
+}
+
+// DeployWith admits an accelerator under the given placement constraints.
+func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, error) {
 	opts, err := s.db.Options(spec)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sawDepth := false
 	for _, dep := range opts {
-		placements, ok := s.tryPlaceLocked(dep)
+		if po.Depth > 0 && dep.NumPieces() != po.Depth {
+			continue
+		}
+		sawDepth = true
+		placements, ok := s.tryPlaceLocked(dep, po.Avoid)
 		if !ok {
 			continue
 		}
-		for _, pl := range placements {
-			if err := s.ctrl.Configure(pl.FPGA, pl.Blocks); err != nil {
-				// Roll back anything already configured.
-				for _, done := range placements {
-					if done == pl {
-						break
-					}
-					_ = s.ctrl.Release(done.FPGA, done.Blocks)
-				}
-				return nil, err
-			}
+		if err := s.configureLocked(placements); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoCapacity, err)
 		}
 		s.nextID++
 		lease := &Lease{
@@ -120,21 +169,187 @@ func (s *Service) Deploy(spec kernels.LayerSpec) (*Lease, error) {
 			SpecString: spec.String(),
 			Placements: placements,
 			Latency:    dep.Latency,
+			Depth:      dep.NumPieces(),
 		}
 		s.leases[lease.ID] = lease
+		metrics.LeasesActive.Add(1)
 		return lease, nil
+	}
+	if po.Depth > 0 && !sawDepth {
+		return nil, fmt.Errorf("%w: %d pieces for %v", ErrNoSuchDepth, po.Depth, spec)
 	}
 	return nil, fmt.Errorf("%w: %v", ErrNoCapacity, spec)
 }
 
-// tryPlaceLocked mirrors the simulator's best-fit placement.
-func (s *Service) tryPlaceLocked(dep Deployment) ([]Placement, bool) {
+// Depths returns the piece counts (partition-ladder rungs) the database
+// offers for a layer, ascending.
+func (s *Service) Depths(spec kernels.LayerSpec) ([]int, error) {
+	opts, err := s.db.Options(spec)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, dep := range opts {
+		if n := dep.NumPieces(); !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// FeasibleDepths filters Depths down to the rungs the physical cluster
+// can host at all: depths with at least one deployment whose device-type
+// requirements fit the inventory, ignoring current occupancy. The control
+// plane plans against this ladder so it never chases a depth the fleet
+// could not place even when empty (e.g. a 4×XCVU37P deployment on a
+// cluster with three).
+func (s *Service) FeasibleDepths(spec kernels.LayerSpec) ([]int, error) {
+	opts, err := s.db.Options(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	inventory := map[string]int{}
+	for _, f := range s.ctrl.Devices() {
+		inventory[f.Spec.Device.Name]++
+	}
+	s.mu.Unlock()
+	seen := map[int]bool{}
+	var out []int
+	for _, dep := range opts {
+		if seen[dep.NumPieces()] {
+			continue
+		}
+		need := map[string]int{}
+		for _, p := range dep.Pieces {
+			need[p.Device]++
+		}
+		fits := true
+		for typ, n := range need {
+			if inventory[typ] < n {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			seen[dep.NumPieces()] = true
+			out = append(out, dep.NumPieces())
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Migrate re-places a lease at the requested depth, avoiding the vetoed
+// devices, while keeping its identity (the data plane keeps serving under
+// the same id). The default protocol is make-before-break: the new pieces
+// are configured while the old blocks are still held, so a migration needs
+// headroom but never strands the lease. With force set (used when the old
+// placement includes a dead device) the old blocks are freed first; if no
+// new placement fits, the old one is restored and ErrNoCapacity returned
+// so the control plane can back off and retry.
+func (s *Service) Migrate(id, depth int, avoid func(fpgaID int) bool, force bool) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lease, ok := s.leases[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLease, id)
+	}
+	opts, err := s.db.Options(lease.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var candidates []Deployment
+	for _, dep := range opts {
+		if dep.NumPieces() == depth {
+			candidates = append(candidates, dep)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: %d pieces for %v", ErrNoSuchDepth, depth, lease.Spec)
+	}
+
+	place := func() (Deployment, []Placement, bool) {
+		for _, dep := range candidates {
+			if pls, ok := s.tryPlaceLocked(dep, avoid); ok {
+				return dep, pls, true
+			}
+		}
+		return Deployment{}, nil, false
+	}
+
+	old := lease.Placements
+	if dep, pls, ok := place(); ok {
+		// Make-before-break: configure new, then free old.
+		if err := s.configureLocked(pls); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoCapacity, err)
+		}
+		s.releasePlacementsLocked(old)
+		lease.Placements, lease.Latency, lease.Depth = pls, dep.Latency, depth
+		lease.Migrations++
+		return lease, nil
+	}
+	if !force {
+		return nil, fmt.Errorf("%w: migrating lease %d to depth %d", ErrNoCapacity, id, depth)
+	}
+	// Break-before-make: free the old blocks (a dead device's blocks are
+	// unusable anyway) and try again; restore on failure.
+	s.releasePlacementsLocked(old)
+	if dep, pls, ok := place(); ok {
+		if err := s.configureLocked(pls); err == nil {
+			lease.Placements, lease.Latency, lease.Depth = pls, dep.Latency, depth
+			lease.Migrations++
+			return lease, nil
+		}
+	}
+	if err := s.configureLocked(old); err != nil {
+		// Cannot happen: we hold the lock, so the freed blocks are intact.
+		panic(fmt.Sprintf("rms: restoring placements for lease %d: %v", id, err))
+	}
+	return nil, fmt.Errorf("%w: forced migration of lease %d to depth %d", ErrNoCapacity, id, depth)
+}
+
+// configureLocked occupies every placement's blocks, rolling back on
+// failure.
+func (s *Service) configureLocked(placements []Placement) error {
+	for i, pl := range placements {
+		if err := s.ctrl.Configure(pl.FPGA, pl.Blocks); err != nil {
+			for _, done := range placements[:i] {
+				_ = s.ctrl.Release(done.FPGA, done.Blocks)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// releasePlacementsLocked frees every placement's blocks.
+func (s *Service) releasePlacementsLocked(placements []Placement) {
+	for _, pl := range placements {
+		if err := s.ctrl.Release(pl.FPGA, pl.Blocks); err != nil {
+			panic(fmt.Sprintf("rms: release: %v", err))
+		}
+	}
+}
+
+// tryPlaceLocked mirrors the simulator's best-fit placement, skipping
+// devices vetoed by the service-wide filter or the per-call avoid set.
+func (s *Service) tryPlaceLocked(dep Deployment, avoid func(int) bool) ([]Placement, bool) {
 	used := map[int]bool{}
 	var out []Placement
 	for _, piece := range dep.Pieces {
 		bestID, bestFree := -1, 1<<30
 		for _, f := range s.ctrl.Devices() {
 			if used[f.ID] || f.Spec.Device.Name != piece.Device {
+				continue
+			}
+			if s.filter != nil && !s.filter(f.ID) {
+				continue
+			}
+			if avoid != nil && avoid(f.ID) {
 				continue
 			}
 			if free := f.FreeBlocks(); free >= piece.Blocks && free < bestFree {
@@ -150,42 +365,64 @@ func (s *Service) tryPlaceLocked(dep Deployment) ([]Placement, bool) {
 	return out, true
 }
 
-// Release frees a lease's virtual blocks.
+// Release frees a lease's virtual blocks, draining the lease's data-plane
+// engine first (when one is registered) so no enqueued micro-batch races
+// the deallocation.
 func (s *Service) Release(id int) error {
+	s.mu.Lock()
+	_, ok := s.leases[id]
+	drainer := s.drainer
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
+	}
+	if drainer != nil {
+		drainer(id)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	lease, ok := s.leases[id]
 	if !ok {
+		// A concurrent Release won the race after the drain.
 		return fmt.Errorf("%w: %d", ErrUnknownLease, id)
 	}
-	for _, pl := range lease.Placements {
-		if err := s.ctrl.Release(pl.FPGA, pl.Blocks); err != nil {
-			return err
-		}
-	}
+	s.releasePlacementsLocked(lease.Placements)
 	delete(s.leases, id)
+	metrics.LeasesActive.Add(-1)
 	return nil
 }
 
-// Leases returns the active leases sorted by id (used by graceful
-// shutdown to drain every deployment).
+// snapshotLocked copies a lease so callers never observe a concurrent
+// migration mutating placements in place.
+func snapshotLocked(l *Lease) *Lease {
+	cp := *l
+	cp.Placements = append([]Placement{}, l.Placements...)
+	return &cp
+}
+
+// Leases returns snapshots of the active leases sorted by id (used by
+// graceful shutdown to drain every deployment, and by the control plane's
+// deterministic rebalance sweep).
 func (s *Service) Leases() []*Lease {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Lease, 0, len(s.leases))
 	for _, l := range s.leases {
-		out = append(out, l)
+		out = append(out, snapshotLocked(l))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Lease returns an active lease by id.
+// Lease returns a snapshot of an active lease by id.
 func (s *Service) Lease(id int) (*Lease, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l, ok := s.leases[id]
-	return l, ok
+	if !ok {
+		return nil, false
+	}
+	return snapshotLocked(l), true
 }
 
 // Status snapshots the cluster.

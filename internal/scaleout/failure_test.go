@@ -83,6 +83,13 @@ func TestPairSurvivesDeviceFailure(t *testing.T) {
 		if !errors.Is(err, errInjected) {
 			t.Errorf("Run = %v, want the injected failure", err)
 		}
+		var de *DeviceError
+		if !errors.As(err, &de) {
+			t.Fatalf("Run = %v, want a *DeviceError the control plane can act on", err)
+		}
+		if de.Device != 0 {
+			t.Errorf("DeviceError.Device = %d, want 0 (the flaky member)", de.Device)
+		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("pair deadlocked after device failure")
 	}
@@ -127,6 +134,16 @@ func TestGroupSurvivesDeviceFailure(t *testing.T) {
 	case err := <-done:
 		if !errors.Is(err, errInjected) {
 			t.Errorf("Run = %v, want the injected failure", err)
+		}
+		// The typed error must finger the injected member, not a victim
+		// that merely observed the abort barrier — this is what lets the
+		// control plane mark the right device dead instead of stalling.
+		var de *DeviceError
+		if !errors.As(err, &de) {
+			t.Fatalf("Run = %v, want a *DeviceError", err)
+		}
+		if de.Device != 2 {
+			t.Errorf("DeviceError.Device = %d, want 2 (the flaky member)", de.Device)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("group deadlocked after device failure")

@@ -324,7 +324,9 @@ func (sg *ScaledGroup) ReadOutput(ms []*accel.Machine, t int) ([]float64, error)
 }
 
 // Run executes all devices concurrently; a failing device aborts the
-// group so the others unblock.
+// group so the others unblock. The originating failure is returned as a
+// *DeviceError naming the failed group member, so a control plane can
+// mark that device unhealthy and re-place the work instead of guessing.
 func (sg *ScaledGroup) Run(ms []*accel.Machine) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(ms))
@@ -341,14 +343,37 @@ func (sg *ScaledGroup) Run(ms []*accel.Machine) error {
 		}(dev)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	return firstDeviceError(errs)
+}
+
+// DeviceError reports which member of a scaled deployment failed mid-run.
+// It wraps the device's own error, so errors.Is still matches the root
+// cause; errors.As surfaces the failed device index for placement logic.
+type DeviceError struct {
+	// Device is the failing member's index within the group (its shard
+	// position, not a cluster-wide FPGA id).
+	Device int
+	Err    error
+}
+
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("scaleout: device %d failed mid-group: %v", e.Device, e.Err)
+}
+
+func (e *DeviceError) Unwrap() error { return e.Err }
+
+// firstDeviceError picks the originating failure of a group run: the first
+// non-abort error (devices that merely observed the abort barrier are
+// victims, not causes), falling back to the first abort error.
+func firstDeviceError(errs []error) error {
+	for d, err := range errs {
 		if err != nil && !errors.Is(err, ErrPeerAborted) {
-			return err
+			return &DeviceError{Device: d, Err: err}
 		}
 	}
-	for _, err := range errs {
+	for d, err := range errs {
 		if err != nil {
-			return err
+			return &DeviceError{Device: d, Err: err}
 		}
 	}
 	return nil

@@ -1,7 +1,6 @@
 package scaleout
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -323,8 +322,9 @@ func (sp *ScaledPair) ReadOutput(ms [2]*accel.Machine, t int) ([]float64, error)
 }
 
 // Run executes both devices concurrently (the sync modules provide the
-// barrier) and returns the first error. A failing device aborts the sync
-// pair so its peer unblocks instead of deadlocking on the barrier.
+// barrier) and returns the first error as a *DeviceError naming the
+// failed member. A failing device aborts the sync pair so its peer
+// unblocks instead of deadlocking on the barrier.
 func (sp *ScaledPair) Run(ms [2]*accel.Machine) error {
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
@@ -341,17 +341,7 @@ func (sp *ScaledPair) Run(ms [2]*accel.Machine) error {
 		}(dev)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, ErrPeerAborted) {
-			return err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstDeviceError(errs)
 }
 
 // ReorderForOverlap is the §2.3 reordering tool: under the dependency
