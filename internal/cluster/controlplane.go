@@ -61,7 +61,8 @@ func DefaultConfig() Config {
 // Event is one control action taken (or attempted) during a tick.
 type Event struct {
 	Lease int `json:"lease"`
-	// Kind is "evacuate", "scale_up" or "scale_down".
+	// Kind is "evacuate", "scale_up", "scale_down" or "resize" (a retry
+	// of a machine-pool resize that failed after a successful migration).
 	Kind      string `json:"kind"`
 	FromDepth int    `json:"from_depth"`
 	ToDepth   int    `json:"to_depth"`
@@ -85,6 +86,11 @@ type leaseState struct {
 	idleTicks    int
 	backoff      time.Duration
 	backoffUntil time.Time
+	// wantMachines is a machine-pool size the data plane still owes the
+	// lease: set when a resize fails after a successful migration, cleared
+	// once a later tick's retry lands, so the pool never silently stays
+	// sized for the old depth.
+	wantMachines int
 }
 
 // ControlPlane is the fleet controller: it owns the device registry,
@@ -169,19 +175,27 @@ func (cp *ControlPlane) Undrain(id int) error { return cp.reg.Undrain(id) }
 // ReportDead marks a device failed immediately.
 func (cp *ControlPlane) ReportDead(id int) error { return cp.reg.ReportDead(id) }
 
-// ObserveError inspects a serving error for positive device-failure
-// evidence (a scaleout.DeviceError) and, when the failed device is known,
-// marks it Dead without waiting out the heartbeat timers. It reports
-// whether a device was condemned.
-func (cp *ControlPlane) ObserveError(err error) (int, bool) {
+// ObserveError inspects a serving error from the lease for positive
+// device-failure evidence (a scaleout.DeviceError) and marks the failed
+// device Dead without waiting out the heartbeat timers, returning the
+// condemned FPGA id. DeviceError.Device is the failing member's index
+// within the scaled group (its shard position), so it is translated to a
+// cluster-wide id through the lease's placements, which hold one entry
+// per soft block in shard order.
+func (cp *ControlPlane) ObserveError(leaseID int, err error) (int, bool) {
 	var de *scaleout.DeviceError
 	if !errors.As(err, &de) {
 		return 0, false
 	}
-	if cp.reg.ReportDead(de.Device) != nil {
+	lease, ok := cp.svc.Lease(leaseID)
+	if !ok || de.Device < 0 || de.Device >= len(lease.Placements) {
 		return 0, false
 	}
-	return de.Device, true
+	fpga := lease.Placements[de.Device].FPGA
+	if cp.reg.ReportDead(fpga) != nil {
+		return 0, false
+	}
+	return fpga, true
 }
 
 // Tick runs one control pass: sweep the health state machine, evacuate
@@ -268,8 +282,14 @@ func (cp *ControlPlane) Tick() *TickReport {
 			evacuated[l.ID] = true
 			metrics.Migrations.Add(1)
 			if ev.ToDepth != ev.FromDepth && cp.sizer != nil {
+				st.wantMachines = 0
 				if rerr := cp.sizer.Resize(l.ID, ev.ToDepth*cp.cfg.MachinesPerPiece); rerr != nil {
+					// The migration landed but the pool is still sized
+					// for the old depth: remember the debt and back off,
+					// so a later tick retries the resize.
 					ev.Err = rerr.Error()
+					st.wantMachines = ev.ToDepth * cp.cfg.MachinesPerPiece
+					cp.failLocked(st, now)
 				}
 			}
 		}
@@ -282,6 +302,24 @@ func (cp *ControlPlane) Tick() *TickReport {
 			continue // one move per lease per tick
 		}
 		st := cp.leases[l.ID]
+		if st.wantMachines > 0 && cp.sizer != nil {
+			// Settle the owed machine-pool resize before planning another
+			// depth change for this lease.
+			if now.Before(st.backoffUntil) {
+				rep.Deferred++
+				continue
+			}
+			ev := Event{Lease: l.ID, Kind: "resize", FromDepth: l.Depth, ToDepth: l.Depth}
+			if rerr := cp.sizer.Resize(l.ID, st.wantMachines); rerr != nil {
+				ev.Err = rerr.Error()
+				cp.failLocked(st, now)
+			} else {
+				st.wantMachines = 0
+				cp.okLocked(st)
+			}
+			rep.Events = append(rep.Events, ev)
+			continue
+		}
 		var load rms.LoadStats
 		if cp.loads != nil {
 			load, _ = cp.loads.Load(l.ID) // ok=false reads as idle
@@ -318,8 +356,11 @@ func (cp *ControlPlane) Tick() *TickReport {
 			st.idleTicks = 0
 			metrics.Migrations.Add(1)
 			if cp.sizer != nil {
+				st.wantMachines = 0
 				if rerr := cp.sizer.Resize(l.ID, target*cp.cfg.MachinesPerPiece); rerr != nil {
 					ev.Err = rerr.Error()
+					st.wantMachines = target * cp.cfg.MachinesPerPiece
+					cp.failLocked(st, now)
 				}
 			}
 		}

@@ -17,9 +17,11 @@ import (
 // fakePlane scripts load observations and records resizes, standing in for
 // the rms.DataPlane in deterministic control-plane tests.
 type fakePlane struct {
-	mu      sync.Mutex
-	loads   map[int]rms.LoadStats
-	resized map[int]int
+	mu        sync.Mutex
+	loads     map[int]rms.LoadStats
+	resized   map[int]int
+	resizeErr error
+	resizeCnt int
 }
 
 func newFakePlane() *fakePlane {
@@ -36,8 +38,18 @@ func (f *fakePlane) Load(id int) (rms.LoadStats, bool) {
 func (f *fakePlane) Resize(id, machines int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.resizeCnt++
+	if f.resizeErr != nil {
+		return f.resizeErr
+	}
 	f.resized[id] = machines
 	return nil
+}
+
+func (f *fakePlane) setResizeErr(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resizeErr = err
 }
 
 func (f *fakePlane) setLoad(id int, l rms.LoadStats) {
@@ -286,19 +298,82 @@ func TestFailedMigrationBacksOff(t *testing.T) {
 }
 
 func TestObserveError(t *testing.T) {
-	cp, _, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
-	err := fmt.Errorf("serving: %w", &scaleout.DeviceError{Device: 2, Err: fmt.Errorf("link down")})
-	dev, ok := cp.ObserveError(err)
-	if !ok || dev != 2 {
-		t.Fatalf("ObserveError = %d,%v", dev, ok)
+	cp, svc, _, _ := testControlPlane(t, resource.PaperCluster(), DefaultConfig())
+	// Drain device 0 so the lease lands elsewhere: the group's shard index
+	// (DeviceError.Device) must then be translated through the lease's
+	// placements, not used as an FPGA id directly.
+	if err := cp.Drain(0); err != nil {
+		t.Fatal(err)
 	}
-	if st, _ := cp.Registry().State(2); st != Dead {
-		t.Fatalf("device 2 state = %v, want dead", st)
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := cp.ObserveError(fmt.Errorf("plain error")); ok {
+	home := lease.Placements[0].FPGA
+	if home == 0 {
+		t.Fatal("placement landed on drained device 0")
+	}
+	serr := fmt.Errorf("serving: %w", &scaleout.DeviceError{Device: 0, Err: fmt.Errorf("link down")})
+	dev, ok := cp.ObserveError(lease.ID, serr)
+	if !ok || dev != home {
+		t.Fatalf("ObserveError = %d,%v, want shard 0 condemned as FPGA %d", dev, ok, home)
+	}
+	if st, _ := cp.Registry().State(home); st != Dead {
+		t.Fatalf("device %d state = %v, want dead", home, st)
+	}
+	if st, _ := cp.Registry().State(0); st == Dead {
+		t.Fatal("shard index condemned FPGA 0 instead of the lease's placement")
+	}
+	if _, ok := cp.ObserveError(lease.ID, fmt.Errorf("plain error")); ok {
 		t.Fatal("plain error condemned a device")
 	}
-	if _, ok := cp.ObserveError(&scaleout.DeviceError{Device: 99}); ok {
-		t.Fatal("unknown device condemned")
+	if _, ok := cp.ObserveError(lease.ID, &scaleout.DeviceError{Device: 99}); ok {
+		t.Fatal("out-of-range shard index condemned a device")
+	}
+	if _, ok := cp.ObserveError(lease.ID+100, &scaleout.DeviceError{Device: 0}); ok {
+		t.Fatal("unknown lease condemned a device")
+	}
+}
+
+func TestFailedResizeRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cp, svc, fp, clk := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, cfg)
+	lease, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.setLoad(lease.ID, rms.LoadStats{QueueDepth: cfg.Planner.ScaleUpQueue + 2})
+	fp.setResizeErr(fmt.Errorf("engine rebuild failed"))
+
+	// The migration lands but the pool resize fails: the event carries the
+	// error and the lease goes into backoff owing a resize.
+	rep := cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "scale_up" || rep.Events[0].Err == "" {
+		t.Fatalf("events = %+v, want a scale_up with a resize error", rep.Events)
+	}
+	if got, _ := svc.Lease(lease.ID); got.Depth != 2 {
+		t.Fatalf("depth = %d, want 2 (migration itself succeeded)", got.Depth)
+	}
+
+	// Within the backoff window the owed resize is deferred, not retried,
+	// and no further depth change is planned for the lease.
+	rep = cp.Tick()
+	if len(rep.Events) != 0 || rep.Deferred != 1 {
+		t.Fatalf("tick inside backoff: %+v (deferred %d)", rep.Events, rep.Deferred)
+	}
+	if fp.resizeCnt != 1 {
+		t.Fatalf("resize called %d times during backoff, want 1", fp.resizeCnt)
+	}
+
+	// Past the window the resize (and only the resize) is retried, so the
+	// machine pool finally matches the depth.
+	fp.setResizeErr(nil)
+	clk.Advance(cfg.RetryBackoff + time.Millisecond)
+	rep = cp.Tick()
+	if len(rep.Events) != 1 || rep.Events[0].Kind != "resize" || rep.Events[0].Err != "" {
+		t.Fatalf("events = %+v, want one clean resize retry", rep.Events)
+	}
+	if fp.resized[lease.ID] != 2*cfg.MachinesPerPiece {
+		t.Fatalf("pool sized to %d machines, want %d", fp.resized[lease.ID], 2*cfg.MachinesPerPiece)
 	}
 }

@@ -214,7 +214,7 @@ func (r *Registry) ReportDead(id int) error {
 		return fmt.Errorf("cluster: failure report for unknown device %d", id)
 	}
 	if d.state != Dead {
-		metrics.HeartbeatMisses.Add(1)
+		metrics.DevicesCondemned.Add(1)
 		d.state = Dead
 	}
 	return nil

@@ -21,7 +21,12 @@ var (
 	// MigrationFailures counts migration attempts that found no
 	// capacity and went into backoff.
 	MigrationFailures = expvar.NewInt("mlv_migration_failures")
-	// HeartbeatMisses counts device health downgrades
-	// (healthy→suspect and suspect→dead sweep transitions).
+	// HeartbeatMisses counts device health downgrades caused by missed
+	// heartbeats (healthy→suspect and suspect→dead sweep transitions).
 	HeartbeatMisses = expvar.NewInt("mlv_heartbeat_misses")
+	// DevicesCondemned counts devices marked Dead on positive failure
+	// evidence (an explicit ReportDead, e.g. /cluster/kill or an observed
+	// scaleout.DeviceError) — kept separate from HeartbeatMisses so
+	// operators can tell confirmed failures from timeouts.
+	DevicesCondemned = expvar.NewInt("mlv_devices_condemned")
 )

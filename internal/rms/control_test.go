@@ -328,7 +328,7 @@ func TestExpvarOnMux(t *testing.T) {
 	}
 	for _, key := range []string{
 		"mlv_leases_active", "mlv_infers_served", "mlv_batches_flushed",
-		"mlv_migrations", "mlv_heartbeat_misses",
+		"mlv_migrations", "mlv_heartbeat_misses", "mlv_devices_condemned",
 	} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("expvar %q missing from /debug/vars (have %s)", key, strings.Join(keysOf(vars), ","))

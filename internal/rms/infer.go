@@ -293,6 +293,10 @@ type DataPlane struct {
 
 	mu      sync.Mutex
 	engines map[int]*engineSlot
+	// released tombstones drained lease ids (lease ids are never reused),
+	// so a Resize or lazy engine build racing a Release can never install
+	// an engine for a lease whose placements are already freed.
+	released map[int]bool
 }
 
 type engineSlot struct {
@@ -317,7 +321,7 @@ func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
 	if opts.Tiles <= 0 {
 		opts.Tiles = 1
 	}
-	dp := &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}}
+	dp := &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}, released: map[int]bool{}}
 	svc.SetDrainer(dp.drainEngine)
 	return dp
 }
@@ -382,6 +386,13 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 	slot.once.Do(func() {}) // mark resolved: e is pre-built
 	slot.ready.Store(true)
 	dp.mu.Lock()
+	if dp.released[leaseID] {
+		// A concurrent Release drained the lease after the lookup above:
+		// installing now would leak an engine for a freed lease.
+		dp.mu.Unlock()
+		e.close()
+		return fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
+	}
 	old := dp.engines[leaseID]
 	dp.engines[leaseID] = slot
 	dp.mu.Unlock()
@@ -427,6 +438,10 @@ func (dp *DataPlane) Infer(leaseID int, inputs [][]float64) (*InferResult, error
 // engine returns the lease's serving engine, building it on first use.
 func (dp *DataPlane) engine(lease *Lease) (*inferEngine, error) {
 	dp.mu.Lock()
+	if dp.released[lease.ID] {
+		dp.mu.Unlock()
+		return nil, ErrLeaseClosing
+	}
 	slot, ok := dp.engines[lease.ID]
 	if !ok {
 		slot = &engineSlot{}
@@ -454,6 +469,7 @@ func (dp *DataPlane) Release(leaseID int) error {
 // requests are served, in-flight batches finish. Idempotent.
 func (dp *DataPlane) drainEngine(leaseID int) {
 	dp.mu.Lock()
+	dp.released[leaseID] = true
 	slot := dp.engines[leaseID]
 	delete(dp.engines, leaseID)
 	dp.mu.Unlock()

@@ -279,3 +279,38 @@ func TestInferHTTP(t *testing.T) {
 		t.Errorf("active leases after release = %d", got)
 	}
 }
+
+func TestResizeRacingReleaseDoesNotLeakEngine(t *testing.T) {
+	svc, dp, lease := testPlane(t, DefaultInferOptions())
+	// Keep resizing while the lease is released; the loop stops at the
+	// first error (unknown lease, or the tombstone blocking the install).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for dp.Resize(lease.ID, 2) == nil {
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := svc.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	dp.mu.Lock()
+	_, leaked := dp.engines[lease.ID]
+	dp.mu.Unlock()
+	if leaked {
+		t.Fatal("engine installed for a released lease")
+	}
+	if _, ok := dp.Load(lease.ID); ok {
+		t.Fatal("Load reports an engine for a released lease")
+	}
+	// The tombstone also blocks the lazy engine build from a stale lease
+	// snapshot (an Infer that looked the lease up before the release) and
+	// a Resize that passed its lease lookup before the drain.
+	if _, err := dp.engine(lease); !errors.Is(err, ErrLeaseClosing) {
+		t.Fatalf("engine() on released lease: %v, want ErrLeaseClosing", err)
+	}
+	if err := dp.Resize(lease.ID, 2); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("Resize on released lease: %v, want ErrUnknownLease", err)
+	}
+}
