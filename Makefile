@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-cluster soak fuzz repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-cluster soak fuzz simtest repro examples clean
 
 all: check
 
@@ -45,10 +45,30 @@ soak:
 repro:
 	$(GO) run ./cmd/mlv-bench
 
-# Short fuzz passes over the RTL frontend.
+# Short fuzz passes: RTL frontend, partition shard ladder, number formats.
+# Raise FUZZTIME for a longer hunt; committed seed corpora under each
+# package's testdata/fuzz/ replay as plain regressions in `make test`.
+FUZZTIME ?= 15s
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/rtl
-	$(GO) test -fuzz=FuzzLexer -fuzztime=15s ./internal/rtl
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rtl
+	$(GO) test -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/rtl
+	$(GO) test -fuzz=FuzzBisect -fuzztime=$(FUZZTIME) ./internal/partition
+	$(GO) test -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME) ./internal/bfp
+
+# Deterministic whole-cluster simulation sweep. Each seed drives one
+# scripted run of the full stack (registry + control plane + data plane)
+# on the discrete-event clock, checking invariants after every event; a
+# failure prints the seed and a minimized schedule. Scale with
+# SIMSEEDS/SIMSTEPS, replay one failure with SIMSEED.
+SIMSEEDS ?= 20
+SIMSTEPS ?= 500
+SIMSEED ?= 0
+simtest:
+ifneq ($(SIMSEED),0)
+	$(GO) test ./internal/simtest -run TestSimSeed -seed=$(SIMSEED) -steps=$(SIMSTEPS) -count=1 -v
+else
+	$(GO) test ./internal/simtest -run 'TestSimSweep|TestSimDeterminism' -seeds=$(SIMSEEDS) -steps=$(SIMSTEPS) -count=1 -v
+endif
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -105,19 +105,31 @@ func (c *Codec) QuantizeInto(b *Block, xs []float64) {
 		return
 	}
 	// Choose exp so that maxAbs/2^exp fits in maxMag:
-	// exp = ceil(log2(maxAbs / maxMag)).
-	exp := int(math.Ceil(math.Log2(maxAbs / float64(c.maxMag))))
+	// exp = ceil(log2(maxAbs / maxMag)). The log is taken via Frexp
+	// because the direct quotient underflows to zero for deep-subnormal
+	// maxAbs, and ceil(log2(0)) = MinInt64 wedges the guard loop below.
+	fr, e2 := math.Frexp(maxAbs)
+	exp := int(math.Ceil(float64(e2) + math.Log2(fr) - math.Log2(float64(c.maxMag))))
 	// Guard against boundary rounding pushing past the max magnitude.
 	for math.Round(math.Ldexp(maxAbs, -exp)) > float64(c.maxMag) {
 		exp++
 	}
 	scale := math.Ldexp(1, -exp)
+	// For deep-subnormal blocks -exp can exceed the float64 exponent range
+	// and the precomputed scale degenerates to Inf (or 0); fall back to
+	// per-element Ldexp, which scales exactly.
+	slowScale := math.IsInf(scale, 0) || scale == 0
 	for i, x := range xs {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			mant[i] = 0 // encode as zero: hardware flushes non-finite input
 			continue
 		}
-		m := math.Round(x * scale)
+		var m float64
+		if slowScale {
+			m = math.Round(math.Ldexp(x, -exp))
+		} else {
+			m = math.Round(x * scale)
+		}
 		if m > float64(c.maxMag) {
 			m = float64(c.maxMag)
 		}
@@ -129,12 +141,13 @@ func (c *Codec) QuantizeInto(b *Block, xs []float64) {
 	b.Exp = exp
 }
 
-// Dequantize converts a block back to float64.
+// Dequantize converts a block back to float64. Ldexp keeps the scaling
+// exact across the whole exponent range (a precomputed 2^Exp would
+// saturate for deep-subnormal blocks).
 func (b Block) Dequantize() []float64 {
-	scale := math.Pow(2, float64(b.Exp))
 	out := make([]float64, len(b.Mant))
 	for i, m := range b.Mant {
-		out[i] = float64(m) * scale
+		out[i] = math.Ldexp(float64(m), b.Exp)
 	}
 	return out
 }

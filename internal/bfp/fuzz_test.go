@@ -1,0 +1,162 @@
+package bfp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mlvfpga/internal/fp16"
+)
+
+// fuzzVals decodes the payload into float64s (8 bytes each, any bit
+// pattern: NaNs, infinities and subnormals included), capped so one
+// input cannot dominate the fuzz budget.
+func fuzzVals(data []byte) []float64 {
+	const maxVals = 256
+	var out []float64
+	for len(data) >= 8 && len(out) < maxVals {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return out
+}
+
+// FuzzQuantizeRoundTrip checks the number-format contracts the
+// accelerator's datapath rests on, for arbitrary inputs:
+//
+//   - bfp: quantize→dequantize error is within half a mantissa step
+//     (0.5·2^Exp) for every finite element, non-finite elements encode as
+//     zero, and mantissas respect the configured width;
+//   - bfp: the allocation-free *Into variants produce bit-identical
+//     blocks to the allocating variants, even over dirty reused buffers;
+//   - fp16: FromSlice64/ToSlice64 match their *Into variants exactly, and
+//     a binary16 value survives a float64 round trip unchanged.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add([]byte{5})
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0xF0, 0x3F, 0, 0, 0, 0, 0, 0, 0xF0, 0xBF})        // 1.0, -1.0
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0xF8, 0x7F, 0, 0, 0, 0, 0, 0, 0xF0, 0x7F})        // NaN, +Inf
+	f.Add([]byte{23, 0x9A, 0x99, 0x99, 0x99, 0x99, 0x99, 0xB9, 0x3F, 1, 0, 0, 0, 0, 0, 0, 0}) // 0.1, subnormal
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		mantBits := 2 + int(data[0]%23)
+		codec, err := NewCodec(mantBits)
+		if err != nil {
+			t.Fatalf("NewCodec(%d): %v", mantBits, err)
+		}
+		vals := fuzzVals(data[1:])
+		if len(vals) == 0 {
+			return
+		}
+
+		// Round-trip error bound. The BFP domain slightly exceeds
+		// float64's at both ends: below Exp ≈ -1060 dequantized values
+		// leave the subnormal range and the representation itself rounds,
+		// and above Exp = 1000 a full-width mantissa (≤ 2^23) times 2^Exp
+		// can overflow to Inf. The hardware never runs at either extreme,
+		// so the bound is asserted only between them.
+		b := codec.Quantize(vals)
+		if b.Len() != len(vals) {
+			t.Fatalf("block has %d elements for %d inputs", b.Len(), len(vals))
+		}
+		maxMag := int32(1)<<(mantBits-1) - 1
+		for i, m := range b.Mant {
+			if m > maxMag || m < -maxMag {
+				t.Fatalf("mantissa %d is %d, width %d allows ±%d", i, m, mantBits, maxMag)
+			}
+		}
+		back := b.Dequantize()
+		bound := math.Ldexp(0.5, b.Exp)
+		for i, x := range vals {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				if back[i] != 0 {
+					t.Fatalf("element %d: non-finite %v decoded to %v, want 0", i, x, back[i])
+				}
+				continue
+			}
+			if b.Exp < -1060 || b.Exp > 1000 {
+				continue
+			}
+			if diff := math.Abs(back[i] - x); diff > bound {
+				t.Fatalf("element %d: |%v - %v| = %v exceeds 0.5·2^%d = %v",
+					i, back[i], x, diff, b.Exp, bound)
+			}
+		}
+
+		// QuantizeInto over a dirty reused block must match Quantize.
+		dirty := Block{Mant: make([]int32, len(vals)+3), Exp: 99}
+		for i := range dirty.Mant {
+			dirty.Mant[i] = -7
+		}
+		codec.QuantizeInto(&dirty, vals)
+		if dirty.Exp != b.Exp || len(dirty.Mant) != len(b.Mant) {
+			t.Fatalf("QuantizeInto exp/len (%d, %d) != Quantize (%d, %d)",
+				dirty.Exp, len(dirty.Mant), b.Exp, len(b.Mant))
+		}
+		for i := range b.Mant {
+			if dirty.Mant[i] != b.Mant[i] {
+				t.Fatalf("QuantizeInto mantissa %d is %d, Quantize says %d", i, dirty.Mant[i], b.Mant[i])
+			}
+		}
+
+		// Vector blocking: allocating and Into paths must agree, for any
+		// block size.
+		blockSize := 1 + int(data[0]>>3)%8
+		va, err := codec.QuantizeVector(vals, blockSize)
+		if err != nil {
+			t.Fatalf("QuantizeVector: %v", err)
+		}
+		vb := make([]Block, 1) // undersized and dirty on purpose
+		vb[0] = Block{Mant: []int32{-7}, Exp: 99}
+		vb, err = codec.QuantizeVectorInto(vb, vals, blockSize)
+		if err != nil {
+			t.Fatalf("QuantizeVectorInto: %v", err)
+		}
+		if len(va) != len(vb) {
+			t.Fatalf("vector blocking diverged: %d vs %d blocks", len(va), len(vb))
+		}
+		for j := range va {
+			if va[j].Exp != vb[j].Exp || len(va[j].Mant) != len(vb[j].Mant) {
+				t.Fatalf("block %d diverged: exp %d/%d, len %d/%d",
+					j, va[j].Exp, vb[j].Exp, len(va[j].Mant), len(vb[j].Mant))
+			}
+			for i := range va[j].Mant {
+				if va[j].Mant[i] != vb[j].Mant[i] {
+					t.Fatalf("block %d mantissa %d diverged: %d vs %d", j, i, va[j].Mant[i], vb[j].Mant[i])
+				}
+			}
+		}
+
+		// fp16: slice conversions match their Into variants bit for bit,
+		// and binary16 survives the float64 round trip.
+		ns := fp16.FromSlice64(vals)
+		nsInto := make([]fp16.Num, len(vals))
+		fp16.FromSlice64Into(nsInto, vals)
+		for i := range ns {
+			if ns[i] != nsInto[i] {
+				t.Fatalf("fp16 element %d: FromSlice64 %#04x, Into %#04x", i, ns[i], nsInto[i])
+			}
+		}
+		fs := fp16.ToSlice64(ns)
+		fsInto := make([]float64, len(ns))
+		fp16.ToSlice64Into(fsInto, ns)
+		for i := range fs {
+			if math.Float64bits(fs[i]) != math.Float64bits(fsInto[i]) {
+				t.Fatalf("fp16 element %d: ToSlice64 %v, Into %v", i, fs[i], fsInto[i])
+			}
+		}
+		rt := fp16.FromSlice64(fs)
+		for i := range ns {
+			if ns[i].IsNaN() {
+				if !rt[i].IsNaN() {
+					t.Fatalf("fp16 element %d: NaN %#04x round-tripped to %#04x", i, ns[i], rt[i])
+				}
+				continue
+			}
+			if rt[i] != ns[i] {
+				t.Fatalf("fp16 element %d: %#04x round-tripped to %#04x", i, ns[i], rt[i])
+			}
+		}
+	})
+}

@@ -81,6 +81,17 @@ type TickReport struct {
 	Deferred int `json:"deferred,omitempty"`
 }
 
+// Faults enables deliberate bug injection for the deterministic
+// simulation harness (internal/simtest), mirroring rms.Faults: each flag
+// disables one bookkeeping mechanism so the harness's invariant checkers
+// can be validated against a known bug. Zero value injects nothing.
+type Faults struct {
+	// SkipMigrationMetric suppresses the mlv_migrations counter increment
+	// on successful migrations, breaking counter conservation — the
+	// harness's expvar invariant must catch the drift.
+	SkipMigrationMetric bool
+}
+
 // leaseState is the control plane's per-lease memory between ticks.
 type leaseState struct {
 	idleTicks    int
@@ -108,8 +119,16 @@ type ControlPlane struct {
 	mu     sync.Mutex
 	leases map[int]*leaseState
 	ticks  int
+	faults Faults
 	// comm caches the per-spec comm-cost function (keyed by spec string).
 	comm map[string]func(depth int) time.Duration
+}
+
+// InjectFaults arms deliberate bugs for the simulation harness.
+func (cp *ControlPlane) InjectFaults(f Faults) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.faults = f
 }
 
 // New builds a control plane over the admission service, seeding the
@@ -280,7 +299,9 @@ func (cp *ControlPlane) Tick() *TickReport {
 		} else {
 			cp.okLocked(st)
 			evacuated[l.ID] = true
-			metrics.Migrations.Add(1)
+			if !cp.faults.SkipMigrationMetric {
+				metrics.Migrations.Add(1)
+			}
 			if ev.ToDepth != ev.FromDepth && cp.sizer != nil {
 				st.wantMachines = 0
 				if rerr := cp.sizer.Resize(l.ID, ev.ToDepth*cp.cfg.MachinesPerPiece); rerr != nil {
@@ -354,7 +375,9 @@ func (cp *ControlPlane) Tick() *TickReport {
 		} else {
 			cp.okLocked(st)
 			st.idleTicks = 0
-			metrics.Migrations.Add(1)
+			if !cp.faults.SkipMigrationMetric {
+				metrics.Migrations.Add(1)
+			}
 			if cp.sizer != nil {
 				st.wantMachines = 0
 				if rerr := cp.sizer.Resize(l.ID, target*cp.cfg.MachinesPerPiece); rerr != nil {

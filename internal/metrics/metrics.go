@@ -7,6 +7,23 @@ package metrics
 
 import "expvar"
 
+// Counters snapshots every mlv_ counter by its expvar name. The
+// deterministic simulation harness (internal/simtest) diffs two snapshots
+// to check counter conservation: the delta across a simulated run must
+// equal the event-derived expectation (expvar counters are process-wide,
+// so absolute values are meaningless inside a shared test binary).
+func Counters() map[string]int64 {
+	return map[string]int64{
+		"mlv_leases_active":      LeasesActive.Value(),
+		"mlv_infers_served":      InfersServed.Value(),
+		"mlv_batches_flushed":    BatchesFlushed.Value(),
+		"mlv_migrations":         Migrations.Value(),
+		"mlv_migration_failures": MigrationFailures.Value(),
+		"mlv_heartbeat_misses":   HeartbeatMisses.Value(),
+		"mlv_devices_condemned":  DevicesCondemned.Value(),
+	}
+}
+
 var (
 	// LeasesActive is a gauge of admitted deployments (+1 on Deploy,
 	// -1 on Release).

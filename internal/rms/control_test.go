@@ -37,19 +37,13 @@ func TestServiceReleaseDrainsDataPlane(t *testing.T) {
 		got <- answer{res, err}
 	}()
 
-	// Wait until the engine exists and has picked the request into its
-	// batch window (queue drained, nothing served yet).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if st, ok := dp.Load(lease.ID); ok && st.QueueDepth == 0 && st.Served == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("request never reached the batch window")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(10 * time.Millisecond) // let collect enter the flush wait
+	// Wait until the request is admitted (Pending), out of the queue, and
+	// not yet executing: the collector holds it and is sitting in the
+	// flush wait — the exact state Release must drain.
+	waitFor(t, "request to reach the batch window", func() bool {
+		st, ok := dp.Load(lease.ID)
+		return ok && st.Pending == 1 && st.QueueDepth == 0 && st.InFlight == 0 && st.Served == 0
+	})
 
 	start := time.Now()
 	if err := svc.Release(lease.ID); err != nil {

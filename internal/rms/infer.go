@@ -90,6 +90,7 @@ type inferEngine struct {
 	served   atomic.Int64
 	batches  atomic.Int64
 	inFlight atomic.Int64
+	pending  atomic.Int64
 	waitEWMA atomic.Int64 // nanoseconds, alpha = 1/4
 
 	mu     sync.RWMutex
@@ -136,6 +137,7 @@ func (e *inferEngine) submit(req *inferRequest) error {
 	if e.closed {
 		return ErrLeaseClosing
 	}
+	e.pending.Add(1)
 	e.reqs <- req
 	return nil
 }
@@ -220,6 +222,7 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 	defer func() { e.pool <- m }()
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
+	defer e.pending.Add(-int64(len(batch)))
 
 	fail := func(err error) {
 		for _, req := range batch {
@@ -284,6 +287,19 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 	}
 }
 
+// Faults enables deliberate bug injection for the deterministic
+// simulation harness (internal/simtest): each flag disables one
+// correctness mechanism so the harness's invariant checkers and failure
+// minimizer can be validated against a known, reproducible bug. The zero
+// value injects nothing. Never set in production code paths.
+type Faults struct {
+	// SkipReleaseTombstone makes a release leave the lease's engine
+	// registered and un-tombstoned — recreating the engine-leak bug class
+	// the tombstone map exists to prevent. CheckInvariants must catch the
+	// orphaned engine on the next sweep.
+	SkipReleaseTombstone bool
+}
+
 // DataPlane serves inferences against admitted leases: per-lease machine
 // pools with resident (weight-stationary) tiles, fed by a micro-batching
 // queue so concurrent clients share each tile fetch.
@@ -297,6 +313,39 @@ type DataPlane struct {
 	// so a Resize or lazy engine build racing a Release can never install
 	// an engine for a lease whose placements are already freed.
 	released map[int]bool
+	faults   Faults
+}
+
+// InjectFaults arms deliberate bugs for the simulation harness.
+func (dp *DataPlane) InjectFaults(f Faults) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	dp.faults = f
+}
+
+// CheckInvariants audits the data plane's engine and tombstone tables
+// against the admission service's live-lease set: every registered engine
+// must belong to a live lease, and no live lease may carry a release
+// tombstone. The deterministic simulation harness runs this after every
+// event; any error is a consistency bug, not an operational condition.
+func (dp *DataPlane) CheckInvariants() error {
+	live := map[int]bool{}
+	for _, l := range dp.svc.Leases() {
+		live[l.ID] = true
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	for id := range dp.engines {
+		if !live[id] {
+			return fmt.Errorf("rms: engine registered for non-live lease %d", id)
+		}
+	}
+	for id := range dp.released {
+		if live[id] {
+			return fmt.Errorf("rms: release tombstone for live lease %d", id)
+		}
+	}
+	return nil
 }
 
 type engineSlot struct {
@@ -333,6 +382,9 @@ type LoadStats struct {
 	QueueDepth int `json:"queue_depth"`
 	// InFlight is the number of batches executing right now.
 	InFlight int `json:"in_flight"`
+	// Pending is the number of requests admitted and not yet answered:
+	// queued, riding an open batch window, or executing.
+	Pending int `json:"pending"`
 	// Served and Batches are lifetime totals for the engine.
 	Served  int64 `json:"served"`
 	Batches int64 `json:"batches"`
@@ -356,6 +408,7 @@ func (dp *DataPlane) Load(leaseID int) (LoadStats, bool) {
 	return LoadStats{
 		QueueDepth:   len(e.reqs),
 		InFlight:     int(e.inFlight.Load()),
+		Pending:      int(e.pending.Load()),
 		Served:       e.served.Load(),
 		Batches:      e.batches.Load(),
 		Machines:     e.opts.Machines,
@@ -469,6 +522,10 @@ func (dp *DataPlane) Release(leaseID int) error {
 // requests are served, in-flight batches finish. Idempotent.
 func (dp *DataPlane) drainEngine(leaseID int) {
 	dp.mu.Lock()
+	if dp.faults.SkipReleaseTombstone {
+		dp.mu.Unlock()
+		return
+	}
 	dp.released[leaseID] = true
 	slot := dp.engines[leaseID]
 	delete(dp.engines, leaseID)

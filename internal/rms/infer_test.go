@@ -31,6 +31,21 @@ func testPlane(t *testing.T, opts InferOptions) (*Service, *DataPlane, *Lease) {
 	return svc, dp, lease
 }
 
+// waitFor polls a state predicate until it holds, failing the test after a
+// generous deadline. Tests wait on observable state, never on bare sleeps:
+// a sleep tuned to "usually long enough" flakes under -race and load, while
+// a predicate poll is exact and terminates as soon as the state is reached.
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func testInputs(spec kernels.LayerSpec, seed int64) [][]float64 {
 	r := rand.New(rand.NewSource(seed))
 	xs := make([][]float64, spec.TimeSteps)
@@ -290,7 +305,12 @@ func TestResizeRacingReleaseDoesNotLeakEngine(t *testing.T) {
 		for dp.Resize(lease.ID, 2) == nil {
 		}
 	}()
-	time.Sleep(2 * time.Millisecond)
+	// Release only after at least one resize landed, so the loop is
+	// provably mid-flight when the lease goes away.
+	waitFor(t, "first resize to land", func() bool {
+		st, ok := dp.Load(lease.ID)
+		return ok && st.Machines == 2
+	})
 	if err := svc.Release(lease.ID); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,134 @@
+// Package simtest is a seeded, fully deterministic whole-cluster
+// simulator in the FoundationDB style: a PRNG-derived schedule of
+// interleaved control- and data-plane events — lease deploys and
+// releases, /infer batches, heartbeats, device kills, drains,
+// rebalance ticks, injected resize failures — executes against the real
+// stack (rms admission service + data plane, cluster control plane,
+// registry) on the discrete-event engine's virtual clock, and a set of
+// invariant checkers runs after every event. On a violation the harness
+// re-executes with a shrinking pass (ddmin-style chunk removal) and
+// reports a minimal event schedule plus the seed, so any failure found
+// by a seed sweep is a one-line reproduction.
+//
+// Everything time-dependent rides cluster.DESClock over des.Engine, and
+// every random choice derives from the schedule's seed, so the same seed
+// always produces the same event trace and the same pass/fail verdict —
+// the property `make simtest` asserts before sweeping seeds.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind enumerates the schedule vocabulary.
+type EventKind int
+
+const (
+	// EvHeartbeat beats every device that is not killed.
+	EvHeartbeat EventKind = iota
+	// EvTick runs one control-plane pass (sweep, evacuate, re-partition).
+	EvTick
+	// EvInfer serves a small concurrent batch of requests on one lease and
+	// checks the outputs against the golden memo (bit-identical across
+	// migrations and resizes).
+	EvInfer
+	// EvLoad scripts a lease's observed queue depth, driving the
+	// planner's scale-up/scale-down decisions at the next tick.
+	EvLoad
+	// EvDeploy admits a new lease (bounded by Options.MaxLeases).
+	EvDeploy
+	// EvRelease releases a live lease through the data plane's drain path.
+	EvRelease
+	// EvKill silences a device's heartbeats until EvRevive (the registry
+	// times it out to Suspect, then Dead).
+	EvKill
+	// EvRevive resumes a killed device's heartbeats.
+	EvRevive
+	// EvDrain administratively drains a device (at most one at a time).
+	EvDrain
+	// EvUndrain returns the drained device to service.
+	EvUndrain
+	// EvCondemn reports positive failure evidence for one shard of a live
+	// lease (a scaleout.DeviceError routed through ObserveError).
+	EvCondemn
+	// EvResizeFail arms the resize interceptor to fail the next machine
+	// pool resizes, exercising the control plane's resize-debt retry.
+	EvResizeFail
+
+	numEventKinds
+)
+
+var eventNames = [...]string{
+	EvHeartbeat:  "heartbeat",
+	EvTick:       "tick",
+	EvInfer:      "infer",
+	EvLoad:       "load",
+	EvDeploy:     "deploy",
+	EvRelease:    "release",
+	EvKill:       "kill",
+	EvRevive:     "revive",
+	EvDrain:      "drain",
+	EvUndrain:    "undrain",
+	EvCondemn:    "condemn",
+	EvResizeFail: "resize_fail",
+}
+
+func (k EventKind) String() string {
+	if k >= 0 && int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one abstract schedule entry. R is a raw PRNG draw resolved
+// against the live cluster state at execution time (e.g. "release the
+// R-th live lease"), which keeps a schedule executable after the
+// minimizer removes arbitrary subsets of it.
+type Event struct {
+	Kind EventKind
+	R    uint64
+}
+
+func (e Event) String() string { return fmt.Sprintf("%s r=%#x", e.Kind, e.R) }
+
+// Schedule derives the event list for a seed: a pure function, so the
+// same (seed, steps) pair always yields the same schedule. Weights skew
+// toward the serving path (heartbeats, infers, ticks) with a steady
+// trickle of fault and lifecycle events.
+func Schedule(seed int64, steps int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Event, steps)
+	for i := range out {
+		p := rng.Intn(1000)
+		var k EventKind
+		switch {
+		case p < 280:
+			k = EvHeartbeat
+		case p < 530:
+			k = EvInfer
+		case p < 730:
+			k = EvTick
+		case p < 830:
+			k = EvLoad
+		case p < 880:
+			k = EvDeploy
+		case p < 920:
+			k = EvRelease
+		case p < 940:
+			k = EvKill
+		case p < 960:
+			k = EvRevive
+		case p < 975:
+			k = EvDrain
+		case p < 990:
+			k = EvUndrain
+		case p < 995:
+			k = EvCondemn
+		default:
+			k = EvResizeFail
+		}
+		out[i] = Event{Kind: k, R: rng.Uint64()}
+	}
+	return out
+}

@@ -1,0 +1,828 @@
+package simtest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/cluster"
+	"mlvfpga/internal/des"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// resizeFailMsg is the distinctive error the harness's resize interceptor
+// injects. The counter-conservation checker matches it verbatim to tell
+// "migration landed but the pool resize failed" (counts as a migration,
+// retried as resize debt) apart from a migration that found no capacity.
+const resizeFailMsg = "simtest: injected resize failure"
+
+// Fault selects a deliberate bug to arm in the stack under test, used to
+// validate that the invariant checkers actually catch the bug classes
+// they claim to.
+type Fault string
+
+const (
+	// FaultNone runs the unmodified stack.
+	FaultNone Fault = ""
+	// FaultSkipTombstone arms rms.Faults.SkipReleaseTombstone: releases
+	// leak the lease's engine. Caught by the engine/tombstone invariant.
+	FaultSkipTombstone Fault = "skip-tombstone"
+	// FaultSkipMigrationMetric arms cluster.Faults.SkipMigrationMetric:
+	// successful migrations stop incrementing mlv_migrations. Caught by
+	// the counter-conservation invariant.
+	FaultSkipMigrationMetric Fault = "skip-migration-metric"
+)
+
+// Options configures one simulated run. Everything that influences the
+// run is in here, so Run(o) is a pure function of o.
+type Options struct {
+	// Seed derives the event schedule (and nothing else: the stack under
+	// test contains no randomness of its own at these settings).
+	Seed int64
+	// Steps is the number of schedule events.
+	Steps int
+	// Cluster is the simulated device inventory.
+	Cluster resource.ClusterSpec
+	// Spec is the layer every simulated lease serves.
+	Spec kernels.LayerSpec
+	// Infer tunes the data plane; Infer.Seed makes lease weights
+	// reproducible (weights derive from Infer.Seed + lease id).
+	Infer rms.InferOptions
+	// Control tunes the control plane under test.
+	Control cluster.Config
+	// MaxLeases caps concurrently live leases.
+	MaxLeases int
+	// Spacing is the virtual time between schedule events; against the
+	// registry's SuspectAfter/DeadAfter windows it sets how fast killed
+	// devices decay through the health state machine.
+	Spacing time.Duration
+	// SettleSteps heartbeat+tick rounds run after the schedule so
+	// evacuations and backoffs quiesce before the end-of-run stranded
+	// check; SettlePeriod is their spacing (it must comfortably exceed
+	// Control.MaxBackoff/SettleSteps so retries burn off).
+	SettleSteps  int
+	SettlePeriod time.Duration
+	// Fault arms a deliberate bug (see Fault).
+	Fault Fault
+}
+
+// DefaultOptions returns the sweep configuration: the paper's 4-device
+// cluster, a small LSTM lease whose feasible ladder spans multiple
+// depths, and an eager planner so load events actually move leases.
+func DefaultOptions(seed int64) Options {
+	ctl := cluster.DefaultConfig()
+	ctl.Planner.ScaleUpQueue = 4
+	ctl.Planner.ScaleDownIdleTicks = 2
+	ctl.MachinesPerPiece = 1
+	return Options{
+		Seed:    seed,
+		Steps:   500,
+		Cluster: resource.PaperCluster(),
+		Spec:    kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 64, TimeSteps: 2},
+		Infer: rms.InferOptions{
+			MaxBatch:   4,
+			FlushDelay: 100 * time.Microsecond,
+			Machines:   1,
+			Tiles:      1,
+			Seed:       7,
+		},
+		Control:      ctl,
+		MaxLeases:    4,
+		Spacing:      200 * time.Millisecond,
+		SettleSteps:  12,
+		SettlePeriod: time.Second,
+	}
+}
+
+// Violation is one invariant breach.
+type Violation struct {
+	// Step indexes the schedule event after which the breach was seen
+	// (settle rounds continue the numbering past the schedule).
+	Step int
+	// Invariant names the checker: "lease-conservation",
+	// "placement-shape", "duplicate-device", "placement-conservation",
+	// "feasible-depth", "engine-tombstone", "counter-conservation",
+	// "batch-conservation", "golden-equivalence", "infer-served",
+	// "stranded-placement", or an *-error for an operation that failed
+	// when the model says it cannot.
+	Invariant string
+	Detail    string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("step %d: invariant %q: %s", v.Step, v.Invariant, v.Detail)
+}
+
+// Result is one run's verdict.
+type Result struct {
+	Seed     int64
+	Schedule []Event
+	// Trace is the resolved event log (deterministic fields only).
+	Trace     []string
+	TraceHash uint64
+	// Violation is nil when every invariant held.
+	Violation *Violation
+	// Minimal is the shrunken schedule still reproducing
+	// Violation.Invariant; MinimalTrace is its resolved log.
+	Minimal      []Event
+	MinimalTrace []string
+	// MinimizeRuns counts re-executions the shrinking pass spent.
+	MinimizeRuns int
+}
+
+// Report renders the result for humans, including the reproduction
+// command when the run failed.
+func (r *Result) Report() string {
+	if r.Violation == nil {
+		return fmt.Sprintf("seed %d: ok (%d events, trace %016x)", r.Seed, len(r.Schedule), r.TraceHash)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %s\n", r.Seed, r.Violation)
+	fmt.Fprintf(&b, "minimized schedule: %d of %d events (%d shrink runs):\n",
+		len(r.Minimal), len(r.Schedule), r.MinimizeRuns)
+	for i, ev := range r.Minimal {
+		fmt.Fprintf(&b, "  [%02d] %s\n", i, ev)
+	}
+	if len(r.MinimalTrace) > 0 {
+		b.WriteString("minimal trace:\n")
+		for _, line := range r.MinimalTrace {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	fmt.Fprintf(&b, "reproduce: go test ./internal/simtest -run TestSimSeed -seed=%d -steps=%d -v\n",
+		r.Seed, len(r.Schedule))
+	return b.String()
+}
+
+// Run executes the seed's schedule and, on a violation, shrinks it to a
+// minimal reproduction. Deterministic: same Options, same Result.
+func Run(o Options) (*Result, error) {
+	sched := Schedule(o.Seed, o.Steps)
+	out, err := runSchedule(o, sched)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Seed:      o.Seed,
+		Schedule:  sched,
+		Trace:     out.trace,
+		TraceHash: hashTrace(out.trace),
+		Violation: out.violation,
+	}
+	if out.violation != nil {
+		res.Minimal, res.MinimalTrace, res.MinimizeRuns = minimize(o, sched, out.violation)
+		if res.MinimalTrace == nil {
+			res.MinimalTrace = out.trace // nothing shrank: the full run is minimal
+		}
+	}
+	return res, nil
+}
+
+type outcome struct {
+	trace     []string
+	violation *Violation
+}
+
+// goldenKey memoizes inference outputs by (lease, input seed): the same
+// lease has fixed weights, so the same input must produce bit-identical
+// outputs for the rest of its life, across every migration and resize.
+type goldenKey struct {
+	lease int
+	seed  int64
+}
+
+// harness wires one fresh stack (service, data plane, control plane) to
+// one DES engine and owns the model state the checkers compare against.
+// All schedule execution is single-goroutine (DES callbacks); the only
+// concurrency is inside an infer event, which joins before returning.
+type harness struct {
+	o   Options
+	eng *des.Engine
+	svc *rms.Service
+	dp  *rms.DataPlane
+	cp  *cluster.ControlPlane
+
+	devices []int
+	loads   map[int]rms.LoadStats
+	armFail int
+
+	live    []int
+	killed  map[int]bool
+	drained map[int]bool
+	golden  map[goldenKey]uint64
+	base    map[string]int64
+
+	expInfers      int64
+	expInferEvents int64
+	expMigrations  int64
+	expMigFailures int64
+	expHbMisses    int64
+	expCondemned   int64
+
+	settling bool
+	// excused marks leases whose settle-phase evacuation failed for lack
+	// of capacity: they are allowed to end the run stranded.
+	excused map[int]bool
+
+	trace     []string
+	violation *Violation
+}
+
+// simPlane is the LoadSource/Resizer the control plane sees: loads come
+// from the schedule's scripted map (live queue depths are timing-
+// dependent and would break determinism) and resizes pass through to the
+// real data plane unless an injected failure is armed.
+type simPlane struct{ h *harness }
+
+func (p simPlane) Load(leaseID int) (rms.LoadStats, bool) {
+	l, ok := p.h.loads[leaseID]
+	return l, ok
+}
+
+func (p simPlane) Resize(leaseID, machines int) error {
+	if p.h.armFail > 0 {
+		p.h.armFail--
+		return errors.New(resizeFailMsg)
+	}
+	return p.h.dp.Resize(leaseID, machines)
+}
+
+func newHarness(o Options) (*harness, error) {
+	eng := des.New()
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(o.Cluster, db)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: building service: %w", err)
+	}
+	dp := rms.NewDataPlane(svc, o.Infer)
+	h := &harness{
+		o:       o,
+		eng:     eng,
+		svc:     svc,
+		dp:      dp,
+		loads:   map[int]rms.LoadStats{},
+		killed:  map[int]bool{},
+		drained: map[int]bool{},
+		golden:  map[goldenKey]uint64{},
+		excused: map[int]bool{},
+	}
+	clk := cluster.DESClock{Engine: eng, Epoch: time.Unix(0, 0).UTC()}
+	h.cp = cluster.New(clk, o.Control, svc, simPlane{h})
+	switch o.Fault {
+	case FaultSkipTombstone:
+		dp.InjectFaults(rms.Faults{SkipReleaseTombstone: true})
+	case FaultSkipMigrationMetric:
+		h.cp.InjectFaults(cluster.Faults{SkipMigrationMetric: true})
+	}
+	for _, f := range svc.Status().FPGAs {
+		h.devices = append(h.devices, f.ID)
+	}
+	sort.Ints(h.devices)
+	// Counter baseline before the preamble, so the LeasesActive delta
+	// tracks len(h.live) exactly.
+	h.base = metrics.Counters()
+	// Preamble: two leases exist before the first event, so even a
+	// one-event minimal schedule has something to act on.
+	for i := 0; i < 2 && i < o.MaxLeases; i++ {
+		l, err := svc.Deploy(o.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("simtest: preamble deploy: %w", err)
+		}
+		h.live = append(h.live, l.ID)
+	}
+	return h, nil
+}
+
+// runSchedule executes an explicit schedule (used directly by the
+// minimizer; Run derives the schedule from the seed). The events are laid
+// onto the DES engine at fixed spacing, followed by the settle rounds.
+func runSchedule(o Options, sched []Event) (*outcome, error) {
+	h, err := newHarness(o)
+	if err != nil {
+		return nil, err
+	}
+	defer h.dp.Close()
+	for i := range sched {
+		i, ev := i, sched[i]
+		if err := h.eng.At(time.Duration(i+1)*o.Spacing, func(time.Duration) {
+			h.exec(i, ev)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	settleStart := time.Duration(len(sched)+1) * o.Spacing
+	for k := 0; k < o.SettleSteps; k++ {
+		step := len(sched) + k
+		if err := h.eng.At(settleStart+time.Duration(k)*o.SettlePeriod, func(time.Duration) {
+			h.settle(step)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	h.eng.Run(0)
+	if h.violation == nil {
+		h.checkStranded(len(sched) + o.SettleSteps)
+	}
+	return &outcome{trace: h.trace, violation: h.violation}, nil
+}
+
+func (h *harness) tracef(step int, format string, args ...any) {
+	h.trace = append(h.trace, fmt.Sprintf("%04d ", step)+fmt.Sprintf(format, args...))
+}
+
+func (h *harness) fail(step int, invariant, format string, args ...any) {
+	if h.violation == nil {
+		h.violation = &Violation{Step: step, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (h *harness) pickLive(r uint64) int {
+	return h.live[int(r%uint64(len(h.live)))]
+}
+
+func (h *harness) exec(step int, ev Event) {
+	if h.violation != nil {
+		return // fail-stop: later events would check against a broken model
+	}
+	switch ev.Kind {
+	case EvHeartbeat:
+		h.doHeartbeat(step)
+	case EvTick:
+		h.doTick(step)
+	case EvInfer:
+		h.doInfer(step, ev.R)
+	case EvLoad:
+		h.doLoad(step, ev.R)
+	case EvDeploy:
+		h.doDeploy(step)
+	case EvRelease:
+		h.doRelease(step, ev.R)
+	case EvKill:
+		h.doKill(step, ev.R)
+	case EvRevive:
+		h.doRevive(step, ev.R)
+	case EvDrain:
+		h.doDrain(step, ev.R)
+	case EvUndrain:
+		h.doUndrain(step, ev.R)
+	case EvCondemn:
+		h.doCondemn(step, ev.R)
+	case EvResizeFail:
+		h.doResizeFail(step, ev.R)
+	}
+	if h.violation == nil {
+		h.checkInvariants(step)
+	}
+}
+
+func (h *harness) doHeartbeat(step int) {
+	beat := 0
+	for _, d := range h.devices {
+		if h.killed[d] {
+			continue
+		}
+		if err := h.cp.Heartbeat(d); err != nil {
+			h.fail(step, "heartbeat-error", "device %d: %v", d, err)
+			return
+		}
+		beat++
+	}
+	h.tracef(step, "heartbeat n=%d", beat)
+}
+
+func (h *harness) doTick(step int) {
+	rep := h.cp.Tick()
+	h.accountTick(rep)
+	b, _ := json.Marshal(rep)
+	h.tracef(step, "tick %s", b)
+}
+
+// accountTick folds a tick report into the expected-counter model. An
+// evacuate/scale event whose only error is the injected resize failure
+// still migrated (the resize is owed as debt); a "resize" retry event
+// touches no counter either way.
+func (h *harness) accountTick(rep *cluster.TickReport) {
+	h.expHbMisses += int64(len(rep.Transitions))
+	for _, ev := range rep.Events {
+		switch ev.Kind {
+		case "evacuate", "scale_up", "scale_down":
+			if ev.Err == "" || ev.Err == resizeFailMsg {
+				h.expMigrations++
+			} else {
+				h.expMigFailures++
+				if h.settling && ev.Kind == "evacuate" {
+					h.excused[ev.Lease] = true
+				}
+			}
+		}
+	}
+}
+
+func (h *harness) doInfer(step int, r uint64) {
+	if len(h.live) == 0 {
+		h.tracef(step, "infer noop")
+		return
+	}
+	id := h.pickLive(r)
+	n := 1 + int((r>>16)%3)
+	seeds := make([]int64, n)
+	for j := range seeds {
+		// A small recurring seed space, so later events replay inputs the
+		// lease served before (often across a migration in between) and
+		// the golden memo gets real coverage.
+		seeds[j] = int64(((r >> 32) + uint64(j)) % 8)
+	}
+	results := make([]*rms.InferResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[j], errs[j] = h.dp.Infer(id, inputsFor(h.o.Spec, id, seeds[j]))
+		}()
+	}
+	wg.Wait()
+	hashes := make([]string, n)
+	for j := 0; j < n; j++ {
+		if errs[j] != nil {
+			h.fail(step, "infer-served", "lease %d seed %d: %v", id, seeds[j], errs[j])
+			return
+		}
+		hash := hashOutputs(results[j].Outputs)
+		hashes[j] = fmt.Sprintf("%016x", hash)
+		key := goldenKey{lease: id, seed: seeds[j]}
+		if prev, ok := h.golden[key]; ok {
+			if prev != hash {
+				h.fail(step, "golden-equivalence",
+					"lease %d seed %d: output hash %016x, previously %016x", id, seeds[j], hash, prev)
+				return
+			}
+		} else {
+			h.golden[key] = hash
+		}
+	}
+	h.expInfers += int64(n)
+	h.expInferEvents++
+	h.tracef(step, "infer lease=%d n=%d seeds=%v out=%v", id, n, seeds, hashes)
+}
+
+func (h *harness) doLoad(step int, r uint64) {
+	if len(h.live) == 0 {
+		h.tracef(step, "load noop")
+		return
+	}
+	id := h.pickLive(r)
+	qd := int((r >> 8) % 10)
+	h.loads[id] = rms.LoadStats{QueueDepth: qd}
+	h.tracef(step, "load lease=%d queue=%d", id, qd)
+}
+
+func (h *harness) doDeploy(step int) {
+	if len(h.live) >= h.o.MaxLeases {
+		h.tracef(step, "deploy noop (at cap)")
+		return
+	}
+	l, err := h.svc.Deploy(h.o.Spec)
+	if errors.Is(err, rms.ErrNoCapacity) {
+		h.tracef(step, "deploy nocap")
+		return
+	}
+	if err != nil {
+		h.fail(step, "deploy-error", "%v", err)
+		return
+	}
+	h.live = append(h.live, l.ID)
+	h.tracef(step, "deploy lease=%d depth=%d", l.ID, l.Depth)
+}
+
+func (h *harness) doRelease(step int, r uint64) {
+	if len(h.live) == 0 {
+		h.tracef(step, "release noop")
+		return
+	}
+	id := h.pickLive(r)
+	if err := h.dp.Release(id); err != nil {
+		h.fail(step, "release-error", "lease %d: %v", id, err)
+		return
+	}
+	for i, v := range h.live {
+		if v == id {
+			h.live = append(h.live[:i], h.live[i+1:]...)
+			break
+		}
+	}
+	delete(h.loads, id)
+	h.tracef(step, "release lease=%d", id)
+}
+
+func (h *harness) doKill(step int, r uint64) {
+	var eligible []int
+	for _, d := range h.devices {
+		if !h.killed[d] {
+			eligible = append(eligible, d)
+		}
+	}
+	// Keep at least two devices beating, so the sim never collapses into
+	// a fleet that cannot host anything.
+	if len(eligible) <= 2 {
+		h.tracef(step, "kill noop")
+		return
+	}
+	d := eligible[int(r%uint64(len(eligible)))]
+	h.killed[d] = true
+	h.tracef(step, "kill dev=%d", d)
+}
+
+func (h *harness) doRevive(step int, r uint64) {
+	var down []int
+	for _, d := range h.devices {
+		if h.killed[d] {
+			down = append(down, d)
+		}
+	}
+	if len(down) == 0 {
+		h.tracef(step, "revive noop")
+		return
+	}
+	d := down[int(r%uint64(len(down)))]
+	delete(h.killed, d)
+	if err := h.cp.Heartbeat(d); err != nil {
+		h.fail(step, "heartbeat-error", "device %d: %v", d, err)
+		return
+	}
+	h.tracef(step, "revive dev=%d", d)
+}
+
+func (h *harness) doDrain(step int, r uint64) {
+	if len(h.drained) > 0 {
+		h.tracef(step, "drain noop (one at a time)")
+		return
+	}
+	var eligible []int
+	for _, d := range h.devices {
+		if !h.killed[d] && !h.drained[d] {
+			eligible = append(eligible, d)
+		}
+	}
+	if len(eligible) == 0 {
+		h.tracef(step, "drain noop")
+		return
+	}
+	d := eligible[int(r%uint64(len(eligible)))]
+	if err := h.cp.Drain(d); err != nil {
+		h.fail(step, "drain-error", "device %d: %v", d, err)
+		return
+	}
+	h.drained[d] = true
+	h.tracef(step, "drain dev=%d", d)
+}
+
+func (h *harness) doUndrain(step int, r uint64) {
+	var ds []int
+	for _, d := range h.devices {
+		if h.drained[d] {
+			ds = append(ds, d)
+		}
+	}
+	if len(ds) == 0 {
+		h.tracef(step, "undrain noop")
+		return
+	}
+	d := ds[int(r%uint64(len(ds)))]
+	if err := h.cp.Undrain(d); err != nil {
+		h.fail(step, "undrain-error", "device %d: %v", d, err)
+		return
+	}
+	delete(h.drained, d)
+	h.tracef(step, "undrain dev=%d", d)
+}
+
+func (h *harness) doCondemn(step int, r uint64) {
+	if len(h.live) == 0 {
+		h.tracef(step, "condemn noop")
+		return
+	}
+	id := h.pickLive(r)
+	lease, ok := h.svc.Lease(id)
+	if !ok {
+		h.fail(step, "lease-conservation", "model says lease %d is live, service disagrees", id)
+		return
+	}
+	shard := int((r >> 8) % uint64(len(lease.Placements)))
+	want := lease.Placements[shard].FPGA
+	prev, _ := h.cp.Registry().State(want)
+	derr := &scaleout.DeviceError{Device: shard, Err: errors.New("simtest: injected device fault")}
+	got, ok := h.cp.ObserveError(id, fmt.Errorf("serving lease %d: %w", id, derr))
+	if !ok || got != want {
+		h.fail(step, "condemn-routing",
+			"lease %d shard %d: condemned fpga %d (ok=%v), placements say %d", id, shard, got, ok, want)
+		return
+	}
+	if prev != cluster.Dead {
+		h.expCondemned++
+	}
+	h.tracef(step, "condemn lease=%d shard=%d fpga=%d prev=%s", id, shard, want, prev)
+}
+
+func (h *harness) doResizeFail(step int, r uint64) {
+	k := 1 + int(r%2)
+	h.armFail += k
+	h.tracef(step, "resize_fail arm=%d", k)
+}
+
+// settle is one post-schedule quiesce round: every surviving device
+// beats, then the control plane ticks, so pending evacuations and
+// backoffs resolve before the stranded check.
+func (h *harness) settle(step int) {
+	if h.violation != nil {
+		return
+	}
+	h.settling = true
+	for _, d := range h.devices {
+		if h.killed[d] {
+			continue
+		}
+		if err := h.cp.Heartbeat(d); err != nil {
+			h.fail(step, "heartbeat-error", "device %d: %v", d, err)
+			return
+		}
+	}
+	rep := h.cp.Tick()
+	h.accountTick(rep)
+	b, _ := json.Marshal(rep)
+	h.tracef(step, "settle %s", b)
+	h.checkInvariants(step)
+}
+
+// checkStranded runs once after the settle rounds: no lease may still
+// hold blocks on a dead or draining device, unless its evacuation
+// verifiably failed for lack of capacity during settle (the control
+// plane's correct answer then is to keep the lease and keep retrying).
+func (h *harness) checkStranded(step int) {
+	reg := h.cp.Registry()
+	for _, l := range h.svc.Leases() {
+		if h.excused[l.ID] {
+			continue
+		}
+		for _, pl := range l.Placements {
+			if reg.Evacuate(pl.FPGA) {
+				st, _ := reg.State(pl.FPGA)
+				h.fail(step, "stranded-placement",
+					"lease %d still holds %d blocks on %s device %d after settle", l.ID, pl.Blocks, st, pl.FPGA)
+				return
+			}
+		}
+	}
+}
+
+// checkInvariants audits the stack against the harness's model after
+// every event. First breach wins; later events are skipped.
+func (h *harness) checkInvariants(step int) {
+	leases := h.svc.Leases()
+
+	// No lost or duplicated leases: the service's live set must equal the
+	// model's, exactly.
+	liveSet := map[int]bool{}
+	for _, id := range h.live {
+		liveSet[id] = true
+	}
+	if len(leases) != len(h.live) {
+		h.fail(step, "lease-conservation", "service has %d leases, model has %d", len(leases), len(h.live))
+		return
+	}
+	for _, l := range leases {
+		if !liveSet[l.ID] {
+			h.fail(step, "lease-conservation", "service lease %d not in model", l.ID)
+			return
+		}
+	}
+
+	// No stranded or double-freed placements: per-device occupancy must
+	// equal the sum of lease placements, with no device used twice by one
+	// lease and exactly one placement per piece.
+	occupied := map[int]int{}
+	ladder, lerr := h.svc.FeasibleDepths(h.o.Spec)
+	for _, l := range leases {
+		if len(l.Placements) != l.Depth {
+			h.fail(step, "placement-shape", "lease %d: %d placements at depth %d", l.ID, len(l.Placements), l.Depth)
+			return
+		}
+		seen := map[int]bool{}
+		for _, pl := range l.Placements {
+			if seen[pl.FPGA] {
+				h.fail(step, "duplicate-device", "lease %d holds device %d twice", l.ID, pl.FPGA)
+				return
+			}
+			seen[pl.FPGA] = true
+			occupied[pl.FPGA] += pl.Blocks
+		}
+		if lerr != nil {
+			h.fail(step, "feasible-depth", "FeasibleDepths: %v", lerr)
+			return
+		}
+		onLadder := false
+		for _, d := range ladder {
+			if d == l.Depth {
+				onLadder = true
+				break
+			}
+		}
+		if !onLadder {
+			h.fail(step, "feasible-depth", "lease %d at depth %d, ladder is %v", l.ID, l.Depth, ladder)
+			return
+		}
+	}
+	for _, f := range h.svc.Status().FPGAs {
+		if got := f.TotalBlocks - f.FreeBlocks; got != occupied[f.ID] {
+			h.fail(step, "placement-conservation",
+				"device %d: %d blocks occupied, leases account for %d", f.ID, got, occupied[f.ID])
+			return
+		}
+	}
+
+	// Engine/tombstone consistency in the data plane.
+	if err := h.dp.CheckInvariants(); err != nil {
+		h.fail(step, "engine-tombstone", "%v", err)
+		return
+	}
+
+	// Counter conservation: every expvar delta must equal what the event
+	// model predicts (batches are bounded, not pinned: riders per batch
+	// depend on goroutine interleaving, which the results never do).
+	cur := metrics.Counters()
+	delta := func(name string) int64 { return cur[name] - h.base[name] }
+	exact := []struct {
+		name string
+		want int64
+	}{
+		{"mlv_leases_active", int64(len(h.live))},
+		{"mlv_infers_served", h.expInfers},
+		{"mlv_migrations", h.expMigrations},
+		{"mlv_migration_failures", h.expMigFailures},
+		{"mlv_heartbeat_misses", h.expHbMisses},
+		{"mlv_devices_condemned", h.expCondemned},
+	}
+	for _, c := range exact {
+		if got := delta(c.name); got != c.want {
+			h.fail(step, "counter-conservation", "%s moved %d, events account for %d", c.name, got, c.want)
+			return
+		}
+	}
+	if bf := delta("mlv_batches_flushed"); bf < h.expInferEvents || bf > h.expInfers {
+		h.fail(step, "batch-conservation",
+			"mlv_batches_flushed moved %d, outside [%d, %d]", bf, h.expInferEvents, h.expInfers)
+	}
+}
+
+// inputsFor derives a request's input tensor from (lease, seed) alone, so
+// replaying the pair replays the exact bits.
+func inputsFor(spec kernels.LayerSpec, leaseID int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed<<20 ^ int64(leaseID)))
+	in := make([][]float64, spec.TimeSteps)
+	for t := range in {
+		v := make([]float64, spec.Hidden)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		in[t] = v
+	}
+	return in
+}
+
+// hashOutputs folds an output tensor's exact bits, so equal hashes mean
+// bit-identical results.
+func hashOutputs(outs [][]float64) uint64 {
+	hsh := fnv.New64a()
+	var b [8]byte
+	for _, row := range outs {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			hsh.Write(b[:])
+		}
+	}
+	return hsh.Sum64()
+}
+
+func hashTrace(trace []string) uint64 {
+	hsh := fnv.New64a()
+	for _, line := range trace {
+		hsh.Write([]byte(line))
+		hsh.Write([]byte{'\n'})
+	}
+	return hsh.Sum64()
+}

@@ -1,0 +1,172 @@
+package simtest
+
+import (
+	"flag"
+	"testing"
+)
+
+// The sweep knobs. `make simtest` passes -seeds=20 -steps=500 (or the
+// SIMSEEDS/SIMSTEPS make variables); the bare `go test` defaults keep
+// tier-1 runs quick.
+var (
+	flagSeeds = flag.Int("seeds", 8, "number of seeds TestSimSweep runs")
+	flagSteps = flag.Int("steps", 250, "schedule events per simulated run")
+	flagSeed  = flag.Int64("seed", 0, "single seed for TestSimSeed (0 = skip; use to reproduce a printed failure)")
+)
+
+// TestSimSweep is the harness's front door: one deterministic run per
+// seed, failing with the minimized schedule on any invariant violation.
+func TestSimSweep(t *testing.T) {
+	seeds, steps := *flagSeeds, *flagSteps
+	if testing.Short() {
+		if seeds > 4 {
+			seeds = 4
+		}
+		if steps > 120 {
+			steps = 120
+		}
+	}
+	for s := 1; s <= seeds; s++ {
+		o := DefaultOptions(int64(s))
+		o.Steps = steps
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("\n%s", res.Report())
+		}
+		t.Logf("%s", res.Report())
+	}
+}
+
+// TestSimSeed replays exactly one seed, the reproduction path printed in
+// every failure report.
+func TestSimSeed(t *testing.T) {
+	if *flagSeed == 0 {
+		t.Skip("pass -seed=N to replay a single seed")
+	}
+	o := DefaultOptions(*flagSeed)
+	o.Steps = *flagSteps
+	res, err := Run(o)
+	if err != nil {
+		t.Fatalf("seed %d: %v", *flagSeed, err)
+	}
+	for _, line := range res.Trace {
+		t.Log(line)
+	}
+	if res.Violation != nil {
+		t.Fatalf("\n%s", res.Report())
+	}
+}
+
+// TestSimDeterminism runs the same seed twice and demands the same event
+// trace, bit for bit — the property every other guarantee (replay from a
+// printed seed, shrinking against a stable failure) rests on.
+func TestSimDeterminism(t *testing.T) {
+	o := DefaultOptions(3)
+	o.Steps = 200
+	if testing.Short() {
+		o.Steps = 80
+	}
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (a.Violation == nil) != (b.Violation == nil) {
+		t.Fatalf("verdict diverged: %v vs %v", a.Violation, b.Violation)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace length diverged: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverged at line %d:\n  run A: %s\n  run B: %s", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hash diverged: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+}
+
+// TestScheduleDeterministic pins the generator itself: a pure function of
+// (seed, steps), and distinct seeds actually diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	a, b := Schedule(42, 300), Schedule(42, 300)
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Schedule(43, 300)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 generated identical schedules")
+	}
+	counts := map[EventKind]int{}
+	for _, ev := range a {
+		counts[ev.Kind]++
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if counts[k] == 0 {
+			t.Errorf("300-event schedule never emitted %s", k)
+		}
+	}
+}
+
+// TestSimCatchesInjectedBugs validates the checkers against known bugs:
+// each armed fault must be caught by the invariant built to catch it,
+// and the shrinking pass must hand back a small reproduction.
+func TestSimCatchesInjectedBugs(t *testing.T) {
+	cases := []struct {
+		name      string
+		fault     Fault
+		invariant string
+	}{
+		{"skip-release-tombstone", FaultSkipTombstone, "engine-tombstone"},
+		{"skip-migration-metric", FaultSkipMigrationMetric, "counter-conservation"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var caught *Result
+			for seed := int64(1); seed <= 6; seed++ {
+				o := DefaultOptions(seed)
+				o.Steps = 120
+				o.Fault = tc.fault
+				res, err := Run(o)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Violation != nil {
+					caught = res
+					break
+				}
+			}
+			if caught == nil {
+				t.Fatalf("no seed in 1..6 caught fault %q", tc.fault)
+			}
+			if caught.Violation.Invariant != tc.invariant {
+				t.Fatalf("fault %q caught by %q, want %q:\n%s",
+					tc.fault, caught.Violation.Invariant, tc.invariant, caught.Report())
+			}
+			if len(caught.Minimal) == 0 || len(caught.Minimal) >= len(caught.Schedule) {
+				t.Fatalf("shrinking did not reduce the schedule (%d of %d events):\n%s",
+					len(caught.Minimal), len(caught.Schedule), caught.Report())
+			}
+			t.Logf("fault %q caught and minimized:\n%s", tc.fault, caught.Report())
+		})
+	}
+}
