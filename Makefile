@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-cluster soak fuzz simtest repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-cluster bench-compile soak fuzz simtest repro examples clean
 
 all: check
 
@@ -35,6 +35,14 @@ bench-infer:
 # Run the cluster soak + registry benchmarks and refresh BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/mlv-bench-cluster
+
+# Run the compilation-cache benchmarks (cold vs warm deploy, repeat
+# catalog sweep) and refresh BENCH_compile.json. SWEEP scales the sweep
+# length (CI smoke uses a short one).
+SWEEP ?= 10000
+bench-compile:
+	$(GO) test -run '^$$' -bench 'BenchmarkDeployColdVsWarm' -benchmem .
+	$(GO) run ./cmd/mlv-bench-compile -sweep $(SWEEP)
 
 # Failure-injection soak: kill one device mid-run, drain another, assert
 # no request or lease is lost. -short keeps it CI-sized.

@@ -1,0 +1,48 @@
+// Benchmarks for the content-addressed compilation cache: cold-compile vs
+// cache-hit deploy latency, and the repeat catalog sweep that must be
+// cache-bound. cmd/mlv-bench-compile records the same bodies into
+// BENCH_compile.json. Run with:
+//
+//	go test -run '^$' -bench BenchmarkDeployColdVsWarm -benchmem .
+package mlvfpga
+
+import (
+	"testing"
+
+	"mlvfpga/internal/compilebench"
+)
+
+// BenchmarkDeployColdVsWarm contrasts a Deploy that pays the full
+// decompose → partition → HS-compile pipeline (Cold: fresh artifact store
+// every iteration) against a Deploy that hits the cache and goes straight
+// to placement (Warm). The Warm body asserts through the store's counters
+// that the hit path performs zero compile work.
+func BenchmarkDeployColdVsWarm(b *testing.B) {
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		compilebench.DeployCold(b)
+	})
+	b.Run("Warm", func(b *testing.B) {
+		b.ReportAllocs()
+		compilebench.DeployWarm(b)
+	})
+}
+
+// BenchmarkRepeatCatalogSweep runs a 10k-instance catalog sweep twice over
+// one artifact store and reports the repeat pass's speedup; the repeat
+// pass must perform zero compiles (cache-bound).
+func BenchmarkRepeatCatalogSweep(b *testing.B) {
+	var last *compilebench.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := compilebench.RepeatCatalogSweep(10000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SecondComputes != 0 {
+			b.Fatalf("repeat sweep compiled %d times, want 0", r.SecondComputes)
+		}
+		last = r
+	}
+	b.Log(last.String())
+	b.ReportMetric(last.Speedup, "repeat-speedup")
+}

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"mlvfpga/internal/artifactstore"
 	"mlvfpga/internal/core"
 )
 
@@ -23,31 +25,50 @@ func main() {
 	n := flag.Int("n", 2, "partition iterations")
 	naive := flag.Bool("naive", false, "use the pattern-oblivious partitioner (ablation)")
 	jobs := flag.Int("j", 0, "worker goroutines (0 = one per CPU, 1 = sequential; output is identical)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed artifact cache directory (empty = no cache); a warm hit skips the whole flow")
 	flag.Parse()
 
-	c, err := core.CompileAccelerator(core.Options{
+	var store *artifactstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = artifactstore.Open(*cacheDir, artifactstore.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlv-compile:", err)
+			os.Exit(1)
+		}
+	}
+	c, _, warm, err := core.CompileAcceleratorCached(core.Options{
 		Tiles:               *tiles,
 		PartitionIterations: *n,
 		Seed:                1,
 		PatternAware:        !*naive,
 		Parallelism:         *jobs,
-	})
+	}, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlv-compile:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("instance: %d tile engines, partitioned for up to %d devices\n",
-		*tiles, c.Partition.MaxPieces())
+	from := ""
+	if warm {
+		from = " (from artifact cache)"
+	}
+	fmt.Printf("instance: %d tile engines, partitioned for up to %d devices%s\n",
+		*tiles, c.Partition.MaxPieces(), from)
 	fmt.Printf("decompose: %v (%d basic instances, %d data merges, %d pipeline merges)\n",
 		c.DecomposeTime.Round(time.Microsecond),
 		c.DecomposeStats.BasicInstances, c.DecomposeStats.DataMerges, c.DecomposeStats.PipeMerges)
 	fmt.Printf("partition: %v\n", c.PartitionTime.Round(time.Microsecond))
 	fmt.Printf("modelled place-and-route (all images): %v\n\n", c.HSCompileTime.Round(time.Second))
 
-	for dev, images := range c.Images {
+	devs := make([]string, 0, len(c.Images))
+	for dev := range c.Images {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	for _, dev := range devs {
 		fmt.Printf("%s mapping results:\n", dev)
-		for _, pi := range images {
+		for _, pi := range c.Images[dev] {
 			ctrl := ""
 			if pi.WithControl {
 				ctrl = " +control"

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"mlvfpga/internal/artifactstore"
 	"mlvfpga/internal/cluster"
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
@@ -51,6 +52,7 @@ func main() {
 	machines := flag.Int("machines", 2, "per-lease machine pool size")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "simulated device heartbeat interval")
 	tick := flag.Duration("tick", time.Second, "control-plane tick interval (0 disables the loop)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed compilation cache directory (empty = in-memory for this process); known designs warm-start deploys")
 	flag.Parse()
 
 	mode := rms.Flexible
@@ -62,6 +64,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	store, err := artifactstore.Open(*cacheDir, artifactstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.SetCompiler(rms.NewCompiler(store, rms.CompilerOptions{}))
 	opts := rms.DefaultInferOptions()
 	opts.MaxBatch = *maxBatch
 	opts.FlushDelay = *flushDelay
@@ -119,8 +126,12 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s\n",
-		mode, *addr)
+	cacheNote := "in-memory compilation cache"
+	if *cacheDir != "" {
+		cacheNote = "compilation cache at " + *cacheDir
+	}
+	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s, %s\n",
+		mode, *addr, cacheNote)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -1,0 +1,172 @@
+// Package compilebench holds the compilation-cache benchmark bodies,
+// shared by the repo's `go test -bench` wrappers and by
+// cmd/mlv-bench-compile, which records them into BENCH_compile.json.
+package compilebench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/artifactstore"
+	"mlvfpga/internal/core"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/parpool"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// benchSpec is the deploy shape under measurement: the DeepBench LSTM
+// h=1536 layer, whose instance is large enough that a cold deploy pays a
+// multi-millisecond compile (the §4.3 offline-flow cost).
+func benchSpec() kernels.LayerSpec {
+	return kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 1536, TimeSteps: 2}
+}
+
+func benchService(b *testing.B) *rms.Service {
+	b.Helper()
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(resource.PaperCluster(), db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// DeployCold measures a cold-cache Deploy: every iteration faces a fresh
+// artifact store, so each op pays the full decompose → partition →
+// HS-compile pipeline before placement.
+func DeployCold(b *testing.B) {
+	svc := benchService(b)
+	spec := benchSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.SetCompiler(rms.NewCompiler(artifactstore.NewMemory(artifactstore.Options{}), rms.CompilerOptions{Parallelism: 1}))
+		l, err := svc.Deploy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.WarmDeploy {
+			b.Fatal("cold deploy reported warm")
+		}
+		b.StopTimer()
+		if err := svc.Release(l.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// DeployWarm measures a cache-hit Deploy: the store is populated once
+// outside the timer, so every op skips compilation entirely and goes
+// straight to placement. The body asserts via the store's counters that
+// the hit path performed zero compile work.
+func DeployWarm(b *testing.B) {
+	svc := benchService(b)
+	spec := benchSpec()
+	store := artifactstore.NewMemory(artifactstore.Options{})
+	svc.SetCompiler(rms.NewCompiler(store, rms.CompilerOptions{Parallelism: 1}))
+	warm, err := svc.Deploy(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Release(warm.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := svc.Deploy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !l.WarmDeploy {
+			b.Fatal("warm deploy missed the cache")
+		}
+		b.StopTimer()
+		if err := svc.Release(l.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if st := store.Stats(); st.Computes != 1 {
+		b.Fatalf("warm loop compiled: %d computes, want the 1 from the warm-up (stats %+v)", st.Computes, st)
+	}
+}
+
+// SweepResult records one repeat catalog sweep (see RepeatCatalogSweep).
+type SweepResult struct {
+	Entries        int           `json:"entries"`
+	UniqueDesigns  int           `json:"unique_designs"`
+	FirstWall      time.Duration `json:"first_wall_ns"`
+	SecondWall     time.Duration `json:"second_wall_ns"`
+	FirstComputes  int64         `json:"first_computes"`
+	SecondComputes int64         `json:"second_computes"`
+	// Speedup is FirstWall / SecondWall.
+	Speedup float64 `json:"speedup"`
+}
+
+func (r *SweepResult) String() string {
+	return fmt.Sprintf("%d-instance sweep (%d unique): first %v (%d compiles), repeat %v (%d compiles), %.1fx",
+		r.Entries, r.UniqueDesigns, r.FirstWall.Round(time.Millisecond), r.FirstComputes,
+		r.SecondWall.Round(time.Millisecond), r.SecondComputes, r.Speedup)
+}
+
+// RepeatCatalogSweep runs an entries-long instance compile sweep twice
+// over one artifact store — the fleet-rollout shape, where a bounded set
+// of designs (the DefaultTileCounts catalog at seedsPerTile decomposer
+// seeds, 200 unique designs) is requested over and over. The first pass
+// compiles each unique design exactly once; the repeat pass must perform
+// zero compiles and be bound by cache lookups alone.
+func RepeatCatalogSweep(entries, parallelism int) (*SweepResult, error) {
+	const seedsPerTile = 20
+	tiles := core.DefaultTileCounts()
+	unique := len(tiles) * seedsPerTile
+	opts := make([]core.Options, entries)
+	for i := range opts {
+		opts[i] = core.Options{
+			Tiles:               tiles[i%len(tiles)],
+			PartitionIterations: 2,
+			Seed:                1 + int64((i/len(tiles))%seedsPerTile),
+			PatternAware:        true,
+			Parallelism:         1,
+		}
+	}
+	store := artifactstore.NewMemory(artifactstore.Options{MaxMemEntries: 2 * unique})
+	run := func() (time.Duration, error) {
+		t0 := time.Now()
+		_, err := parpool.Map(context.Background(), parpool.Workers(parallelism), len(opts),
+			func(_ context.Context, i int) (*core.Compiled, error) {
+				c, _, _, err := core.CompileAcceleratorCached(opts[i], store)
+				return c, err
+			})
+		return time.Since(t0), err
+	}
+
+	first, err := run()
+	if err != nil {
+		return nil, err
+	}
+	firstComputes := store.Stats().Computes
+
+	second, err := run()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &SweepResult{
+		Entries:        entries,
+		UniqueDesigns:  unique,
+		FirstWall:      first,
+		SecondWall:     second,
+		FirstComputes:  firstComputes,
+		SecondComputes: store.Stats().Computes - firstComputes,
+	}
+	if second > 0 {
+		r.Speedup = float64(first) / float64(second)
+	}
+	return r, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"mlvfpga/internal/artifactstore"
+)
+
+func testOpts() Options {
+	return Options{Tiles: 2, PartitionIterations: 2, Seed: 1, PatternAware: true, Parallelism: 1}
+}
+
+func TestCompileKeyCanonical(t *testing.T) {
+	base := testOpts()
+	if CompileKey(base) != CompileKey(base) {
+		t.Fatal("key not stable for identical options")
+	}
+	// Parallelism never changes the compiled result, so it must not
+	// change the address either.
+	par := base
+	par.Parallelism = 8
+	if CompileKey(par) != CompileKey(base) {
+		t.Fatal("key depends on Parallelism")
+	}
+	// Every result-determining field must move the key.
+	for name, mut := range map[string]func(*Options){
+		"tiles":      func(o *Options) { o.Tiles = 3 },
+		"iterations": func(o *Options) { o.PartitionIterations = 3 },
+		"seed":       func(o *Options) { o.Seed = 2 },
+		"pattern":    func(o *Options) { o.PatternAware = false },
+	} {
+		o := testOpts()
+		mut(&o)
+		if CompileKey(o) == CompileKey(base) {
+			t.Errorf("key ignores %s", name)
+		}
+	}
+}
+
+// TestCompiledCodecRoundTrip is the bit-identity golden test for the blob
+// format: decode(encode(cold)) must fingerprint identically to the cold
+// compile, and the decoded images must point into the decoded partition
+// tree (the identity the frontier and ladder walks rely on).
+func TestCompiledCodecRoundTrip(t *testing.T) {
+	cold, err := CompileAccelerator(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := CompiledCodec.Encode(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := CompiledCodec.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := v.(*Compiled)
+	if got, want := compiledFingerprint(t, warm), compiledFingerprint(t, cold); got != want {
+		t.Fatal("decoded artifact is not bit-identical to the cold compile")
+	}
+	if warm.Opts != cold.Opts {
+		t.Fatalf("opts %+v, want %+v", warm.Opts, cold.Opts)
+	}
+	inTree := map[any]bool{}
+	for _, n := range warm.Partition.AllPieces() {
+		inTree[n] = true
+	}
+	for dev, images := range warm.Images {
+		for _, pi := range images {
+			if !inTree[pi.Piece] {
+				t.Fatalf("%s image %q detached from decoded partition tree", dev, pi.Image.PieceID)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for name, payload := range map[string][]byte{
+		"notjson": []byte("not json"),
+		"empty":   []byte("{}"),
+		"badidx":  []byte(`{"accelerator":{"name":"x","control":{"id":"c","kind":"leaf","module_key":"m","resources":{},"in_bits":0,"out_bits":0},"data":{"id":"d","kind":"leaf","module_key":"m","resources":{},"in_bits":0,"out_bits":0}},"partition":{"Root":{"Block":{"id":"d","kind":"leaf","module_key":"m","resources":{},"in_bits":0,"out_bits":0},"CutBits":0,"CutKind":"leaf"},"Iterations":0},"images":{"dev":[{"piece":9,"image":{},"lanes":1}]}}`),
+	} {
+		if _, err := CompiledCodec.Decode(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestCompileAcceleratorCached(t *testing.T) {
+	dir := t.TempDir()
+	store, err := artifactstore.Open(dir, artifactstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, key, warm, err := CompileAcceleratorCached(testOpts(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("cold-cache compile reported warm")
+	}
+	if key != CompileKey(testOpts()) {
+		t.Fatalf("key = %s", key)
+	}
+	hit, _, warm2, err := CompileAcceleratorCached(testOpts(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm2 {
+		t.Fatal("second compile missed the cache")
+	}
+	if hit != cold {
+		t.Fatal("memory hit did not return the shared artifact")
+	}
+	if st := store.Stats(); st.Computes != 1 {
+		t.Fatalf("stats = %+v, want exactly one compile", st)
+	}
+
+	// A fresh store over the same directory must serve the blob without
+	// recompiling, bit-identical to the cold artifact.
+	reopened, err := artifactstore.Open(dir, artifactstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, _, warm3, err := CompileAcceleratorCached(testOpts(), reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm3 {
+		t.Fatal("reopened store recompiled")
+	}
+	if got, want := compiledFingerprint(t, disk), compiledFingerprint(t, cold); got != want {
+		t.Fatal("disk-loaded artifact is not bit-identical to the cold compile")
+	}
+	if st := reopened.Stats(); st.Computes != 0 || st.DiskHits != 1 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+func TestInstanceCatalogCachedRepeatSweepIsCacheBound(t *testing.T) {
+	store := artifactstore.NewMemory(artifactstore.Options{})
+	tiles := []int{1, 2, 3}
+	first, err := InstanceCatalogCached(tiles, 2, 1, 1, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Computes != int64(len(tiles)) {
+		t.Fatalf("first sweep stats = %+v", st)
+	}
+	second, err := InstanceCatalogCached(tiles, 2, 1, 1, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Computes != int64(len(tiles)) {
+		t.Fatalf("repeat sweep compiled: stats = %+v", st)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("instance %d not shared on repeat sweep", i)
+		}
+	}
+}

@@ -24,6 +24,26 @@ func Counters() map[string]int64 {
 	}
 }
 
+// ArtifactCounters snapshots the offline-compilation cache counters (the
+// artifact store plus the RTL equivalence oracle) by expvar name. They are
+// kept out of Counters() because the simulation harness's conservation
+// check models serving-path events only; cache behaviour is asserted
+// directly against artifactstore.Stats.
+func ArtifactCounters() map[string]int64 {
+	return map[string]int64{
+		"mlv_artifact_hits":       ArtifactHits.Value(),
+		"mlv_artifact_misses":     ArtifactMisses.Value(),
+		"mlv_artifact_compiles":   ArtifactCompiles.Value(),
+		"mlv_artifact_evictions":  ArtifactEvictions.Value(),
+		"mlv_artifact_corrupt":    ArtifactCorrupt.Value(),
+		"mlv_artifact_disk_bytes": ArtifactDiskBytes.Value(),
+		"mlv_equiv_queries":       EquivQueries.Value(),
+		"mlv_equiv_struct_hits":   EquivStructuralHits.Value(),
+		"mlv_equiv_cache_hits":    EquivCacheHits.Value(),
+		"mlv_equiv_sim_runs":      EquivSimRuns.Value(),
+	}
+}
+
 var (
 	// LeasesActive is a gauge of admitted deployments (+1 on Deploy,
 	// -1 on Release).
@@ -46,4 +66,38 @@ var (
 	// scaleout.DeviceError) — kept separate from HeartbeatMisses so
 	// operators can tell confirmed failures from timeouts.
 	DevicesCondemned = expvar.NewInt("mlv_devices_condemned")
+)
+
+// Offline-compilation cache counters: the content-addressed artifact store
+// (internal/artifactstore) and the equivalence oracle's memo
+// (rtl.EquivChecker) export through the same /debug/vars page so online
+// serving and offline caching are observable together.
+var (
+	// ArtifactHits counts artifact-store lookups served from cache
+	// (memory LRU or validated disk blob).
+	ArtifactHits = expvar.NewInt("mlv_artifact_hits")
+	// ArtifactMisses counts lookups that found no usable artifact.
+	ArtifactMisses = expvar.NewInt("mlv_artifact_misses")
+	// ArtifactCompiles counts cold compiles the cache failed to absorb
+	// (one per miss; singleflight followers add nothing).
+	ArtifactCompiles = expvar.NewInt("mlv_artifact_compiles")
+	// ArtifactEvictions counts artifacts dropped by the memory LRU or the
+	// disk-bytes bound.
+	ArtifactEvictions = expvar.NewInt("mlv_artifact_evictions")
+	// ArtifactCorrupt counts blobs rejected by checksum/framing/decode
+	// validation and deleted (each one falls back to a recompile).
+	ArtifactCorrupt = expvar.NewInt("mlv_artifact_corrupt")
+	// ArtifactDiskBytes gauges the bytes currently held in blob files.
+	ArtifactDiskBytes = expvar.NewInt("mlv_artifact_disk_bytes")
+
+	// EquivQueries counts rtl.EquivChecker.Equivalent calls.
+	EquivQueries = expvar.NewInt("mlv_equiv_queries")
+	// EquivStructuralHits counts queries decided by structural hashing
+	// alone (no simulation considered).
+	EquivStructuralHits = expvar.NewInt("mlv_equiv_struct_hits")
+	// EquivCacheHits counts queries answered from the hash-pair memo.
+	EquivCacheHits = expvar.NewInt("mlv_equiv_cache_hits")
+	// EquivSimRuns counts memo misses that ran random-simulation
+	// equivalence.
+	EquivSimRuns = expvar.NewInt("mlv_equiv_sim_runs")
 )

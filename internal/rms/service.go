@@ -32,6 +32,9 @@ type Service struct {
 	// drainer, when set, runs before a lease's placements are freed so the
 	// data plane can drain in-flight batches (see SetDrainer).
 	drainer func(leaseID int)
+	// compiler, when set, ensures the layer's full compilation product is
+	// in the artifact store before placement (see SetCompiler).
+	compiler *Compiler
 }
 
 // Placement locates one soft block of a lease.
@@ -61,6 +64,12 @@ type Lease struct {
 	// Migrations counts how many times the control plane re-placed this
 	// lease (depth changes and evacuations).
 	Migrations int `json:"migrations"`
+	// ArtifactKey is the content address of the lease's compilation
+	// product in the artifact store (empty when no compiler is installed).
+	ArtifactKey string `json:"artifact_key,omitempty"`
+	// WarmDeploy reports that the deploy was served from the compilation
+	// cache and skipped straight to placement.
+	WarmDeploy bool `json:"warm_deploy,omitempty"`
 }
 
 // ClusterStatus is a point-in-time occupancy snapshot.
@@ -123,6 +132,18 @@ func (s *Service) SetPlacementFilter(ok func(fpgaID int) bool) {
 	s.filter = ok
 }
 
+// SetCompiler installs the warm-start compile path: every Deploy first
+// ensures the layer's full compilation product is present in the artifact
+// store (a known design hits the cache in microseconds and skips straight
+// to placement; an unknown one compiles exactly once even under
+// concurrent deploys, via the store's singleflight guard). A nil compiler
+// restores the placement-only behaviour.
+func (s *Service) SetCompiler(c *Compiler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compiler = c
+}
+
 // SetDrainer registers fn to run before Release frees a lease's
 // placements. The data plane installs its engine drain here so a release
 // can never race an enqueued micro-batch: queued requests are served and
@@ -147,6 +168,25 @@ func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, e
 	if err != nil {
 		return nil, err
 	}
+	// Ensure the compilation product before taking the service lock:
+	// compiles must never serialize admissions, and the store's own
+	// singleflight already coalesces concurrent deploys of one design.
+	// The artifact stays cached even if placement fails below — the next
+	// attempt warm-starts.
+	var (
+		artifactKey string
+		warmDeploy  bool
+	)
+	s.mu.Lock()
+	compiler := s.compiler
+	s.mu.Unlock()
+	if compiler != nil {
+		_, key, warm, cerr := compiler.Ensure(spec)
+		if cerr != nil {
+			return nil, fmt.Errorf("rms: compiling %v: %w", spec, cerr)
+		}
+		artifactKey, warmDeploy = string(key), warm
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sawDepth := false
@@ -164,12 +204,14 @@ func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, e
 		}
 		s.nextID++
 		lease := &Lease{
-			ID:         s.nextID,
-			Spec:       spec,
-			SpecString: spec.String(),
-			Placements: placements,
-			Latency:    dep.Latency,
-			Depth:      dep.NumPieces(),
+			ID:          s.nextID,
+			Spec:        spec,
+			SpecString:  spec.String(),
+			Placements:  placements,
+			Latency:     dep.Latency,
+			Depth:       dep.NumPieces(),
+			ArtifactKey: artifactKey,
+			WarmDeploy:  warmDeploy,
 		}
 		s.leases[lease.ID] = lease
 		metrics.LeasesActive.Add(1)

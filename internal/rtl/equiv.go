@@ -5,12 +5,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 
+	"mlvfpga/internal/metrics"
 	"mlvfpga/internal/parpool"
 )
 
@@ -262,9 +264,11 @@ func (c *EquivChecker) Hash(em *ElabModule) string {
 func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
 	c.mu.Lock()
 	c.stats.Queries++
+	metrics.EquivQueries.Add(1)
 	if a == b || a.Key == b.Key {
 		c.stats.StructuralHits++
 		c.mu.Unlock()
+		metrics.EquivStructuralHits.Add(1)
 		return true, nil
 	}
 	ha := c.d.structuralHash(a, c.hashMemo)
@@ -272,6 +276,7 @@ func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
 	if ha == hb {
 		c.stats.StructuralHits++
 		c.mu.Unlock()
+		metrics.EquivStructuralHits.Add(1)
 		return true, nil
 	}
 	if !sameInterface(a, b) {
@@ -285,10 +290,12 @@ func (c *EquivChecker) Equivalent(a, b *ElabModule) (bool, error) {
 	if r, ok := c.simMemo[memoKey]; ok {
 		c.stats.CacheHits++
 		c.mu.Unlock()
+		metrics.EquivCacheHits.Add(1)
 		return r, nil
 	}
 	c.stats.SimRuns++
 	c.mu.Unlock()
+	metrics.EquivSimRuns.Add(1)
 
 	eq, err := c.simEquivalent(a, b, pairSeed(c.seed, memoKey))
 	if err != nil {
@@ -314,6 +321,50 @@ func pairSeed(seed int64, memoKey [2]string) int64 {
 	fmt.Fprintf(h, "%d|%s|%s", seed, memoKey[0], memoKey[1])
 	return int64(h.Sum64())
 }
+
+// CanonHash generalizes this file's FNV-64a derivations (pairSeed, the
+// blob checksums built on it) into a canonical field hasher for
+// content-addressed keys: a salt names the keyspace and its format
+// version, and every field folds in as "name=value;" so reordering,
+// omitting, or renaming a field changes the digest. It is the key
+// machinery behind the artifact store (core.CompileKey hashes
+// kernels.LayerSpec / core.Options fields plus the per-device calibration
+// resource vectors through it).
+type CanonHash struct {
+	h hash.Hash64
+}
+
+// NewCanonHash starts a digest over the named keyspace. Bump the salt
+// (e.g. "compiled/v1" -> "compiled/v2") whenever the hashed structure or
+// the artifact's wire format changes, so stale cache entries miss instead
+// of decoding wrongly.
+func NewCanonHash(salt string) *CanonHash {
+	c := &CanonHash{h: fnv.New64a()}
+	fmt.Fprintf(c.h, "salt=%s;", salt)
+	return c
+}
+
+// Field folds one named value into the digest using its canonical %v
+// rendering (stable for ints, bools, strings, and flat structs of them).
+func (c *CanonHash) Field(name string, v any) *CanonHash {
+	fmt.Fprintf(c.h, "%s=%v;", name, v)
+	return c
+}
+
+// Raw folds pre-rendered canonical bytes — a memoized block of Field-
+// formatted pairs — without re-formatting them. The digest is identical
+// to emitting the same fields one by one.
+func (c *CanonHash) Raw(b []byte) *CanonHash {
+	c.h.Write(b)
+	return c
+}
+
+// Sum returns the 64-bit digest.
+func (c *CanonHash) Sum() uint64 { return c.h.Sum64() }
+
+// Hex renders the digest as fixed-width lowercase hex, the form artifact
+// keys embed.
+func (c *CanonHash) Hex() string { return fmt.Sprintf("%016x", c.h.Sum64()) }
 
 // sameInterface reports whether two elaborations expose identical port
 // lists (name, direction, width), which data-parallel interchangeable

@@ -40,6 +40,10 @@ const (
 	EvDeploy
 	// EvRelease releases a live lease through the data plane's drain path.
 	EvRelease
+	// EvRedeploy releases a live lease and immediately deploys the same
+	// spec again: the warm-start path. With the artifact store populated,
+	// the new lease must report a warm deploy (zero compile work).
+	EvRedeploy
 	// EvKill silences a device's heartbeats until EvRevive (the registry
 	// times it out to Suspect, then Dead).
 	EvKill
@@ -66,6 +70,7 @@ var eventNames = [...]string{
 	EvLoad:       "load",
 	EvDeploy:     "deploy",
 	EvRelease:    "release",
+	EvRedeploy:   "redeploy",
 	EvKill:       "kill",
 	EvRevive:     "revive",
 	EvDrain:      "drain",
@@ -111,15 +116,17 @@ func Schedule(seed int64, steps int) []Event {
 			k = EvTick
 		case p < 830:
 			k = EvLoad
-		case p < 880:
+		case p < 865:
 			k = EvDeploy
-		case p < 920:
+		case p < 895:
+			k = EvRedeploy
+		case p < 925:
 			k = EvRelease
-		case p < 940:
+		case p < 945:
 			k = EvKill
-		case p < 960:
+		case p < 962:
 			k = EvRevive
-		case p < 975:
+		case p < 976:
 			k = EvDrain
 		case p < 990:
 			k = EvUndrain

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"mlvfpga/internal/artifactstore"
 	"mlvfpga/internal/cluster"
 	"mlvfpga/internal/des"
 	"mlvfpga/internal/kernels"
@@ -116,7 +117,8 @@ type Violation struct {
 	// "placement-shape", "duplicate-device", "placement-conservation",
 	// "feasible-depth", "engine-tombstone", "counter-conservation",
 	// "batch-conservation", "golden-equivalence", "infer-served",
-	// "stranded-placement", or an *-error for an operation that failed
+	// "warm-deploy", "artifact-cache", "stranded-placement", or an
+	// *-error for an operation that failed
 	// when the model says it cannot.
 	Invariant string
 	Detail    string
@@ -209,11 +211,12 @@ type goldenKey struct {
 // All schedule execution is single-goroutine (DES callbacks); the only
 // concurrency is inside an infer event, which joins before returning.
 type harness struct {
-	o   Options
-	eng *des.Engine
-	svc *rms.Service
-	dp  *rms.DataPlane
-	cp  *cluster.ControlPlane
+	o     Options
+	eng   *des.Engine
+	svc   *rms.Service
+	dp    *rms.DataPlane
+	cp    *cluster.ControlPlane
+	store *artifactstore.Store
 
 	devices []int
 	loads   map[int]rms.LoadStats
@@ -267,12 +270,18 @@ func newHarness(o Options) (*harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simtest: building service: %w", err)
 	}
+	// The warm-start compile path runs over a memory-backed artifact
+	// store, so every deploy after the preamble's first must be a cache
+	// hit — the artifact-cache and warm-deploy invariants pin that.
+	store := artifactstore.NewMemory(artifactstore.Options{})
+	svc.SetCompiler(rms.NewCompiler(store, rms.CompilerOptions{Parallelism: 1}))
 	dp := rms.NewDataPlane(svc, o.Infer)
 	h := &harness{
 		o:       o,
 		eng:     eng,
 		svc:     svc,
 		dp:      dp,
+		store:   store,
 		loads:   map[int]rms.LoadStats{},
 		killed:  map[int]bool{},
 		drained: map[int]bool{},
@@ -370,6 +379,8 @@ func (h *harness) exec(step int, ev Event) {
 		h.doDeploy(step)
 	case EvRelease:
 		h.doRelease(step, ev.R)
+	case EvRedeploy:
+		h.doRedeploy(step, ev.R)
 	case EvKill:
 		h.doKill(step, ev.R)
 	case EvRevive:
@@ -506,8 +517,50 @@ func (h *harness) doDeploy(step int) {
 		h.fail(step, "deploy-error", "%v", err)
 		return
 	}
+	if !l.WarmDeploy {
+		h.fail(step, "warm-deploy", "lease %d compiled cold with a populated artifact store", l.ID)
+		return
+	}
 	h.live = append(h.live, l.ID)
 	h.tracef(step, "deploy lease=%d depth=%d", l.ID, l.Depth)
+}
+
+// doRedeploy cycles a live lease through the warm-start path: release it,
+// then deploy the same spec again. The preamble populated the artifact
+// store, so the replacement lease must come back warm — a redeploy that
+// compiles is an invariant breach, not just a slow path.
+func (h *harness) doRedeploy(step int, r uint64) {
+	if len(h.live) == 0 {
+		h.tracef(step, "redeploy noop")
+		return
+	}
+	id := h.pickLive(r)
+	if err := h.dp.Release(id); err != nil {
+		h.fail(step, "release-error", "lease %d: %v", id, err)
+		return
+	}
+	for i, v := range h.live {
+		if v == id {
+			h.live = append(h.live[:i], h.live[i+1:]...)
+			break
+		}
+	}
+	delete(h.loads, id)
+	l, err := h.svc.Deploy(h.o.Spec)
+	if errors.Is(err, rms.ErrNoCapacity) {
+		h.tracef(step, "redeploy out=%d nocap", id)
+		return
+	}
+	if err != nil {
+		h.fail(step, "deploy-error", "%v", err)
+		return
+	}
+	if !l.WarmDeploy {
+		h.fail(step, "warm-deploy", "redeployed lease %d compiled cold with a populated artifact store", l.ID)
+		return
+	}
+	h.live = append(h.live, l.ID)
+	h.tracef(step, "redeploy out=%d in=%d depth=%d", id, l.ID, l.Depth)
 }
 
 func (h *harness) doRelease(step int, r uint64) {
@@ -758,6 +811,15 @@ func (h *harness) checkInvariants(step int) {
 	// Engine/tombstone consistency in the data plane.
 	if err := h.dp.CheckInvariants(); err != nil {
 		h.fail(step, "engine-tombstone", "%v", err)
+		return
+	}
+
+	// Artifact-cache conservation: every run serves one spec, so the
+	// preamble's first deploy is the only compile the whole run may ever
+	// perform, and nothing may be dropped as corrupt.
+	if st := h.store.Stats(); st.Computes != 1 || st.CorruptDropped != 0 {
+		h.fail(step, "artifact-cache",
+			"computes=%d corrupt=%d, want exactly 1 compile and 0 corrupt drops", st.Computes, st.CorruptDropped)
 		return
 	}
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"mlvfpga/internal/accel"
+	"mlvfpga/internal/artifactstore"
 	"mlvfpga/internal/bwrtl"
 	"mlvfpga/internal/core"
 	"mlvfpga/internal/decompose"
@@ -140,6 +141,36 @@ func CompileInstance(tiles, partitionIterations int) (*Compiled, error) {
 // including the Parallelism knob (see CompileOptions).
 func CompileInstanceWithOptions(opts CompileOptions) (*Compiled, error) {
 	return core.CompileAccelerator(opts)
+}
+
+// ArtifactStore is the persistent content-addressed compilation cache:
+// compiled artifacts are keyed by a canonical structural hash of
+// everything that determines the result and stored as checksummed blobs
+// on disk, with an in-process LRU in front.
+type ArtifactStore = artifactstore.Store
+
+// ArtifactStoreOptions tunes an ArtifactStore's memory and disk bounds.
+type ArtifactStoreOptions = artifactstore.Options
+
+// OpenArtifactCache opens (creating if needed) the on-disk compilation
+// cache at dir with default bounds. dir == "" yields a memory-only cache
+// for the life of the process.
+func OpenArtifactCache(dir string) (*ArtifactStore, error) {
+	return artifactstore.Open(dir, artifactstore.Options{})
+}
+
+// CompileInstanceCached is CompileInstance fronted by an artifact cache:
+// on a hit the whole offline flow is skipped and the returned artifact is
+// bit-identical to a cold compile. warm reports whether the artifact came
+// from the cache; a nil store degrades to a plain cold compile.
+func CompileInstanceCached(tiles, partitionIterations int, store *ArtifactStore) (c *Compiled, warm bool, err error) {
+	c, _, warm, err = core.CompileAcceleratorCached(CompileOptions{
+		Tiles:               tiles,
+		PartitionIterations: partitionIterations,
+		Seed:                1,
+		PatternAware:        true,
+	}, store)
+	return c, warm, err
 }
 
 // InferenceResult reports a functional-simulation run.
