@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-cluster bench-compile soak fuzz simtest repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-cluster bench-compile bench-tenant lint soak fuzz simtest repro examples clean
 
 all: check
 
@@ -43,6 +43,24 @@ SWEEP ?= 10000
 bench-compile:
 	$(GO) test -run '^$$' -bench 'BenchmarkDeployColdVsWarm' -benchmem .
 	$(GO) run ./cmd/mlv-bench-compile -sweep $(SWEEP)
+
+# Multi-tenant fairness bench: a latency-class tenant's p99 under a
+# batch-class tenant's standing backlog must stay within 2x its solo p99
+# (the DRR fair-queue contract). Refreshes BENCH_tenant.json and fails on
+# a bound violation.
+bench-tenant:
+	$(GO) run ./cmd/mlv-bench-tenant
+
+# Static analysis beyond go vet. Uses staticcheck when installed (CI
+# installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest)
+# and degrades to a notice when absent, so `make lint` never needs network.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Failure-injection soak: kill one device mid-run, drain another, assert
 # no request or lease is lost. -short keeps it CI-sized.

@@ -15,21 +15,17 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"mlvfpga/internal/benchhost"
 	"mlvfpga/internal/cluster"
 )
 
 type report struct {
-	Recorded string `json:"recorded"`
-	Host     struct {
-		CPU          string `json:"cpu"`
-		HardwareCPUs int    `json:"hardware_cpus"`
-		Note         string `json:"note"`
-	} `json:"host"`
-	Command string `json:"command"`
-	Soak    struct {
+	Recorded string         `json:"recorded"`
+	Host     benchhost.Info `json:"host"`
+	Command  string         `json:"command"`
+	Soak     struct {
 		Scenario   string `json:"scenario"`
 		Accepted   int    `json:"accepted"`
 		Completed  int    `json:"completed"`
@@ -73,9 +69,7 @@ func main() {
 
 	var rep report
 	rep.Recorded = time.Now().UTC().Format("2006-01-02")
-	rep.Host.CPU = "see `lscpu`"
-	rep.Host.HardwareCPUs = runtime.NumCPU()
-	rep.Host.Note = "tick latencies are wall-clock over a live serving fleet; compare shapes, not absolute ns"
+	rep.Host = benchhost.Collect("tick latencies are wall-clock over a live serving fleet; compare shapes, not absolute ns")
 	rep.Command = "go run ./cmd/mlv-bench-cluster"
 	rep.Soak.Scenario = fmt.Sprintf("4 devices, kill device %d mid-run, drain device %d, %d clients/lease",
 		res.KilledDevice, res.DrainedDevice, opts.Clients)

@@ -15,20 +15,16 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"mlvfpga/internal/benchhost"
 	"mlvfpga/internal/compilebench"
 	"mlvfpga/internal/inferbench"
 )
 
 type report struct {
-	Recorded string `json:"recorded"`
-	Host     struct {
-		CPU          string `json:"cpu"`
-		HardwareCPUs int    `json:"hardware_cpus"`
-		Note         string `json:"note"`
-	} `json:"host"`
+	Recorded   string                    `json:"recorded"`
+	Host       benchhost.Info            `json:"host"`
 	Command    string                    `json:"command"`
 	Layer      string                    `json:"layer"`
 	Benchmarks []inferbench.Result       `json:"benchmarks"`
@@ -66,9 +62,7 @@ func main() {
 
 	var r report
 	r.Recorded = time.Now().UTC().Format("2006-01-02")
-	r.Host.CPU = "see `lscpu`; recorded on Intel(R) Xeon(R) Processor @ 2.10GHz"
-	r.Host.HardwareCPUs = runtime.NumCPU()
-	r.Host.Note = "The recording container exposes a single hardware CPU, so parallel compile speedup is not observable here; the cold/warm ratio is host-independent (the warm path does no compile work at all). Compare ratios, not absolute ns."
+	r.Host = benchhost.Collect("The recording container exposes a single hardware CPU, so parallel compile speedup is not observable here; the cold/warm ratio is host-independent (the warm path does no compile work at all). Compare ratios, not absolute ns.")
 	r.Command = "go run ./cmd/mlv-bench-compile"
 	r.Layer = "deploys: LSTM h=1536 t=2; sweep: DefaultTileCounts catalog cycled to length " + fmt.Sprint(*entries)
 	r.Benchmarks = []inferbench.Result{cold, warm}

@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"mlvfpga/internal/benchhost"
 	"mlvfpga/internal/inferbench"
 )
 
@@ -46,17 +46,13 @@ var pre = []inferbench.Result{
 }
 
 type report struct {
-	Recorded string `json:"recorded"`
-	Host     struct {
-		CPU          string `json:"cpu"`
-		HardwareCPUs int    `json:"hardware_cpus"`
-		Note         string `json:"note"`
-	} `json:"host"`
-	Command string              `json:"command"`
-	Layer   string              `json:"layer"`
-	Pre     []inferbench.Result `json:"pre"`
-	Post    []inferbench.Result `json:"post"`
-	Summary struct {
+	Recorded string              `json:"recorded"`
+	Host     benchhost.Info      `json:"host"`
+	Command  string              `json:"command"`
+	Layer    string              `json:"layer"`
+	Pre      []inferbench.Result `json:"pre"`
+	Post     []inferbench.Result `json:"post"`
+	Summary  struct {
 		SteadyStateSpeedup float64 `json:"steady_state_speedup"`
 		BatchedSpeedup     float64 `json:"batched_speedup_vs_pre_sequential"`
 		BatchVsSingle      float64 `json:"batched_vs_post_single_stream"`
@@ -85,9 +81,7 @@ func main() {
 
 	var r report
 	r.Recorded = time.Now().UTC().Format("2006-01-02")
-	r.Host.CPU = "see `lscpu`; recorded on Intel(R) Xeon(R) Processor @ 2.10GHz"
-	r.Host.HardwareCPUs = runtime.NumCPU()
-	r.Host.Note = "pre numbers were recorded on the same single-CPU container class; compare ratios, not absolute ns"
+	r.Host = benchhost.Collect("pre numbers were recorded on the same single-CPU container class; compare ratios, not absolute ns")
 	r.Command = "go run ./cmd/mlv-bench-infer"
 	r.Layer = "LSTM h=256 t=8, 2 tiles (ServeConcurrent: GRU h=512 t=1)"
 	r.Pre = pre

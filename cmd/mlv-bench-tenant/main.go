@@ -1,0 +1,103 @@
+// mlv-bench-tenant measures multi-tenant fairness in the micro-batching
+// data plane and writes BENCH_tenant.json: a latency-class tenant's
+// request-latency distribution alone (solo) and under a batch-class
+// tenant's standing backlog on the same lease (mixed). The run fails
+// unless the latency tenant's mixed p99 stays within -bound (default 2x)
+// of its solo p99 — the QoS contract the deficit-round-robin fair queue
+// exists to keep.
+//
+// Usage:
+//
+//	mlv-bench-tenant [-o BENCH_tenant.json] [-probes 300] [-bound 2.0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mlvfpga/internal/benchhost"
+	"mlvfpga/internal/tenantbench"
+)
+
+type report struct {
+	Recorded string         `json:"recorded"`
+	Host     benchhost.Info `json:"host"`
+	Command  string         `json:"command"`
+	Layer    string         `json:"layer"`
+	Config   struct {
+		Probes        int     `json:"probes"`
+		FloodWorkers  int     `json:"flood_workers"`
+		BatchInFlight int     `json:"batch_max_in_flight"`
+		MaxBatch      int     `json:"max_batch"`
+		FlushDelayUs  float64 `json:"flush_delay_us"`
+		Machines      int     `json:"machines"`
+		LatencyWeight int     `json:"latency_weight"`
+		BatchWeight   int     `json:"batch_weight"`
+		FairnessBound float64 `json:"fairness_bound"`
+	} `json:"config"`
+	Result  *tenantbench.Result `json:"result"`
+	Summary struct {
+		SoloP99Us  float64 `json:"solo_p99_us"`
+		MixedP99Us float64 `json:"mixed_p99_us"`
+		P99Ratio   float64 `json:"p99_ratio"`
+		FairnessOK bool    `json:"fairness_ok"`
+	} `json:"summary"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_tenant.json", "output file")
+	probes := flag.Int("probes", 300, "timed latency-tenant requests per phase")
+	bound := flag.Float64("bound", 2.0, "maximum allowed mixed/solo p99 ratio")
+	flag.Parse()
+
+	o := tenantbench.DefaultOptions()
+	o.Probes = *probes
+
+	fmt.Printf("mlv-bench-tenant: %d probes/phase, %d-worker batch flood (cap %d in flight)...\n",
+		o.Probes, o.Flood, o.MaxInFlight)
+	res, err := tenantbench.Run(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  solo  p50 %.0fus p99 %.0fus\n", res.Solo.P50Us, res.Solo.P99Us)
+	fmt.Printf("  mixed p50 %.0fus p99 %.0fus (batch tenant: %d served, %.0f/s, occupancy %.2f)\n",
+		res.Mixed.P50Us, res.Mixed.P99Us, res.Mixed.BatchCompleted, res.Mixed.BatchPerSec, res.BatchOccupancy)
+
+	var r report
+	r.Recorded = time.Now().UTC().Format("2006-01-02")
+	r.Host = benchhost.Collect("closed-loop wall-clock latencies on a shared host; the asserted fact is the mixed/solo ratio, not absolute us")
+	r.Command = "go run ./cmd/mlv-bench-tenant"
+	r.Layer = o.Spec.String()
+	r.Config.Probes = o.Probes
+	r.Config.FloodWorkers = o.Flood
+	r.Config.BatchInFlight = o.MaxInFlight
+	r.Config.MaxBatch = o.Infer.MaxBatch
+	r.Config.FlushDelayUs = float64(o.Infer.FlushDelay) / float64(time.Microsecond)
+	r.Config.Machines = o.Infer.Machines
+	r.Config.LatencyWeight = 8
+	r.Config.BatchWeight = 1
+	r.Config.FairnessBound = *bound
+	r.Result = res
+	r.Summary.SoloP99Us = res.Solo.P99Us
+	r.Summary.MixedP99Us = res.Mixed.P99Us
+	r.Summary.P99Ratio = res.P99Ratio
+	r.Summary.FairnessOK = res.P99Ratio <= *bound
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mlv-bench-tenant: mixed/solo p99 ratio %.2f (bound %.1f); wrote %s\n",
+		res.P99Ratio, *bound, *out)
+	if !r.Summary.FairnessOK {
+		log.Fatalf("fairness bound violated: mixed p99 %.0fus > %.1fx solo p99 %.0fus",
+			res.Mixed.P99Us, *bound, res.Solo.P99Us)
+	}
+}

@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	mlv-cluster [-addr host:port] devices
-//	mlv-cluster [-addr host:port] drain <device-id>
-//	mlv-cluster [-addr host:port] undrain <device-id>
-//	mlv-cluster [-addr host:port] kill <device-id>
-//	mlv-cluster [-addr host:port] heartbeat <device-id>
-//	mlv-cluster [-addr host:port] rebalance
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] devices
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] drain <device-id>
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] undrain <device-id>
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] kill <device-id>
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] heartbeat <device-id>
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] rebalance
 //	mlv-cluster [-addr host:port] status
+//
+// Against a server started with -tenants, the mutating subcommands need
+// -tenant/-key credentials of an admin tenant (the /cluster/* surface is
+// admin-only); reads work without credentials.
 package main
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,19 +32,25 @@ import (
 
 	"mlvfpga/internal/cluster"
 	"mlvfpga/internal/rms"
+	"mlvfpga/internal/tenant"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlv-cluster [-addr host:port] <devices|drain|undrain|kill|heartbeat|rebalance|status> [device-id]")
+	fmt.Fprintln(os.Stderr, "usage: mlv-cluster [-addr host:port] [-tenant id -key secret] <devices|drain|undrain|kill|heartbeat|rebalance|status> [device-id]")
 	os.Exit(2)
 }
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "mlv-serve address")
+	tenantID := flag.String("tenant", "", "tenant id for signed requests (admin required for mutations)")
+	tenantKey := flag.String("key", "", "tenant HMAC key for signed requests")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
+	}
+	if (*tenantID == "") != (*tenantKey == "") {
+		fatalf("-tenant and -key must be given together")
 	}
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -58,7 +70,19 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(b))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if *tenantID != "" {
+			nonce := make([]byte, 16)
+			if _, err := rand.Read(nonce); err != nil {
+				fatalf("%v", err)
+			}
+			tenant.SignRequest(req, *tenantID, []byte(*tenantKey), b, time.Now(), hex.EncodeToString(nonce))
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			fatalf("%v", err)
 		}

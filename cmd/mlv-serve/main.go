@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	mlv-serve -addr :8080
+//	mlv-serve -addr :8080 -tenants tenants.json   # authenticated multi-tenant serving
+//	mlv-serve -addr :8080 -insecure               # anonymous mode (explicit opt-in)
 //
 //	curl -X POST localhost:8080/deploy -d '{"kind":"GRU","hidden":512,"timesteps":1}'
 //	curl -X POST localhost:8080/infer -d '{"id":1,"inputs":[[0.1, ... 512 floats]]}'
@@ -19,6 +20,11 @@
 //	curl -X POST localhost:8080/cluster/drain -d '{"id":2}'
 //	curl localhost:8080/debug/vars
 //	curl -X POST localhost:8080/release -d '{"id":1}'
+//
+// With -tenants, every mutating request must carry the X-MLV-* signed
+// headers (see internal/tenant and cmd/mlv-sign); the /cluster/* mutations
+// additionally require an admin tenant. The unauthenticated curl examples
+// above only work under -insecure.
 //
 // SIGINT/SIGTERM stop admission, drain in-flight batches, and release
 // every lease before exiting.
@@ -38,10 +44,12 @@ import (
 
 	"mlvfpga/internal/artifactstore"
 	"mlvfpga/internal/cluster"
+	"mlvfpga/internal/metrics"
 	"mlvfpga/internal/perf"
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rms"
 	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/tenant"
 )
 
 func main() {
@@ -53,7 +61,16 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "simulated device heartbeat interval")
 	tick := flag.Duration("tick", time.Second, "control-plane tick interval (0 disables the loop)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed compilation cache directory (empty = in-memory for this process); known designs warm-start deploys")
+	tenantsFile := flag.String("tenants", "", "tenant registry JSON (id, HMAC key, class, quotas); enables signed-request auth")
+	insecure := flag.Bool("insecure", false, "serve anonymously with no authentication or quotas (explicit opt-in)")
 	flag.Parse()
+
+	if *tenantsFile == "" && !*insecure {
+		log.Fatal("mlv-serve: refusing to serve unauthenticated: pass -tenants <file> or the explicit -insecure flag")
+	}
+	if *tenantsFile != "" && *insecure {
+		log.Fatal("mlv-serve: -tenants and -insecure are mutually exclusive")
+	}
 
 	mode := rms.Flexible
 	if *restricted {
@@ -74,6 +91,40 @@ func main() {
 	opts.FlushDelay = *flushDelay
 	opts.Machines = *machines
 	dp := rms.NewDataPlane(svc, opts)
+
+	var reg *tenant.Registry
+	if *tenantsFile != "" {
+		reg, err = tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.SetTenants(reg)
+		dp.SetTenants(reg)
+		// Per-tenant quota headroom under /debug/vars: used vs. remaining
+		// (remaining omitted for unlimited dimensions).
+		metrics.SetQuotaHeadroom(func() any {
+			out := map[string]map[string]int{}
+			for _, t := range reg.List() {
+				leases, devices, blocks := svc.TenantUsage(t.ID)
+				entry := map[string]int{
+					"leases_used":  leases,
+					"devices_used": devices,
+					"blocks_used":  blocks,
+				}
+				if t.Quotas.MaxLeases > 0 {
+					entry["leases_free"] = t.Quotas.MaxLeases - leases
+				}
+				if t.Quotas.MaxDevices > 0 {
+					entry["devices_free"] = t.Quotas.MaxDevices - devices
+				}
+				if t.Quotas.MaxBlocks > 0 {
+					entry["blocks_free"] = t.Quotas.MaxBlocks - blocks
+				}
+				out[t.ID] = entry
+			}
+			return out
+		})
+	}
 
 	cp := cluster.New(cluster.WallClock{}, cluster.DefaultConfig(), svc, dp)
 
@@ -117,9 +168,18 @@ func main() {
 		}()
 	}
 
+	handler := cp.Handler(dp.Handler())
+	authNote := "INSECURE anonymous mode"
+	if reg != nil {
+		// The guard wraps the whole mux: rms mutations need any valid
+		// tenant signature, /cluster/* mutations an admin tenant; GETs
+		// (status, devices, debug/vars, healthz) stay open.
+		handler = tenant.NewGuard(reg, tenant.GuardOptions{}).Wrap(handler)
+		authNote = fmt.Sprintf("signed-request auth, %d tenants", len(reg.List()))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cp.Handler(dp.Handler()),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -130,8 +190,8 @@ func main() {
 	if *cacheDir != "" {
 		cacheNote = "compilation cache at " + *cacheDir
 	}
-	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s, %s\n",
-		mode, *addr, cacheNote)
+	fmt.Printf("mlv-serve: system controller for 3x XCVU37P + 1x XCKU115 (%s policy) on %s, %s, %s\n",
+		mode, *addr, cacheNote, authNote)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

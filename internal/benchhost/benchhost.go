@@ -1,0 +1,58 @@
+// Package benchhost snapshots the recording host's CPU topology for the
+// BENCH_*.json reports. Every writer embeds Info as its "host" section,
+// so scaling caveats — above all the 1-CPU recording container, where
+// GOMAXPROCS can exceed the hardware and parallel speedups are not
+// observable — are machine-checkable fields instead of prose notes.
+package benchhost
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Info is the "host" section shared by the BENCH_*.json reports.
+type Info struct {
+	// CPU is the hardware model (from /proc/cpuinfo where available).
+	CPU string `json:"cpu"`
+	// HardwareCPUs is runtime.NumCPU: CPUs usable by this process.
+	HardwareCPUs int `json:"hardware_cpus"`
+	// GOMAXPROCS is the scheduler's parallelism at recording time. When
+	// it exceeds HardwareCPUs, extra "cores" are timeslices, not silicon.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GoVersion is the recording toolchain.
+	GoVersion string `json:"go_version"`
+	// Note carries the report-specific caveat.
+	Note string `json:"note,omitempty"`
+}
+
+// Collect snapshots the current process's view of the host; note carries
+// the report-specific caveat into the record.
+func Collect(note string) Info {
+	return Info{
+		CPU:          cpuModel(),
+		HardwareCPUs: runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		Note:         note,
+	}
+}
+
+// cpuModel reads the first "model name" from /proc/cpuinfo, falling back
+// to the architecture on hosts without one (non-Linux, some arm64).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,44 @@
+package benchhost
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	info := Collect("caveat")
+	if info.CPU == "" {
+		t.Error("CPU empty")
+	}
+	if info.HardwareCPUs != runtime.NumCPU() {
+		t.Errorf("HardwareCPUs = %d, want %d", info.HardwareCPUs, runtime.NumCPU())
+	}
+	if info.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", info.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.Note != "caveat" {
+		t.Errorf("Note = %q", info.Note)
+	}
+}
+
+// The JSON field names are part of the BENCH_*.json schema: changing one
+// silently breaks consumers diffing recorded reports.
+func TestJSONFieldNames(t *testing.T) {
+	b, err := json.Marshal(Collect(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"cpu", "hardware_cpus", "gomaxprocs", "go_version"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("host section lacks %q: %s", k, b)
+		}
+	}
+}

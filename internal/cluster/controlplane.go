@@ -289,7 +289,10 @@ func (cp *ControlPlane) Tick() *TickReport {
 				break
 			}
 			ev.Err = err.Error()
-			if !errors.Is(err, rms.ErrNoCapacity) {
+			// Walk the ladder on capacity AND quota misses alike: a
+			// shallower rung needs fewer devices and may slip under the
+			// tenant's remaining device quota.
+			if !errors.Is(err, rms.ErrNoCapacity) && !errors.Is(err, rms.ErrQuotaExceeded) {
 				break
 			}
 		}

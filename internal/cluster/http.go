@@ -16,6 +16,11 @@ import (
 //	POST /cluster/rebalance                 -> TickReport (one control pass, on demand)
 //
 // base may be nil when the control plane runs standalone.
+//
+// The mutating /cluster/* operations condemn hardware and move tenant
+// workloads, so servers must put this handler behind a tenant.Guard
+// (whose default AdminPrefixes covers /cluster/) unless running with an
+// explicit -insecure flag; the guard rejects non-admin tenants with 403.
 func (cp *ControlPlane) Handler(base http.Handler) http.Handler {
 	mux := http.NewServeMux()
 
@@ -51,6 +56,10 @@ func (cp *ControlPlane) Handler(base http.Handler) http.Handler {
 	}
 
 	mux.HandleFunc("/cluster/devices", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+			return
+		}
 		writeJSON(w, http.StatusOK, cp.reg.Snapshot())
 	})
 

@@ -13,6 +13,7 @@ import (
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rms"
 	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/tenant"
 )
 
 // AutoDevice, used for KillDevice or DrainDevice, targets a device that
@@ -51,6 +52,12 @@ type SoakOptions struct {
 	// DrainDevice is the administratively drained device (AutoDevice
 	// picks a lease-hosting device distinct from the killed one).
 	DrainDevice int
+	// Tenants, when non-empty, labels the load: leases are deployed
+	// round-robin across the tenants (quota-checked) and every request is
+	// submitted through InferAs, so the soak drives the fair-share queue
+	// and per-tenant accounting under churn. Empty keeps the historical
+	// anonymous load.
+	Tenants []tenant.Tenant
 	// Seed drives the input generator.
 	Seed int64
 }
@@ -70,7 +77,11 @@ func DefaultSoakOptions() SoakOptions {
 		KillDevice:  AutoDevice,
 		DrainAtStep: 8,
 		DrainDevice: AutoDevice,
-		Seed:        1,
+		Tenants: []tenant.Tenant{
+			{ID: "soak-lat", Key: "soak-lat-key", Class: tenant.Latency},
+			{ID: "soak-bat", Key: "soak-bat-key", Class: tenant.Batch},
+		},
+		Seed: 1,
 	}
 }
 
@@ -115,6 +126,9 @@ type SoakResult struct {
 	TickLatencies []time.Duration `json:"tick_latencies_ns"`
 	// Devices is the final fleet snapshot.
 	Devices []DeviceInfo `json:"devices"`
+	// TenantCompleted breaks Completed down by tenant id (only populated
+	// for tenant-labeled runs). Σ TenantCompleted == Completed.
+	TenantCompleted map[string]int `json:"tenant_completed,omitempty"`
 }
 
 // TickLatencyPercentile returns the p-th percentile control-pass latency.
@@ -161,13 +175,27 @@ func RunSoak(o SoakOptions) (*SoakResult, error) {
 	clk := NewFakeClock(time.Unix(0, 0))
 	cp := New(clk, cfg, svc, dp)
 
+	if len(o.Tenants) > 0 {
+		reg, err := tenant.NewRegistry(o.Tenants...)
+		if err != nil {
+			return nil, fmt.Errorf("soak: %w", err)
+		}
+		svc.SetTenants(reg)
+		dp.SetTenants(reg)
+	}
 	var leases []*rms.Lease
+	leaseTenant := map[int]string{}
 	for i := 0; i < o.Leases; i++ {
-		l, err := svc.Deploy(o.Spec)
+		po := rms.PlaceOptions{}
+		if len(o.Tenants) > 0 {
+			po.Tenant = o.Tenants[i%len(o.Tenants)].ID
+		}
+		l, err := svc.DeployWith(o.Spec, po)
 		if err != nil {
 			return nil, fmt.Errorf("soak: deploying lease %d: %w", i, err)
 		}
 		leases = append(leases, l)
+		leaseTenant[l.ID] = l.Tenant
 	}
 	resolveVictims(&o, leases)
 	if o.DrainDevice == -1 && o.DrainAtStep >= 0 {
@@ -182,11 +210,13 @@ func RunSoak(o SoakOptions) (*SoakResult, error) {
 	res := &SoakResult{MaxDepth: 1, KilledDevice: o.KillDevice, DrainedDevice: o.DrainDevice}
 
 	var accepted, completed, failed atomic.Int64
+	var tcMu sync.Mutex
+	tenantCompleted := map[string]int{}
 	var wg sync.WaitGroup
 	for li, l := range leases {
 		for c := 0; c < o.Clients; c++ {
 			wg.Add(1)
-			go func(leaseID int, worker int) {
+			go func(leaseID int, who string, worker int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(o.Seed + int64(worker)*7919 + int64(leaseID)))
 				n := o.Requests / o.Clients
@@ -200,13 +230,18 @@ func RunSoak(o SoakOptions) (*SoakResult, error) {
 						inputs[t] = x
 					}
 					accepted.Add(1)
-					if _, err := dp.Infer(leaseID, inputs); err != nil {
+					if _, err := dp.InferAs(who, leaseID, inputs); err != nil {
 						failed.Add(1)
 					} else {
 						completed.Add(1)
+						if who != "" {
+							tcMu.Lock()
+							tenantCompleted[who]++
+							tcMu.Unlock()
+						}
 					}
 				}
-			}(l.ID, li*o.Clients+c)
+			}(l.ID, leaseTenant[l.ID], li*o.Clients+c)
 		}
 	}
 
@@ -257,6 +292,9 @@ func RunSoak(o SoakOptions) (*SoakResult, error) {
 	res.Accepted = int(accepted.Load())
 	res.Completed = int(completed.Load())
 	res.Failed = int(failed.Load())
+	if len(tenantCompleted) > 0 {
+		res.TenantCompleted = tenantCompleted
+	}
 	for _, l := range svc.Leases() {
 		res.Migrations += l.Migrations
 	}

@@ -5,7 +5,10 @@
 // mux under /debug/vars.
 package metrics
 
-import "expvar"
+import (
+	"expvar"
+	"sync/atomic"
+)
 
 // Counters snapshots every mlv_ counter by its expvar name. The
 // deterministic simulation harness (internal/simtest) diffs two snapshots
@@ -101,3 +104,101 @@ var (
 	// equivalence.
 	EquivSimRuns = expvar.NewInt("mlv_equiv_sim_runs")
 )
+
+// Multi-tenant serving counters. The per-tenant maps are keyed by tenant
+// id; they are kept out of Counters() because the simulation harness
+// checks them through TenantCounters() with its own per-tenant event
+// model, and the serving-path counters above stay tenant-blind.
+var (
+	// CapacityRejections counts HTTP requests shed for lack of capacity
+	// (503 + Retry-After: deploy with no free blocks, serving queue full,
+	// lease draining) so load-shedding is observable and clients can back
+	// off.
+	CapacityRejections = expvar.NewInt("mlv_capacity_rejections")
+
+	// TenantRequests counts admission attempts per tenant (deploys and
+	// infer submissions, accepted or not).
+	TenantRequests = expvar.NewMap("mlv_tenant_requests")
+	// TenantServed counts answered inference requests per tenant.
+	TenantServed = expvar.NewMap("mlv_tenant_infers_served")
+	// TenantRejections counts per-tenant denials: quota exceeded,
+	// in-flight cap hit, and authentication failures attributed to a
+	// claimed tenant id.
+	TenantRejections = expvar.NewMap("mlv_tenant_rejections")
+	// TenantAuthFailures counts signed-request authentication failures by
+	// claimed tenant id ("unknown" when the request named no tenant).
+	TenantAuthFailures = expvar.NewMap("mlv_tenant_auth_failures")
+	// TenantQueueDepth gauges requests waiting in the fair-share queues
+	// per tenant (+1 on enqueue, -1 when a batch collects the request).
+	TenantQueueDepth = expvar.NewMap("mlv_tenant_queue_depth")
+	// TenantBatchRiders counts micro-batch slots occupied per tenant;
+	// TenantBatches counts batches that carried at least one of the
+	// tenant's requests. Riders/Batches is the tenant's mean batch
+	// occupancy.
+	TenantBatchRiders = expvar.NewMap("mlv_tenant_batch_riders")
+	// TenantBatches counts batches carrying at least one request of the
+	// tenant (see TenantBatchRiders).
+	TenantBatches = expvar.NewMap("mlv_tenant_batches")
+)
+
+// TenantCounters snapshots every per-tenant map by expvar name, then by
+// tenant id. The simulation harness diffs two snapshots against its
+// per-tenant event model (maps are process-wide, so absolute values are
+// meaningless inside a shared test binary).
+func TenantCounters() map[string]map[string]int64 {
+	out := map[string]map[string]int64{}
+	for _, m := range []*expvar.Map{
+		TenantRequests, TenantServed, TenantRejections,
+		TenantAuthFailures, TenantQueueDepth, TenantBatchRiders, TenantBatches,
+	} {
+		byTenant := map[string]int64{}
+		m.Do(func(kv expvar.KeyValue) {
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				byTenant[kv.Key] = v.Value()
+			}
+		})
+		out[mapName(m)] = byTenant
+	}
+	return out
+}
+
+// mapName recovers the registered expvar name of one of the package's
+// tenant maps (expvar.Map does not expose its name).
+func mapName(m *expvar.Map) string {
+	switch m {
+	case TenantRequests:
+		return "mlv_tenant_requests"
+	case TenantServed:
+		return "mlv_tenant_infers_served"
+	case TenantRejections:
+		return "mlv_tenant_rejections"
+	case TenantAuthFailures:
+		return "mlv_tenant_auth_failures"
+	case TenantQueueDepth:
+		return "mlv_tenant_queue_depth"
+	case TenantBatchRiders:
+		return "mlv_tenant_batch_riders"
+	case TenantBatches:
+		return "mlv_tenant_batches"
+	}
+	return "unknown"
+}
+
+// quotaHeadroom holds the callback behind the mlv_tenant_quota_headroom
+// expvar (expvar.Publish panics on duplicate names, so the Func is
+// registered once and indirects through this swappable pointer — tests
+// and servers can install their own view without re-registering).
+var quotaHeadroom atomic.Value // of func() any
+
+func init() {
+	expvar.Publish("mlv_tenant_quota_headroom", expvar.Func(func() any {
+		if fn, ok := quotaHeadroom.Load().(func() any); ok && fn != nil {
+			return fn()
+		}
+		return map[string]any{}
+	}))
+}
+
+// SetQuotaHeadroom installs the callback that renders per-tenant quota
+// headroom (remaining leases/devices/blocks) under /debug/vars.
+func SetQuotaHeadroom(fn func() any) { quotaHeadroom.Store(fn) }

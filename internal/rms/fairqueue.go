@@ -1,0 +1,139 @@
+package rms
+
+import (
+	"sync"
+
+	"mlvfpga/internal/metrics"
+)
+
+// fairQueue is the weighted fair-share request queue feeding one lease's
+// micro-batch assembly: one FIFO per tenant, drained by deficit
+// round-robin. Each visit grants a tenant its weight in fresh deficit and
+// serves requests (cost 1 each) until the deficit or the FIFO runs out,
+// so over any window a tenant's share of batch slots converges to
+// weight/Σweights — a batch-class tenant with a deep backlog cannot push
+// a latency-class tenant's requests more than one round back.
+type fairQueue struct {
+	mu sync.Mutex
+	// ready carries one wake-up token for collectors; pushes re-arm it and
+	// takes re-arm it when requests remain.
+	ready chan struct{}
+
+	byID map[string]*tenantFIFO
+	// ring holds the tenants with queued requests in round-robin order;
+	// pos is the DRR cursor (persisted across takes so leftover deficit
+	// carries over).
+	ring []*tenantFIFO
+	pos  int
+	// resuming marks that the last take filled up mid-visit with deficit
+	// left at ring[pos]; the next take finishes that visit without
+	// re-crediting the quantum.
+	resuming bool
+	size     int
+}
+
+type tenantFIFO struct {
+	id      string
+	weight  int
+	deficit int
+	reqs    []*inferRequest
+	active  bool
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{ready: make(chan struct{}, 1), byID: map[string]*tenantFIFO{}}
+}
+
+// push enqueues a request under its tenant and wakes a collector.
+func (q *fairQueue) push(r *inferRequest) {
+	q.mu.Lock()
+	tf := q.byID[r.tenant]
+	if tf == nil {
+		tf = &tenantFIFO{id: r.tenant, weight: 1}
+		q.byID[r.tenant] = tf
+	}
+	if r.weight > 0 {
+		tf.weight = r.weight
+	}
+	tf.reqs = append(tf.reqs, r)
+	if !tf.active {
+		tf.active = true
+		q.ring = append(q.ring, tf)
+	}
+	q.size++
+	q.mu.Unlock()
+	if r.tenant != "" {
+		metrics.TenantQueueDepth.Add(r.tenant, 1)
+	}
+	q.signal()
+}
+
+func (q *fairQueue) signal() {
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// take collects up to max requests by deficit round-robin. It never
+// blocks; an empty queue returns nil. When requests remain after the
+// take, the ready token is re-armed so the next collector wakes
+// immediately.
+func (q *fairQueue) take(max int) []*inferRequest {
+	q.mu.Lock()
+	var out []*inferRequest
+	for q.size > 0 && len(out) < max {
+		if q.pos >= len(q.ring) {
+			q.pos = 0
+		}
+		tf := q.ring[q.pos]
+		if !q.resuming {
+			tf.deficit += tf.weight
+		}
+		q.resuming = false
+		for tf.deficit > 0 && len(tf.reqs) > 0 && len(out) < max {
+			r := tf.reqs[0]
+			tf.reqs = tf.reqs[1:]
+			tf.deficit--
+			q.size--
+			out = append(out, r)
+		}
+		if len(tf.reqs) == 0 {
+			// Emptied: leave the ring and forfeit leftover deficit, so an
+			// idle tenant cannot bank credit against the others.
+			tf.deficit = 0
+			tf.active = false
+			q.ring = append(q.ring[:q.pos], q.ring[q.pos+1:]...)
+			continue // pos now indexes the next tenant
+		}
+		if len(out) >= max {
+			if tf.deficit > 0 {
+				// Mid-visit cutoff: finish this tenant's quantum on the
+				// next take instead of re-crediting it.
+				q.resuming = true
+			} else {
+				q.pos++ // visit complete, next take starts the next tenant
+			}
+			break
+		}
+		q.pos++
+	}
+	remaining := q.size
+	q.mu.Unlock()
+	for _, r := range out {
+		if r.tenant != "" {
+			metrics.TenantQueueDepth.Add(r.tenant, -1)
+		}
+	}
+	if remaining > 0 {
+		q.signal()
+	}
+	return out
+}
+
+// depth reports the queued request count (LoadStats.QueueDepth).
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/tenant"
 )
 
 // Handler exposes a Service as a JSON HTTP API (the integration surface of
@@ -21,6 +23,17 @@ import (
 //
 // Handler exposes the admission API only; DataPlane.Handler adds the
 // /infer and /healthz serving endpoints.
+//
+// Behind a tenant.Guard the authenticated tenant in the request context
+// attributes deploys, gates releases (owner or admin only) and drives
+// quota and fair-share decisions. Without a guard (the -insecure server)
+// requests are anonymous.
+//
+// Error responses are uniform JSON {"error": "..."}: 405 on a wrong
+// method, 400 on malformed JSON, 404 for unknown leases, 429 +
+// Retry-After when the caller's quota or in-flight cap is spent, 503 +
+// Retry-After when the cluster is out of capacity (also counted in
+// mlv_capacity_rejections).
 func Handler(s *Service) http.Handler { return handler(s, nil) }
 
 // Handler exposes the admission API plus the serving endpoints:
@@ -30,6 +43,9 @@ func Handler(s *Service) http.Handler { return handler(s, nil) }
 //
 // /release drains the lease's engine before freeing its blocks.
 func (dp *DataPlane) Handler() http.Handler { return handler(dp.svc, dp) }
+
+// retryAfter is the backoff hint stamped on 429/503 responses.
+const retryAfter = "1"
 
 func handler(s *Service, dp *DataPlane) http.Handler {
 	mux := http.NewServeMux()
@@ -42,6 +58,22 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 	writeErr := func(w http.ResponseWriter, code int, err error) {
 		writeJSON(w, code, map[string]string{"error": err.Error()})
 	}
+	// shed answers a capacity (503) or quota (429) rejection with a
+	// Retry-After hint; 503s count in mlv_capacity_rejections so
+	// load-shedding is observable.
+	shed := func(w http.ResponseWriter, code int, err error) {
+		w.Header().Set("Retry-After", retryAfter)
+		if code == http.StatusServiceUnavailable {
+			metrics.CapacityRejections.Add(1)
+		}
+		writeErr(w, code, err)
+	}
+	// caller resolves the authenticated tenant id ("" when no guard is
+	// installed, i.e. anonymous -insecure mode).
+	caller := func(r *http.Request) (string, bool) {
+		t, _ := tenant.FromContext(r.Context())
+		return t.ID, t.Admin
+	}
 
 	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -52,9 +84,10 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 			Kind      string `json:"kind"`
 			Hidden    int    `json:"hidden"`
 			TimeSteps int    `json:"timesteps"`
+			Depth     int    `json:"depth"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
 			return
 		}
 		var kind kernels.RNNKind
@@ -71,11 +104,17 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 			writeErr(w, http.StatusBadRequest, errors.New("hidden and timesteps must be positive"))
 			return
 		}
-		lease, err := s.Deploy(kernels.LayerSpec{Kind: kind, Hidden: req.Hidden, TimeSteps: req.TimeSteps})
+		who, _ := caller(r)
+		lease, err := s.DeployWith(
+			kernels.LayerSpec{Kind: kind, Hidden: req.Hidden, TimeSteps: req.TimeSteps},
+			PlaceOptions{Depth: req.Depth, Tenant: who},
+		)
 		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			shed(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrNoCapacity):
-			writeErr(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, ErrUndeployable):
+			shed(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrUndeployable), errors.Is(err, ErrNoSuchDepth):
 			writeErr(w, http.StatusUnprocessableEntity, err)
 		case err != nil:
 			writeErr(w, http.StatusInternalServerError, err)
@@ -93,8 +132,19 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 			ID int `json:"id"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
 			return
+		}
+		// Ownership: an authenticated tenant may only release its own
+		// leases; admins may release anything. Anonymous mode (no tenant
+		// in context) keeps the historical allow-all behaviour.
+		if who, admin := caller(r); who != "" && !admin {
+			if lease, ok := s.Lease(req.ID); ok && lease.Tenant != who {
+				metrics.TenantRejections.Add(who, 1)
+				writeErr(w, http.StatusForbidden,
+					fmt.Errorf("lease %d is not owned by tenant %s", req.ID, who))
+				return
+			}
 		}
 		release := s.Release
 		if dp != nil {
@@ -112,6 +162,10 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 	})
 
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Status())
 	})
 
@@ -121,8 +175,8 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 	})
 
 	// Process-wide counters (leases, infers, batches, migrations,
-	// heartbeat misses — see internal/metrics) for operators and the
-	// cluster control plane.
+	// heartbeat misses, per-tenant maps — see internal/metrics) for
+	// operators and the cluster control plane.
 	mux.Handle("/debug/vars", expvar.Handler())
 
 	if dp != nil {
@@ -136,15 +190,18 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 				Inputs [][]float64 `json:"inputs"`
 			}
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
 				return
 			}
-			res, err := dp.Infer(req.ID, req.Inputs)
+			who, _ := caller(r)
+			res, err := dp.InferAs(who, req.ID, req.Inputs)
 			switch {
 			case errors.Is(err, ErrUnknownLease):
 				writeErr(w, http.StatusNotFound, err)
-			case errors.Is(err, ErrLeaseClosing):
-				writeErr(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, ErrTenantBusy):
+				shed(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrBusy), errors.Is(err, ErrLeaseClosing):
+				shed(w, http.StatusServiceUnavailable, err)
 			case err != nil:
 				writeErr(w, http.StatusBadRequest, err)
 			default:
@@ -154,6 +211,10 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 	}
 
 	mux.HandleFunc("/lease/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+			return
+		}
 		var id int
 		if _, err := fmt.Sscanf(r.URL.Path, "/lease/%d", &id); err != nil {
 			writeErr(w, http.StatusBadRequest, errors.New("bad lease id"))

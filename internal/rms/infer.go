@@ -10,11 +10,22 @@ import (
 	"mlvfpga/internal/accel"
 	"mlvfpga/internal/kernels"
 	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/tenant"
 )
 
 // ErrLeaseClosing is returned by Infer when the lease's engine is shutting
 // down (release or server drain).
 var ErrLeaseClosing = errors.New("rms: lease is closing")
+
+// ErrBusy is returned when a lease's serving queue is full — the cluster
+// is saturated, shed load and retry (HTTP maps this to 503 +
+// Retry-After).
+var ErrBusy = errors.New("rms: serving queue full")
+
+// ErrTenantBusy is returned when the calling tenant is at its in-flight
+// request cap — the cluster may be idle, the tenant has spent its share
+// (HTTP maps this to 429 + Retry-After).
+var ErrTenantBusy = errors.New("rms: tenant at in-flight request cap")
 
 // InferOptions tunes the online data plane.
 type InferOptions struct {
@@ -65,6 +76,11 @@ type inferRequest struct {
 	inputs   [][]float64
 	enqueued time.Time
 	resp     chan inferResponse
+	// tenant and weight drive the fair-share queue: requests are queued
+	// per tenant and drained by deficit round-robin with this DRR quantum.
+	// Anonymous requests share the "" tenant at weight 1.
+	tenant string
+	weight int
 }
 
 type inferResponse struct {
@@ -79,8 +95,14 @@ type inferEngine struct {
 	leaseID int
 	kern    *kernels.Kernel
 	opts    InferOptions
+	// faults reads the owning data plane's injected-fault flags (nil in
+	// tests that build engines directly).
+	faults func() Faults
 
-	reqs     chan *inferRequest
+	queue *fairQueue
+	// queueCap bounds admitted-but-unanswered requests; submit sheds load
+	// with ErrBusy beyond it.
+	queueCap int
 	pool     chan *accel.Machine
 	done     chan struct{}
 	loopDone chan struct{}
@@ -97,7 +119,7 @@ type inferEngine struct {
 	closed bool
 }
 
-func newInferEngine(lease *Lease, opts InferOptions) (*inferEngine, error) {
+func newInferEngine(lease *Lease, opts InferOptions, faults func() Faults) (*inferEngine, error) {
 	spec := lease.Spec
 	w := kernels.RandomWeights(spec.Kind, spec.Hidden, opts.Seed+int64(lease.ID))
 	kern, err := kernels.Build(w, spec.TimeSteps, opts.Tiles)
@@ -109,7 +131,9 @@ func newInferEngine(lease *Lease, opts InferOptions) (*inferEngine, error) {
 		leaseID:  lease.ID,
 		kern:     kern,
 		opts:     opts,
-		reqs:     make(chan *inferRequest, opts.MaxBatch*opts.Machines),
+		faults:   faults,
+		queue:    newFairQueue(),
+		queueCap: opts.MaxBatch * opts.Machines * 8,
 		pool:     make(chan *accel.Machine, opts.Machines),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -130,15 +154,19 @@ func newInferEngine(lease *Lease, opts InferOptions) (*inferEngine, error) {
 	return e, nil
 }
 
-// submit enqueues a request unless the engine is closing.
+// submit enqueues a request unless the engine is closing or the queue is
+// at its bound (load shed: ErrBusy, never block the caller).
 func (e *inferEngine) submit(req *inferRequest) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrLeaseClosing
 	}
+	if int(e.pending.Load()) >= e.queueCap {
+		return ErrBusy
+	}
 	e.pending.Add(1)
-	e.reqs <- req
+	e.queue.push(req)
 	return nil
 }
 
@@ -173,30 +201,24 @@ func (e *inferEngine) loop() {
 	}
 }
 
-// collect blocks for the first request, then greedily drains whatever else
-// is queued; a partial batch waits up to FlushDelay for co-riders. A full
-// batch flushes immediately.
+// collect blocks for the first request, then drains the fair-share queue
+// by deficit round-robin; a partial batch waits up to FlushDelay for
+// co-riders. A full batch flushes immediately. The queue's ready channel
+// carries one wake-up token re-armed whenever requests remain, so a take
+// that empties nothing (token raced a previous drain) just loops.
 func (e *inferEngine) collect() ([]*inferRequest, bool) {
-	var first *inferRequest
-	select {
-	case first = <-e.reqs:
-	case <-e.done:
-		// Graceful drain: serve what is already queued, then stop.
+	var batch []*inferRequest
+	for len(batch) == 0 {
 		select {
-		case first = <-e.reqs:
-		default:
-			return nil, false
+		case <-e.queue.ready:
+			batch = e.queue.take(e.opts.MaxBatch)
+		case <-e.done:
+			// Graceful drain: serve what is already queued, then stop.
+			batch = e.queue.take(e.opts.MaxBatch)
+			if len(batch) == 0 {
+				return nil, false
+			}
 		}
-	}
-	batch := append(make([]*inferRequest, 0, e.opts.MaxBatch), first)
-	for len(batch) < e.opts.MaxBatch {
-		select {
-		case r := <-e.reqs:
-			batch = append(batch, r)
-			continue
-		default:
-		}
-		break
 	}
 	if len(batch) >= e.opts.MaxBatch || e.opts.FlushDelay <= 0 {
 		return batch, true
@@ -205,8 +227,8 @@ func (e *inferEngine) collect() ([]*inferRequest, bool) {
 	defer timer.Stop()
 	for len(batch) < e.opts.MaxBatch {
 		select {
-		case r := <-e.reqs:
-			batch = append(batch, r)
+		case <-e.queue.ready:
+			batch = append(batch, e.queue.take(e.opts.MaxBatch-len(batch))...)
 		case <-timer.C:
 			return batch, true
 		case <-e.done:
@@ -253,6 +275,20 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 	e.served.Add(int64(len(batch)))
 	metrics.BatchesFlushed.Add(1)
 	metrics.InfersServed.Add(int64(len(batch)))
+	skipServed := e.faults != nil && e.faults().SkipTenantServedMetric
+	riders := map[string]int64{}
+	for _, req := range batch {
+		if req.tenant != "" {
+			riders[req.tenant]++
+		}
+	}
+	for id, n := range riders {
+		metrics.TenantBatchRiders.Add(id, n)
+		metrics.TenantBatches.Add(id, 1)
+		if !skipServed {
+			metrics.TenantServed.Add(id, n)
+		}
+	}
 	for _, req := range batch {
 		// EWMA of queue wait, alpha 1/4: new = old + (sample-old)/4.
 		wait := int64(started.Sub(req.enqueued))
@@ -298,6 +334,11 @@ type Faults struct {
 	// the tombstone map exists to prevent. CheckInvariants must catch the
 	// orphaned engine on the next sweep.
 	SkipReleaseTombstone bool
+	// SkipTenantServedMetric makes execute skip the per-tenant served
+	// counter — recreating the accounting-drift bug class the simtest
+	// per-tenant counter invariant exists to catch (served deltas must
+	// equal the event model's answered-request count).
+	SkipTenantServedMetric bool
 }
 
 // DataPlane serves inferences against admitted leases: per-lease machine
@@ -314,6 +355,21 @@ type DataPlane struct {
 	// an engine for a lease whose placements are already freed.
 	released map[int]bool
 	faults   Faults
+	// tenants, when set, turns on per-tenant in-flight caps and fair-share
+	// weights for InferAs.
+	tenants *tenant.Registry
+	// inflight counts each tenant's admitted-and-unanswered requests
+	// across all leases (the MaxInFlight quota gate).
+	inflight map[string]int
+}
+
+// SetTenants installs the tenant registry: InferAs resolves fair-share
+// weights and enforces MaxInFlight caps against it. A nil registry
+// restores anonymous serving.
+func (dp *DataPlane) SetTenants(reg *tenant.Registry) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	dp.tenants = reg
 }
 
 // InjectFaults arms deliberate bugs for the simulation harness.
@@ -370,7 +426,12 @@ func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
 	if opts.Tiles <= 0 {
 		opts.Tiles = 1
 	}
-	dp := &DataPlane{svc: svc, opts: opts, engines: map[int]*engineSlot{}, released: map[int]bool{}}
+	dp := &DataPlane{
+		svc: svc, opts: opts,
+		engines:  map[int]*engineSlot{},
+		released: map[int]bool{},
+		inflight: map[string]int{},
+	}
 	svc.SetDrainer(dp.drainEngine)
 	return dp
 }
@@ -406,7 +467,7 @@ func (dp *DataPlane) Load(leaseID int) (LoadStats, bool) {
 	}
 	e := slot.e
 	return LoadStats{
-		QueueDepth:   len(e.reqs),
+		QueueDepth:   e.queue.depth(),
 		InFlight:     int(e.inFlight.Load()),
 		Pending:      int(e.pending.Load()),
 		Served:       e.served.Load(),
@@ -431,7 +492,7 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 	}
 	opts := dp.opts
 	opts.Machines = machines
-	e, err := newInferEngine(lease, opts)
+	e, err := newInferEngine(lease, opts, dp.faultState)
 	if err != nil {
 		return err
 	}
@@ -458,11 +519,56 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 	return nil
 }
 
-// Infer runs the lease's layer on inputs (one vector of the layer's hidden
-// size per timestep) and returns the per-timestep hidden states. The
-// request rides a micro-batch with whatever else is in flight for the
-// lease.
+// faultState reads the injected-fault flags (passed to engines as their
+// faults accessor).
+func (dp *DataPlane) faultState() Faults {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return dp.faults
+}
+
+// Infer runs the lease's layer on inputs anonymously (see InferAs).
 func (dp *DataPlane) Infer(leaseID int, inputs [][]float64) (*InferResult, error) {
+	return dp.InferAs("", leaseID, inputs)
+}
+
+// InferAs runs the lease's layer on inputs (one vector of the layer's
+// hidden size per timestep) on behalf of tenantID and returns the
+// per-timestep hidden states. The request rides a micro-batch with
+// whatever else is in flight for the lease, scheduled by weighted fair
+// share across tenants; a tenant at its MaxInFlight cap is shed with
+// ErrTenantBusy. An empty tenantID is anonymous: weight 1, no cap.
+func (dp *DataPlane) InferAs(tenantID string, leaseID int, inputs [][]float64) (*InferResult, error) {
+	weight := 0
+	if tenantID != "" {
+		metrics.TenantRequests.Add(tenantID, 1)
+		dp.mu.Lock()
+		reg := dp.tenants
+		if reg != nil {
+			t, ok := reg.Lookup(tenantID)
+			if !ok {
+				dp.mu.Unlock()
+				metrics.TenantRejections.Add(tenantID, 1)
+				return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, tenantID)
+			}
+			if limit := t.Quotas.MaxInFlight; limit > 0 && dp.inflight[tenantID] >= limit {
+				dp.mu.Unlock()
+				metrics.TenantRejections.Add(tenantID, 1)
+				return nil, fmt.Errorf("%w: %s", ErrTenantBusy, tenantID)
+			}
+			weight = t.EffectiveWeight()
+		}
+		dp.inflight[tenantID]++
+		dp.mu.Unlock()
+		defer func() {
+			dp.mu.Lock()
+			dp.inflight[tenantID]--
+			if dp.inflight[tenantID] <= 0 {
+				delete(dp.inflight, tenantID)
+			}
+			dp.mu.Unlock()
+		}()
+	}
 	lease, ok := dp.svc.Lease(leaseID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
@@ -480,7 +586,10 @@ func (dp *DataPlane) Infer(leaseID int, inputs [][]float64) (*InferResult, error
 	if err != nil {
 		return nil, err
 	}
-	req := &inferRequest{inputs: inputs, enqueued: time.Now(), resp: make(chan inferResponse, 1)}
+	req := &inferRequest{
+		inputs: inputs, enqueued: time.Now(), resp: make(chan inferResponse, 1),
+		tenant: tenantID, weight: weight,
+	}
 	if err := e.submit(req); err != nil {
 		return nil, err
 	}
@@ -502,7 +611,7 @@ func (dp *DataPlane) engine(lease *Lease) (*inferEngine, error) {
 	}
 	dp.mu.Unlock()
 	slot.once.Do(func() {
-		slot.e, slot.err = newInferEngine(lease, dp.opts)
+		slot.e, slot.err = newInferEngine(lease, dp.opts, dp.faultState)
 		slot.ready.Store(true)
 	})
 	if slot.err != nil {

@@ -10,6 +10,7 @@ import (
 	"mlvfpga/internal/hsvital"
 	"mlvfpga/internal/kernels"
 	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/tenant"
 )
 
 // Service is the long-lived system controller of Fig. 7, exposed to the
@@ -35,6 +36,10 @@ type Service struct {
 	// compiler, when set, ensures the layer's full compilation product is
 	// in the artifact store before placement (see SetCompiler).
 	compiler *Compiler
+	// tenants, when set, turns on quota enforcement: deploys and
+	// migrations carrying a tenant id are checked against the registry's
+	// lease/device/block quotas (see SetTenants).
+	tenants *tenant.Registry
 }
 
 // Placement locates one soft block of a lease.
@@ -50,6 +55,8 @@ type Placement struct {
 // Lease is one admitted accelerator deployment.
 type Lease struct {
 	ID int `json:"id"`
+	// Tenant is the owning tenant id (empty in anonymous mode).
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the layer the accelerator serves.
 	Spec kernels.LayerSpec `json:"-"`
 	// SpecString renders the layer for API clients.
@@ -100,6 +107,16 @@ var ErrUnknownLease = errors.New("rms: unknown lease")
 // with the requested piece count for a layer.
 var ErrNoSuchDepth = errors.New("rms: no deployment at requested depth")
 
+// ErrQuotaExceeded is returned when an admission would push the tenant
+// over its lease, device or block quota. Unlike ErrNoCapacity the cluster
+// has room — the tenant has spent its share (HTTP maps this to 429).
+var ErrQuotaExceeded = errors.New("rms: tenant quota exceeded")
+
+// ErrUnknownTenant is returned when a request names a tenant the service's
+// registry does not know (only possible through the programmatic API — the
+// HTTP guard rejects unknown tenants with 401 before admission).
+var ErrUnknownTenant = errors.New("rms: unknown tenant")
+
 // NewService builds a service over a fresh cluster.
 func NewService(cluster map[string]int, db *Database) (*Service, error) {
 	if db == nil {
@@ -120,6 +137,60 @@ type PlaceOptions struct {
 	// Avoid vetoes devices for this placement, in addition to the
 	// service-wide placement filter.
 	Avoid func(fpgaID int) bool
+	// Tenant attributes the lease to a tenant id; when the service has a
+	// registry installed the tenant's quotas gate the admission. Empty
+	// means anonymous (no quota checks).
+	Tenant string
+}
+
+// SetTenants installs the tenant registry, turning on quota enforcement
+// for deploys and migrations that carry a tenant id. A nil registry
+// restores anonymous admission.
+func (s *Service) SetTenants(reg *tenant.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants = reg
+}
+
+// TenantUsage reports a tenant's currently granted resources, summed over
+// its live leases.
+func (s *Service) TenantUsage(id string) (leases, devices, blocks int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usageLocked(id, 0)
+}
+
+// usageLocked sums the tenant's grants, skipping skipLease (0 = none) so
+// migrations can cost the destination against quota without
+// double-counting the placement being vacated.
+func (s *Service) usageLocked(id string, skipLease int) (leases, devices, blocks int) {
+	for _, l := range s.leases {
+		if l.Tenant != id || l.ID == skipLease {
+			continue
+		}
+		leases++
+		devices += len(l.Placements)
+		for _, pl := range l.Placements {
+			blocks += pl.Blocks
+		}
+	}
+	return leases, devices, blocks
+}
+
+// quotaAdmits reports whether granting dep on top of the tenant's current
+// usage (minus skipLease) stays within q. MaxLeases is checked only when
+// the grant adds a lease (skipLease == 0).
+func quotaAdmits(q tenant.Quotas, leases, devices, blocks int, dep Deployment, skipLease int) bool {
+	if skipLease == 0 && q.MaxLeases > 0 && leases+1 > q.MaxLeases {
+		return false
+	}
+	if q.MaxDevices > 0 && devices+dep.NumPieces() > q.MaxDevices {
+		return false
+	}
+	if q.MaxBlocks > 0 && blocks+dep.TotalBlocks() > q.MaxBlocks {
+		return false
+	}
+	return true
 }
 
 // SetPlacementFilter installs a device veto consulted by every placement:
@@ -189,12 +260,36 @@ func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, e
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var (
+		quotas    tenant.Quotas
+		enforce   bool
+		tLeases   int
+		tDevices  int
+		tBlocks   int
+		quotaRoom bool // some depth-eligible candidate passed the quota gate
+	)
+	if po.Tenant != "" {
+		metrics.TenantRequests.Add(po.Tenant, 1)
+	}
+	if po.Tenant != "" && s.tenants != nil {
+		t, ok := s.tenants.Lookup(po.Tenant)
+		if !ok {
+			metrics.TenantRejections.Add(po.Tenant, 1)
+			return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, po.Tenant)
+		}
+		quotas, enforce = t.Quotas, true
+		tLeases, tDevices, tBlocks = s.usageLocked(po.Tenant, 0)
+	}
 	sawDepth := false
 	for _, dep := range opts {
 		if po.Depth > 0 && dep.NumPieces() != po.Depth {
 			continue
 		}
 		sawDepth = true
+		if enforce && !quotaAdmits(quotas, tLeases, tDevices, tBlocks, dep, 0) {
+			continue
+		}
+		quotaRoom = true
 		placements, ok := s.tryPlaceLocked(dep, po.Avoid)
 		if !ok {
 			continue
@@ -205,6 +300,7 @@ func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, e
 		s.nextID++
 		lease := &Lease{
 			ID:          s.nextID,
+			Tenant:      po.Tenant,
 			Spec:        spec,
 			SpecString:  spec.String(),
 			Placements:  placements,
@@ -219,6 +315,12 @@ func (s *Service) DeployWith(spec kernels.LayerSpec, po PlaceOptions) (*Lease, e
 	}
 	if po.Depth > 0 && !sawDepth {
 		return nil, fmt.Errorf("%w: %d pieces for %v", ErrNoSuchDepth, po.Depth, spec)
+	}
+	if enforce && sawDepth && !quotaRoom {
+		// Every depth-eligible deployment was quota-blocked: the cluster
+		// may have room, but this tenant has spent its share.
+		metrics.TenantRejections.Add(po.Tenant, 1)
+		return nil, fmt.Errorf("%w: %s deploying %v", ErrQuotaExceeded, po.Tenant, spec)
 	}
 	return nil, fmt.Errorf("%w: %v", ErrNoCapacity, spec)
 }
@@ -312,6 +414,26 @@ func (s *Service) Migrate(id, depth int, avoid func(fpgaID int) bool, force bool
 	}
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("%w: %d pieces for %v", ErrNoSuchDepth, depth, lease.Spec)
+	}
+	if lease.Tenant != "" && s.tenants != nil {
+		if t, ok := s.tenants.Lookup(lease.Tenant); ok {
+			// Cost the destination against quota with the migrating lease's
+			// own grants excluded, so a same-size evacuation always passes
+			// and only genuine scale-ups can be quota-blocked.
+			tl, td, tb := s.usageLocked(lease.Tenant, lease.ID)
+			kept := candidates[:0]
+			for _, dep := range candidates {
+				if quotaAdmits(t.Quotas, tl, td, tb, dep, lease.ID) {
+					kept = append(kept, dep)
+				}
+			}
+			if len(kept) == 0 {
+				metrics.TenantRejections.Add(lease.Tenant, 1)
+				return nil, fmt.Errorf("%w: migrating lease %d of %s to depth %d",
+					ErrQuotaExceeded, id, lease.Tenant, depth)
+			}
+			candidates = kept
+		}
 	}
 
 	place := func() (Deployment, []Placement, bool) {

@@ -1,0 +1,281 @@
+package rms
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/tenant"
+)
+
+func quotaRegistry(t *testing.T, tenants ...tenant.Tenant) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(tenants...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestDeployQuotaLeases(t *testing.T) {
+	svc := newService(t)
+	svc.SetTenants(quotaRegistry(t,
+		tenant.Tenant{ID: "small", Key: "k", Quotas: tenant.Quotas{MaxLeases: 2}},
+	))
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+
+	before := metrics.TenantCounters()["mlv_tenant_rejections"]["small"]
+	for i := 0; i < 2; i++ {
+		if _, err := svc.DeployWith(spec, PlaceOptions{Tenant: "small"}); err != nil {
+			t.Fatalf("deploy %d within quota: %v", i, err)
+		}
+	}
+	_, err := svc.DeployWith(spec, PlaceOptions{Tenant: "small"})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third deploy: %v, want ErrQuotaExceeded", err)
+	}
+	if got := metrics.TenantCounters()["mlv_tenant_rejections"]["small"]; got != before+1 {
+		t.Fatalf("rejection counter delta = %d, want 1", got-before)
+	}
+
+	// The cluster has plenty of room: an unconstrained tenant still fits.
+	if _, err := svc.DeployWith(spec, PlaceOptions{Tenant: ""}); err != nil {
+		t.Fatalf("anonymous deploy after quota rejection: %v", err)
+	}
+}
+
+func TestDeployQuotaBlocksAndDevices(t *testing.T) {
+	svc := newService(t)
+	svc.SetTenants(quotaRegistry(t,
+		tenant.Tenant{ID: "narrow", Key: "k", Quotas: tenant.Quotas{MaxDevices: 1}},
+		tenant.Tenant{ID: "thin", Key: "k", Quotas: tenant.Quotas{MaxBlocks: 1}},
+	))
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+
+	// A 256-LSTM fits one device, so MaxDevices=1 admits it.
+	l, err := svc.DeployWith(spec, PlaceOptions{Tenant: "narrow"})
+	if err != nil {
+		t.Fatalf("single-device deploy: %v", err)
+	}
+	if len(l.Placements) != 1 {
+		t.Fatalf("placements = %d, want 1", len(l.Placements))
+	}
+	// The second single-device lease would exceed the device quota.
+	if _, err := svc.DeployWith(spec, PlaceOptions{Tenant: "narrow"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-device deploy: %v, want ErrQuotaExceeded", err)
+	}
+	// A deployment always needs more than one block: MaxBlocks=1 can
+	// never admit anything.
+	if _, err := svc.DeployWith(spec, PlaceOptions{Tenant: "thin"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("block-starved deploy: %v, want ErrQuotaExceeded", err)
+	}
+
+	leases, devices, blocks := svc.TenantUsage("narrow")
+	if leases != 1 || devices != 1 || blocks != l.Placements[0].Blocks {
+		t.Fatalf("TenantUsage = (%d,%d,%d), want (1,1,%d)", leases, devices, blocks, l.Placements[0].Blocks)
+	}
+}
+
+func TestDeployUnknownTenant(t *testing.T) {
+	svc := newService(t)
+	svc.SetTenants(quotaRegistry(t, tenant.Tenant{ID: "a", Key: "k"}))
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	if _, err := svc.DeployWith(spec, PlaceOptions{Tenant: "ghost"}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("deploy as unknown tenant: %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestMigrateRespectsQuotaButAllowsEvacuation(t *testing.T) {
+	svc := newService(t)
+	svc.SetTenants(quotaRegistry(t,
+		tenant.Tenant{ID: "cap", Key: "k", Quotas: tenant.Quotas{MaxDevices: 1}},
+	))
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	l, err := svc.DeployWith(spec, PlaceOptions{Tenant: "cap", Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-depth migration (an evacuation) keeps usage flat: must pass
+	// even at the quota ceiling.
+	from := l.Placements[0].FPGA
+	if _, err := svc.Migrate(l.ID, 1, func(id int) bool { return id == from }, false); err != nil {
+		t.Fatalf("same-depth migration at quota ceiling: %v", err)
+	}
+	// Scaling up to two devices breaches MaxDevices=1.
+	depths, err := svc.Depths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeeper := 0
+	for _, d := range depths {
+		if d > 1 {
+			wantDeeper = d
+			break
+		}
+	}
+	if wantDeeper == 0 {
+		t.Skip("database offers no deeper deployment for this layer")
+	}
+	if _, err := svc.Migrate(l.ID, wantDeeper, nil, false); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("scale-up past device quota: %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestInferAsInFlightCap(t *testing.T) {
+	opts := DefaultInferOptions()
+	// One machine and a long flush delay so requests demonstrably pile up
+	// behind the first batch while we probe the cap.
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.FlushDelay = 50 * time.Millisecond
+	svc, dp, lease := testPlane(t, opts)
+	reg := quotaRegistry(t,
+		tenant.Tenant{ID: "capped", Key: "k", Quotas: tenant.Quotas{MaxInFlight: 2}},
+	)
+	svc.SetTenants(reg)
+	dp.SetTenants(reg)
+	inputs := testInputs(lease.Spec, 7)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			if _, err := dp.InferAs("capped", lease.ID, inputs); err != nil {
+				t.Errorf("in-cap infer: %v", err)
+			}
+		}()
+	}
+	// Occupy both in-flight slots, then probe the third.
+	dp.mu.Lock()
+	dp.inflight["capped"] = 2
+	dp.mu.Unlock()
+	before := metrics.TenantCounters()["mlv_tenant_rejections"]["capped"]
+	if _, err := dp.InferAs("capped", lease.ID, inputs); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("over-cap infer: %v, want ErrTenantBusy", err)
+	}
+	if got := metrics.TenantCounters()["mlv_tenant_rejections"]["capped"]; got != before+1 {
+		t.Fatalf("rejection delta = %d, want 1", got-before)
+	}
+	dp.mu.Lock()
+	dp.inflight["capped"] = 0
+	dp.mu.Unlock()
+	close(release)
+	wg.Wait()
+
+	// All requests answered: the in-flight table must be empty again and
+	// the served counter must cover both successes.
+	dp.mu.Lock()
+	left := len(dp.inflight)
+	dp.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("inflight table has %d stale entries", left)
+	}
+}
+
+func TestInferAsUnknownTenant(t *testing.T) {
+	svc, dp, lease := testPlane(t, DefaultInferOptions())
+	reg := quotaRegistry(t, tenant.Tenant{ID: "a", Key: "k"})
+	svc.SetTenants(reg)
+	dp.SetTenants(reg)
+	if _, err := dp.InferAs("ghost", lease.ID, testInputs(lease.Spec, 1)); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("InferAs ghost: %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestInferAsCountsTenantMetrics(t *testing.T) {
+	svc, dp, lease := testPlane(t, DefaultInferOptions())
+	reg := quotaRegistry(t, tenant.Tenant{ID: "meter", Key: "k", Class: tenant.Batch})
+	svc.SetTenants(reg)
+	dp.SetTenants(reg)
+
+	before := metrics.TenantCounters()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := dp.InferAs("meter", lease.ID, testInputs(lease.Spec, int64(i))); err != nil {
+			t.Fatalf("infer %d: %v", i, err)
+		}
+	}
+	after := metrics.TenantCounters()
+	delta := func(name string) int64 {
+		return after[name]["meter"] - before[name]["meter"]
+	}
+	if got := delta("mlv_tenant_requests"); got != n {
+		t.Errorf("requests delta = %d, want %d", got, n)
+	}
+	if got := delta("mlv_tenant_infers_served"); got != n {
+		t.Errorf("served delta = %d, want %d", got, n)
+	}
+	if got := delta("mlv_tenant_queue_depth"); got != 0 {
+		t.Errorf("queue depth delta = %d, want 0 (all answered)", got)
+	}
+	if riders := delta("mlv_tenant_batch_riders"); riders != n {
+		t.Errorf("batch riders delta = %d, want %d", riders, n)
+	}
+	if batches := delta("mlv_tenant_batches"); batches < 1 || batches > n {
+		t.Errorf("batches delta = %d, want 1..%d", batches, n)
+	}
+}
+
+func TestLeaseCarriesTenant(t *testing.T) {
+	svc := newService(t)
+	svc.SetTenants(quotaRegistry(t, tenant.Tenant{ID: "owner", Key: "k"}))
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	l, err := svc.DeployWith(spec, PlaceOptions{Tenant: "owner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := svc.Lease(l.ID)
+	if !ok || got.Tenant != "owner" {
+		t.Fatalf("lease tenant = %q, want owner", got.Tenant)
+	}
+}
+
+func TestQuotaUnenforcedWithoutRegistry(t *testing.T) {
+	svc := newService(t)
+	spec := kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 2}
+	// A tenant id without a registry is label-only: no lookup, no quota.
+	l, err := svc.DeployWith(spec, PlaceOptions{Tenant: "whoever"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Tenant != "whoever" {
+		t.Fatalf("lease tenant = %q", l.Tenant)
+	}
+}
+
+// TestSubmitShedsAtQueueBound asserts engine backpressure surfaces as
+// ErrBusy when the fair queue hits its bound.
+func TestSubmitShedsAtQueueBound(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 1
+	opts.FlushDelay = 0
+	_, dp, lease := testPlane(t, opts)
+	e, err := dp.engine(mustLease(t, dp.svc, lease.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue past its bound without running the collector (steal
+	// the pending count directly): submit must shed with ErrBusy.
+	e.pending.Store(int64(e.queueCap))
+	req := &inferRequest{inputs: testInputs(lease.Spec, 1), enqueued: time.Now(), resp: make(chan inferResponse, 1)}
+	if err := e.submit(req); !errors.Is(err, ErrBusy) {
+		t.Fatalf("submit at bound: %v, want ErrBusy", err)
+	}
+	e.pending.Store(0)
+}
+
+func mustLease(t *testing.T, svc *Service, id int) *Lease {
+	t.Helper()
+	l, ok := svc.Lease(id)
+	if !ok {
+		t.Fatalf("lease %d not found", id)
+	}
+	return l
+}

@@ -22,6 +22,7 @@ import (
 	"mlvfpga/internal/resource"
 	"mlvfpga/internal/rms"
 	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/tenant"
 )
 
 // resizeFailMsg is the distinctive error the harness's resize interceptor
@@ -45,6 +46,10 @@ const (
 	// successful migrations stop incrementing mlv_migrations. Caught by
 	// the counter-conservation invariant.
 	FaultSkipMigrationMetric Fault = "skip-migration-metric"
+	// FaultSkipTenantServed arms rms.Faults.SkipTenantServedMetric:
+	// executed batches stop crediting the per-tenant served counter.
+	// Caught by the tenant-accounting invariant.
+	FaultSkipTenantServed Fault = "skip-tenant-served-metric"
 )
 
 // Options configures one simulated run. Everything that influences the
@@ -66,6 +71,11 @@ type Options struct {
 	Control cluster.Config
 	// MaxLeases caps concurrently live leases.
 	MaxLeases int
+	// Tenants, when non-empty, installs a tenant registry on the service
+	// and data plane: every deploy and infer is attributed to a tenant
+	// drawn from the schedule, lease quotas are enforced, and the
+	// quota-conservation and tenant-accounting invariants activate.
+	Tenants []tenant.Tenant
 	// Spacing is the virtual time between schedule events; against the
 	// registry's SuspectAfter/DeadAfter windows it sets how fast killed
 	// devices decay through the health state machine.
@@ -100,8 +110,17 @@ func DefaultOptions(seed int64) Options {
 			Tiles:      1,
 			Seed:       7,
 		},
-		Control:      ctl,
-		MaxLeases:    4,
+		Control:   ctl,
+		MaxLeases: 4,
+		// Two tenants of opposite QoS class, each allowed 3 of the 4
+		// lease slots: quota rejections genuinely occur (one tenant can
+		// hold 3 while the other deploys) without starving the sim.
+		// In-flight and block quotas stay unlimited — their enforcement
+		// is timing-adjacent and belongs to the rms unit tests.
+		Tenants: []tenant.Tenant{
+			{ID: "sim-lat", Key: "sim-lat-key", Class: tenant.Latency, Quotas: tenant.Quotas{MaxLeases: 3}},
+			{ID: "sim-bat", Key: "sim-bat-key", Class: tenant.Batch, Quotas: tenant.Quotas{MaxLeases: 3}},
+		},
 		Spacing:      200 * time.Millisecond,
 		SettleSteps:  12,
 		SettlePeriod: time.Second,
@@ -117,9 +136,9 @@ type Violation struct {
 	// "placement-shape", "duplicate-device", "placement-conservation",
 	// "feasible-depth", "engine-tombstone", "counter-conservation",
 	// "batch-conservation", "golden-equivalence", "infer-served",
-	// "warm-deploy", "artifact-cache", "stranded-placement", or an
-	// *-error for an operation that failed
-	// when the model says it cannot.
+	// "warm-deploy", "artifact-cache", "stranded-placement",
+	// "quota-conservation", "tenant-accounting", or an *-error for an
+	// operation that failed when the model says it cannot.
 	Invariant string
 	Detail    string
 }
@@ -228,6 +247,18 @@ type harness struct {
 	golden  map[goldenKey]uint64
 	base    map[string]int64
 
+	// Tenant model: who owns each live lease, plus per-tenant expected
+	// counter deltas mirroring mlv_tenant_{requests,infers_served,
+	// rejections}. tenantBase snapshots the process-wide per-tenant
+	// expvars at harness birth (they are shared across runs in one test
+	// binary, so only deltas are meaningful).
+	reg             *tenant.Registry
+	leaseTenant     map[int]string
+	tenantBase      map[string]map[string]int64
+	expTenantReq    map[string]int64
+	expTenantServed map[string]int64
+	expTenantRej    map[string]int64
+
 	expInfers      int64
 	expInferEvents int64
 	expMigrations  int64
@@ -277,16 +308,29 @@ func newHarness(o Options) (*harness, error) {
 	svc.SetCompiler(rms.NewCompiler(store, rms.CompilerOptions{Parallelism: 1}))
 	dp := rms.NewDataPlane(svc, o.Infer)
 	h := &harness{
-		o:       o,
-		eng:     eng,
-		svc:     svc,
-		dp:      dp,
-		store:   store,
-		loads:   map[int]rms.LoadStats{},
-		killed:  map[int]bool{},
-		drained: map[int]bool{},
-		golden:  map[goldenKey]uint64{},
-		excused: map[int]bool{},
+		o:               o,
+		eng:             eng,
+		svc:             svc,
+		dp:              dp,
+		store:           store,
+		loads:           map[int]rms.LoadStats{},
+		killed:          map[int]bool{},
+		drained:         map[int]bool{},
+		golden:          map[goldenKey]uint64{},
+		excused:         map[int]bool{},
+		leaseTenant:     map[int]string{},
+		expTenantReq:    map[string]int64{},
+		expTenantServed: map[string]int64{},
+		expTenantRej:    map[string]int64{},
+	}
+	if len(o.Tenants) > 0 {
+		reg, rerr := tenant.NewRegistry(o.Tenants...)
+		if rerr != nil {
+			return nil, fmt.Errorf("simtest: tenant registry: %w", rerr)
+		}
+		h.reg = reg
+		svc.SetTenants(reg)
+		dp.SetTenants(reg)
 	}
 	clk := cluster.DESClock{Engine: eng, Epoch: time.Unix(0, 0).UTC()}
 	h.cp = cluster.New(clk, o.Control, svc, simPlane{h})
@@ -295,20 +339,33 @@ func newHarness(o Options) (*harness, error) {
 		dp.InjectFaults(rms.Faults{SkipReleaseTombstone: true})
 	case FaultSkipMigrationMetric:
 		h.cp.InjectFaults(cluster.Faults{SkipMigrationMetric: true})
+	case FaultSkipTenantServed:
+		dp.InjectFaults(rms.Faults{SkipTenantServedMetric: true})
 	}
 	for _, f := range svc.Status().FPGAs {
 		h.devices = append(h.devices, f.ID)
 	}
 	sort.Ints(h.devices)
-	// Counter baseline before the preamble, so the LeasesActive delta
-	// tracks len(h.live) exactly.
+	// Counter baselines before the preamble, so the LeasesActive delta
+	// tracks len(h.live) exactly and per-tenant deltas start at zero.
 	h.base = metrics.Counters()
+	h.tenantBase = metrics.TenantCounters()
 	// Preamble: two leases exist before the first event, so even a
-	// one-event minimal schedule has something to act on.
+	// one-event minimal schedule has something to act on. With tenants
+	// configured they alternate owners, so both tenants hold state from
+	// step zero.
 	for i := 0; i < 2 && i < o.MaxLeases; i++ {
-		l, err := svc.Deploy(o.Spec)
+		var po rms.PlaceOptions
+		if len(o.Tenants) > 0 {
+			po.Tenant = o.Tenants[i%len(o.Tenants)].ID
+		}
+		l, err := svc.DeployWith(o.Spec, po)
 		if err != nil {
 			return nil, fmt.Errorf("simtest: preamble deploy: %w", err)
+		}
+		if po.Tenant != "" {
+			h.expTenantReq[po.Tenant]++
+			h.leaseTenant[l.ID] = po.Tenant
 		}
 		h.live = append(h.live, l.ID)
 	}
@@ -362,6 +419,35 @@ func (h *harness) pickLive(r uint64) int {
 	return h.live[int(r%uint64(len(h.live)))]
 }
 
+// tenantFor resolves a PRNG draw to a tenant id (empty when the run is
+// tenantless). Callers pass distinct shifted views of the event's R so the
+// tenant choice does not correlate with lease or seed choices.
+func (h *harness) tenantFor(r uint64) string {
+	if len(h.o.Tenants) == 0 {
+		return ""
+	}
+	return h.o.Tenants[int(r%uint64(len(h.o.Tenants)))].ID
+}
+
+// tenantAtLeaseCap answers whether the model says the tenant has spent its
+// MaxLeases quota — the oracle the deploy path is checked against.
+func (h *harness) tenantAtLeaseCap(who string) bool {
+	if who == "" || h.reg == nil {
+		return false
+	}
+	t, ok := h.reg.Lookup(who)
+	if !ok || t.Quotas.MaxLeases <= 0 {
+		return false
+	}
+	n := 0
+	for _, id := range h.live {
+		if h.leaseTenant[id] == who {
+			n++
+		}
+	}
+	return n >= t.Quotas.MaxLeases
+}
+
 func (h *harness) exec(step int, ev Event) {
 	if h.violation != nil {
 		return // fail-stop: later events would check against a broken model
@@ -376,7 +462,7 @@ func (h *harness) exec(step int, ev Event) {
 	case EvLoad:
 		h.doLoad(step, ev.R)
 	case EvDeploy:
-		h.doDeploy(step)
+		h.doDeploy(step, ev.R)
 	case EvRelease:
 		h.doRelease(step, ev.R)
 	case EvRedeploy:
@@ -448,6 +534,11 @@ func (h *harness) doInfer(step int, r uint64) {
 		return
 	}
 	id := h.pickLive(r)
+	// The submitting tenant is drawn independently of the lease, so
+	// requests routinely ride leases owned by the other tenant — exactly
+	// the cross-tenant traffic the golden memo must prove leak-free
+	// (outputs depend on (lease, seed) alone, never on the submitter).
+	who := h.tenantFor(r >> 48)
 	n := 1 + int((r>>16)%3)
 	seeds := make([]int64, n)
 	for j := range seeds {
@@ -464,14 +555,18 @@ func (h *harness) doInfer(step int, r uint64) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[j], errs[j] = h.dp.Infer(id, inputsFor(h.o.Spec, id, seeds[j]))
+			results[j], errs[j] = h.dp.InferAs(who, id, inputsFor(h.o.Spec, id, seeds[j]))
 		}()
 	}
 	wg.Wait()
+	if who != "" {
+		// InferAs counts every attempt before shedding or serving.
+		h.expTenantReq[who] += int64(n)
+	}
 	hashes := make([]string, n)
 	for j := 0; j < n; j++ {
 		if errs[j] != nil {
-			h.fail(step, "infer-served", "lease %d seed %d: %v", id, seeds[j], errs[j])
+			h.fail(step, "infer-served", "lease %d seed %d tenant %s: %v", id, seeds[j], who, errs[j])
 			return
 		}
 		hash := hashOutputs(results[j].Outputs)
@@ -487,9 +582,12 @@ func (h *harness) doInfer(step int, r uint64) {
 			h.golden[key] = hash
 		}
 	}
+	if who != "" {
+		h.expTenantServed[who] += int64(n)
+	}
 	h.expInfers += int64(n)
 	h.expInferEvents++
-	h.tracef(step, "infer lease=%d n=%d seeds=%v out=%v", id, n, seeds, hashes)
+	h.tracef(step, "infer lease=%d tenant=%s n=%d seeds=%v out=%v", id, who, n, seeds, hashes)
 }
 
 func (h *harness) doLoad(step int, r uint64) {
@@ -503,26 +601,61 @@ func (h *harness) doLoad(step int, r uint64) {
 	h.tracef(step, "load lease=%d queue=%d", id, qd)
 }
 
-func (h *harness) doDeploy(step int) {
+func (h *harness) doDeploy(step int, r uint64) {
 	if len(h.live) >= h.o.MaxLeases {
 		h.tracef(step, "deploy noop (at cap)")
 		return
 	}
-	l, err := h.svc.Deploy(h.o.Spec)
-	if errors.Is(err, rms.ErrNoCapacity) {
-		h.tracef(step, "deploy nocap")
+	who := h.tenantFor(r >> 24)
+	l, ok := h.deployAs(step, who)
+	if !ok {
 		return
+	}
+	if l == nil {
+		h.tracef(step, "deploy shed tenant=%s", who)
+		return
+	}
+	h.tracef(step, "deploy lease=%d depth=%d tenant=%s", l.ID, l.Depth, who)
+}
+
+// deployAs runs one attributed deploy and audits the admission decision
+// against the quota model. Returns (lease, true) on admission, (nil, true)
+// on a correctly-shed attempt (quota or capacity), and (nil, false) after
+// recording a violation.
+func (h *harness) deployAs(step int, who string) (*rms.Lease, bool) {
+	atCap := h.tenantAtLeaseCap(who)
+	if who != "" {
+		h.expTenantReq[who]++
+	}
+	l, err := h.svc.DeployWith(h.o.Spec, rms.PlaceOptions{Tenant: who})
+	if errors.Is(err, rms.ErrQuotaExceeded) {
+		h.expTenantRej[who]++
+		if !atCap {
+			h.fail(step, "quota-conservation", "tenant %s shed below its lease quota: %v", who, err)
+			return nil, false
+		}
+		return nil, true
+	}
+	if errors.Is(err, rms.ErrNoCapacity) {
+		return nil, true
 	}
 	if err != nil {
 		h.fail(step, "deploy-error", "%v", err)
-		return
+		return nil, false
+	}
+	if atCap {
+		h.fail(step, "quota-conservation", "tenant %s admitted past MaxLeases as lease %d", who, l.ID)
+		return nil, false
 	}
 	if !l.WarmDeploy {
 		h.fail(step, "warm-deploy", "lease %d compiled cold with a populated artifact store", l.ID)
-		return
+		return nil, false
+	}
+	if who != "" {
+		h.leaseTenant[l.ID] = who
 	}
 	h.live = append(h.live, l.ID)
-	h.tracef(step, "deploy lease=%d depth=%d", l.ID, l.Depth)
+	return l, true
 }
 
 // doRedeploy cycles a live lease through the warm-start path: release it,
@@ -546,21 +679,19 @@ func (h *harness) doRedeploy(step int, r uint64) {
 		}
 	}
 	delete(h.loads, id)
-	l, err := h.svc.Deploy(h.o.Spec)
-	if errors.Is(err, rms.ErrNoCapacity) {
-		h.tracef(step, "redeploy out=%d nocap", id)
+	delete(h.leaseTenant, id)
+	// The replacement lease may land on a different tenant than the one
+	// released, so redeploys also churn ownership.
+	who := h.tenantFor(r >> 24)
+	l, ok := h.deployAs(step, who)
+	if !ok {
 		return
 	}
-	if err != nil {
-		h.fail(step, "deploy-error", "%v", err)
+	if l == nil {
+		h.tracef(step, "redeploy out=%d shed tenant=%s", id, who)
 		return
 	}
-	if !l.WarmDeploy {
-		h.fail(step, "warm-deploy", "redeployed lease %d compiled cold with a populated artifact store", l.ID)
-		return
-	}
-	h.live = append(h.live, l.ID)
-	h.tracef(step, "redeploy out=%d in=%d depth=%d", id, l.ID, l.Depth)
+	h.tracef(step, "redeploy out=%d in=%d depth=%d tenant=%s", id, l.ID, l.Depth, who)
 }
 
 func (h *harness) doRelease(step int, r uint64) {
@@ -580,6 +711,7 @@ func (h *harness) doRelease(step int, r uint64) {
 		}
 	}
 	delete(h.loads, id)
+	delete(h.leaseTenant, id)
 	h.tracef(step, "release lease=%d", id)
 }
 
@@ -812,6 +944,69 @@ func (h *harness) checkInvariants(step int) {
 	if err := h.dp.CheckInvariants(); err != nil {
 		h.fail(step, "engine-tombstone", "%v", err)
 		return
+	}
+
+	// Quota conservation: the service's per-tenant ownership and usage
+	// must match the model's lease-owner map exactly, and no tenant may
+	// ever hold more than any configured quota grants.
+	if h.reg != nil {
+		owned := map[string]int{}
+		for _, l := range leases {
+			if want := h.leaseTenant[l.ID]; l.Tenant != want {
+				h.fail(step, "quota-conservation",
+					"lease %d owned by %q, model says %q", l.ID, l.Tenant, want)
+				return
+			}
+			if l.Tenant != "" {
+				owned[l.Tenant]++
+			}
+		}
+		for _, t := range h.reg.List() {
+			lu, du, bu := h.svc.TenantUsage(t.ID)
+			if lu != owned[t.ID] {
+				h.fail(step, "quota-conservation",
+					"tenant %s: service reports %d leases, model owns %d", t.ID, lu, owned[t.ID])
+				return
+			}
+			if q := t.Quotas.MaxLeases; q > 0 && lu > q {
+				h.fail(step, "quota-conservation", "tenant %s holds %d leases over quota %d", t.ID, lu, q)
+				return
+			}
+			if q := t.Quotas.MaxDevices; q > 0 && du > q {
+				h.fail(step, "quota-conservation", "tenant %s holds %d devices over quota %d", t.ID, du, q)
+				return
+			}
+			if q := t.Quotas.MaxBlocks; q > 0 && bu > q {
+				h.fail(step, "quota-conservation", "tenant %s holds %d blocks over quota %d", t.ID, bu, q)
+				return
+			}
+		}
+
+		// Per-tenant counter accounting: every tenant-labelled expvar
+		// delta must equal what the attributed events predict, the fair
+		// queue must drain to zero depth between events, and nothing in
+		// the sim path may trip the auth counters (no HTTP runs here).
+		tcur := metrics.TenantCounters()
+		tdelta := func(name, id string) int64 { return tcur[name][id] - h.tenantBase[name][id] }
+		for _, t := range h.reg.List() {
+			id := t.ID
+			for _, c := range []struct {
+				name string
+				want int64
+			}{
+				{"mlv_tenant_requests", h.expTenantReq[id]},
+				{"mlv_tenant_infers_served", h.expTenantServed[id]},
+				{"mlv_tenant_rejections", h.expTenantRej[id]},
+				{"mlv_tenant_queue_depth", 0},
+				{"mlv_tenant_auth_failures", 0},
+			} {
+				if got := tdelta(c.name, id); got != c.want {
+					h.fail(step, "tenant-accounting",
+						"tenant %s: %s moved %d, events account for %d", id, c.name, got, c.want)
+					return
+				}
+			}
+		}
 	}
 
 	// Artifact-cache conservation: every run serves one spec, so the

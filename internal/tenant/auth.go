@@ -1,0 +1,216 @@
+package tenant
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/metrics"
+)
+
+// Signed-request headers. The signature is HMAC-SHA256 over the canonical
+// string
+//
+//	METHOD \n PATH \n hex(SHA256(body)) \n TIMESTAMP \n NONCE
+//
+// with the tenant's shared key, hex-encoded. TIMESTAMP is decimal unix
+// seconds and must fall within the guard's skew window; NONCE is an
+// arbitrary client-unique string replayed requests are rejected by.
+const (
+	HeaderTenant    = "X-MLV-Tenant"
+	HeaderTimestamp = "X-MLV-Timestamp"
+	HeaderNonce     = "X-MLV-Nonce"
+	HeaderSignature = "X-MLV-Signature"
+)
+
+// Sign computes the request signature a client must send (and the guard
+// recomputes): hex HMAC-SHA256 over the canonical string.
+func Sign(key []byte, method, path string, body []byte, unixTS int64, nonce string) string {
+	sum := sha256.Sum256(body)
+	mac := hmac.New(sha256.New, key)
+	fmt.Fprintf(mac, "%s\n%s\n%s\n%d\n%s", method, path, hex.EncodeToString(sum[:]), unixTS, nonce)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// SignRequest stamps the four auth headers onto an outgoing request whose
+// body bytes are supplied explicitly (the caller keeps r.Body readable).
+func SignRequest(r *http.Request, id string, key []byte, body []byte, now time.Time, nonce string) {
+	ts := now.Unix()
+	r.Header.Set(HeaderTenant, id)
+	r.Header.Set(HeaderTimestamp, strconv.FormatInt(ts, 10))
+	r.Header.Set(HeaderNonce, nonce)
+	r.Header.Set(HeaderSignature, Sign(key, r.Method, r.URL.Path, body, ts, nonce))
+}
+
+// ctxKey is the context key carrying the authenticated tenant.
+type ctxKey struct{}
+
+// WithTenant returns ctx carrying t as the authenticated caller.
+func WithTenant(ctx context.Context, t Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the authenticated tenant, if any. Handlers behind a
+// guard always see one on mutating requests; in insecure (anonymous) mode
+// ok is false.
+func FromContext(ctx context.Context) (Tenant, bool) {
+	t, ok := ctx.Value(ctxKey{}).(Tenant)
+	return t, ok
+}
+
+// GuardOptions tunes the authentication middleware.
+type GuardOptions struct {
+	// MaxSkew bounds |server time - request timestamp| (default 2m).
+	MaxSkew time.Duration
+	// MaxNonces caps one tenant's live replay-window entries (default
+	// 64k); a nonce stays rejected for 2×MaxSkew, the widest interval a
+	// timestamp inside the skew bound could be replayed over.
+	MaxNonces int
+	// AdminPrefixes are path prefixes whose mutating operations require
+	// an admin tenant (default: /cluster/).
+	AdminPrefixes []string
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Guard authenticates signed requests against a Registry and injects the
+// tenant into the request context. Read-only requests (GET, HEAD) pass
+// through unauthenticated — the mutating surface (/deploy, /release,
+// /infer, /cluster/* ops) is what the signature protects.
+type Guard struct {
+	reg  *Registry
+	opts GuardOptions
+
+	mu     sync.Mutex
+	nonces map[string]map[string]time.Time // tenant -> nonce -> expiry
+}
+
+// NewGuard builds the middleware over the registry.
+func NewGuard(reg *Registry, opts GuardOptions) *Guard {
+	if opts.MaxSkew <= 0 {
+		opts.MaxSkew = 2 * time.Minute
+	}
+	if opts.MaxNonces <= 0 {
+		opts.MaxNonces = 1 << 16
+	}
+	if len(opts.AdminPrefixes) == 0 {
+		opts.AdminPrefixes = []string{"/cluster/"}
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Guard{reg: reg, opts: opts, nonces: map[string]map[string]time.Time{}}
+}
+
+// reject answers an auth failure with a JSON error body and counts it
+// against the claimed tenant id ("unknown" when the request named none).
+func (g *Guard) reject(w http.ResponseWriter, code int, id, reason string) {
+	if id == "" {
+		id = "unknown"
+	}
+	metrics.TenantAuthFailures.Add(id, 1)
+	metrics.TenantRejections.Add(id, 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": reason})
+}
+
+// Wrap returns next behind signed-request authentication. Responses:
+//
+//	401 — missing headers, unknown tenant, timestamp outside the skew
+//	      window, replayed nonce, or signature mismatch
+//	403 — authenticated non-admin tenant on an admin-only operation
+func (g *Guard) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := r.Header.Get(HeaderTenant)
+		tsRaw := r.Header.Get(HeaderTimestamp)
+		nonce := r.Header.Get(HeaderNonce)
+		sig := r.Header.Get(HeaderSignature)
+		if id == "" || tsRaw == "" || nonce == "" || sig == "" {
+			g.reject(w, http.StatusUnauthorized, id, "missing signed-request headers")
+			return
+		}
+		t, ok := g.reg.Lookup(id)
+		if !ok {
+			g.reject(w, http.StatusUnauthorized, id, "unknown tenant")
+			return
+		}
+		ts, err := strconv.ParseInt(tsRaw, 10, 64)
+		if err != nil {
+			g.reject(w, http.StatusUnauthorized, id, "malformed timestamp")
+			return
+		}
+		now := g.opts.Now()
+		if skew := now.Sub(time.Unix(ts, 0)); skew > g.opts.MaxSkew || skew < -g.opts.MaxSkew {
+			g.reject(w, http.StatusUnauthorized, id, "timestamp outside allowed clock skew")
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			g.reject(w, http.StatusUnauthorized, id, "unreadable body")
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		want := Sign([]byte(t.Key), r.Method, r.URL.Path, body, ts, nonce)
+		// Constant-time compare: the hex strings have fixed length, so the
+		// comparison leaks nothing about where a forgery diverges.
+		if !hmac.Equal([]byte(want), []byte(sig)) {
+			g.reject(w, http.StatusUnauthorized, id, "bad signature")
+			return
+		}
+		if !g.admitNonce(id, nonce, now) {
+			g.reject(w, http.StatusUnauthorized, id, "replayed nonce")
+			return
+		}
+		if !t.Admin {
+			for _, p := range g.opts.AdminPrefixes {
+				if len(r.URL.Path) >= len(p) && r.URL.Path[:len(p)] == p {
+					g.reject(w, http.StatusForbidden, id, "admin tenant required")
+					return
+				}
+			}
+		}
+		next.ServeHTTP(w, r.WithContext(WithTenant(r.Context(), t)))
+	})
+}
+
+// admitNonce records the nonce inside its replay window, rejecting
+// repeats. Expired entries are pruned opportunistically; a tenant's
+// window is additionally capped at MaxNonces live entries, oldest-expiry
+// pruned first (a full window rejects rather than forgets).
+func (g *Guard) admitNonce(id, nonce string, now time.Time) bool {
+	window := 2 * g.opts.MaxSkew
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := g.nonces[id]
+	if seen == nil {
+		seen = map[string]time.Time{}
+		g.nonces[id] = seen
+	}
+	for n, exp := range seen {
+		if now.After(exp) {
+			delete(seen, n)
+		}
+	}
+	if exp, dup := seen[nonce]; dup && !now.After(exp) {
+		return false
+	}
+	if len(seen) >= g.opts.MaxNonces {
+		return false
+	}
+	seen[nonce] = now.Add(window)
+	return true
+}

@@ -1,0 +1,251 @@
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/metrics"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := NewRegistry(
+		Tenant{ID: "alice", Key: "alice-secret", Class: Latency, Admin: true},
+		Tenant{ID: "bob", Key: "bob-secret", Class: Batch},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// echoTenant answers 200 with the authenticated tenant id (or "anon").
+var echoTenant = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	id := "anon"
+	if t, ok := FromContext(r.Context()); ok {
+		id = t.ID
+	}
+	_, _ = w.Write([]byte(id))
+})
+
+// signedReq builds a correctly signed POST for the given tenant.
+func signedReq(id, key, path string, body []byte, now time.Time, nonce string) *http.Request {
+	r := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	SignRequest(r, id, []byte(key), body, now, nonce)
+	return r
+}
+
+func authFailures(id string) int64 {
+	return metrics.TenantCounters()["mlv_tenant_auth_failures"][id]
+}
+
+func TestGuardAcceptsSignedRequest(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	g := NewGuard(testRegistry(t), GuardOptions{Now: func() time.Time { return now }})
+	h := g.Wrap(echoTenant)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("bob", "bob-secret", "/infer", []byte(`{"id":1}`), now, "n1"))
+	if w.Code != http.StatusOK || w.Body.String() != "bob" {
+		t.Fatalf("signed request: code %d body %q", w.Code, w.Body.String())
+	}
+
+	// GET passes through unauthenticated.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/status", nil))
+	if w.Code != http.StatusOK || w.Body.String() != "anon" {
+		t.Fatalf("GET passthrough: code %d body %q", w.Code, w.Body.String())
+	}
+}
+
+func TestGuardAdmin(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	g := NewGuard(testRegistry(t), GuardOptions{Now: func() time.Time { return now }})
+	h := g.Wrap(echoTenant)
+
+	// Non-admin on an admin prefix: authenticated but forbidden.
+	before := authFailures("bob")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("bob", "bob-secret", "/cluster/kill", []byte(`{"id":0}`), now, "n-admin-1"))
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("non-admin /cluster/kill: code %d, want 403", w.Code)
+	}
+	if got := authFailures("bob"); got != before+1 {
+		t.Fatalf("auth failure counter delta = %d, want 1", got-before)
+	}
+
+	// Admin passes.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("alice", "alice-secret", "/cluster/kill", []byte(`{"id":0}`), now, "n-admin-2"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("admin /cluster/kill: code %d, want 200", w.Code)
+	}
+}
+
+func TestGuardRejections(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	g := NewGuard(testRegistry(t), GuardOptions{Now: func() time.Time { return now }})
+	h := g.Wrap(echoTenant)
+	body := []byte(`{"id":1}`)
+
+	cases := []struct {
+		name    string
+		build   func() *http.Request
+		code    int
+		counted string // tenant id the failure is attributed to
+	}{
+		{
+			name: "missing headers",
+			build: func() *http.Request {
+				return httptest.NewRequest(http.MethodPost, "/deploy", bytes.NewReader(body))
+			},
+			code:    http.StatusUnauthorized,
+			counted: "unknown",
+		},
+		{
+			name: "unknown tenant",
+			build: func() *http.Request {
+				return signedReq("mallory", "whatever", "/deploy", body, now, "n1")
+			},
+			code:    http.StatusUnauthorized,
+			counted: "mallory",
+		},
+		{
+			name: "expired timestamp",
+			build: func() *http.Request {
+				stale := now.Add(-3 * time.Minute)
+				return signedReq("bob", "bob-secret", "/deploy", body, stale, "n2")
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+		{
+			name: "future timestamp",
+			build: func() *http.Request {
+				ahead := now.Add(3 * time.Minute)
+				return signedReq("bob", "bob-secret", "/deploy", body, ahead, "n3")
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+		{
+			name: "malformed timestamp",
+			build: func() *http.Request {
+				r := signedReq("bob", "bob-secret", "/deploy", body, now, "n4")
+				r.Header.Set(HeaderTimestamp, "yesterday")
+				return r
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+		{
+			name: "tampered body",
+			build: func() *http.Request {
+				r := signedReq("bob", "bob-secret", "/deploy", body, now, "n5")
+				r.Body = httptest.NewRequest(http.MethodPost, "/deploy",
+					bytes.NewReader([]byte(`{"id":999}`))).Body
+				return r
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+		{
+			name: "wrong key",
+			build: func() *http.Request {
+				return signedReq("bob", "not-bobs-key", "/deploy", body, now, "n6")
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+		{
+			name: "signature for another path",
+			build: func() *http.Request {
+				r := signedReq("bob", "bob-secret", "/deploy", body, now, "n7")
+				r2 := httptest.NewRequest(http.MethodPost, "/release", bytes.NewReader(body))
+				r2.Header = r.Header
+				return r2
+			},
+			code:    http.StatusUnauthorized,
+			counted: "bob",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := authFailures(tc.counted)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, tc.build())
+			if w.Code != tc.code {
+				t.Fatalf("code %d, want %d (body %s)", w.Code, tc.code, w.Body.String())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("rejection body %q is not a JSON error", w.Body.String())
+			}
+			if got := authFailures(tc.counted); got != before+1 {
+				t.Fatalf("auth failures for %s: delta %d, want 1", tc.counted, got-before)
+			}
+		})
+	}
+}
+
+func TestGuardReplayedNonce(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	g := NewGuard(testRegistry(t), GuardOptions{Now: func() time.Time { return now }})
+	h := g.Wrap(echoTenant)
+	body := []byte(`{"id":1}`)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("bob", "bob-secret", "/infer", body, now, "replay-me"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("first use: code %d", w.Code)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("bob", "bob-secret", "/infer", body, now, "replay-me"))
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("replay: code %d, want 401", w.Code)
+	}
+
+	// Past the replay window (2×MaxSkew) the nonce may be reused — the
+	// timestamp check is what rejects the stale original by then.
+	now = now.Add(5 * time.Minute)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, signedReq("bob", "bob-secret", "/infer", body, now, "replay-me"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-window reuse: code %d, want 200 (body %s)", w.Code, w.Body.String())
+	}
+}
+
+func TestGuardNonceCap(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	g := NewGuard(testRegistry(t), GuardOptions{MaxNonces: 2, Now: func() time.Time { return now }})
+	h := g.Wrap(echoTenant)
+	body := []byte(`{}`)
+	for i, want := range []int{200, 200, 401} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, signedReq("bob", "bob-secret", "/infer", body, now, "cap-"+strconv.Itoa(i)))
+		if w.Code != want {
+			t.Fatalf("request %d: code %d, want %d", i, w.Code, want)
+		}
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	a := Sign([]byte("k"), "POST", "/deploy", []byte("b"), 42, "n")
+	b := Sign([]byte("k"), "POST", "/deploy", []byte("b"), 42, "n")
+	if a != b {
+		t.Fatal("Sign is not deterministic")
+	}
+	if a == Sign([]byte("k2"), "POST", "/deploy", []byte("b"), 42, "n") {
+		t.Fatal("key does not affect signature")
+	}
+	if a == Sign([]byte("k"), "POST", "/deploy", []byte("b"), 43, "n") {
+		t.Fatal("timestamp does not affect signature")
+	}
+}

@@ -1,0 +1,113 @@
+package tenant
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClassJSONRoundTrip(t *testing.T) {
+	for _, c := range []Class{Latency, Batch} {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back Class
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != c {
+			t.Fatalf("round trip %v -> %s -> %v", c, b, back)
+		}
+	}
+	var c Class
+	if err := json.Unmarshal([]byte(`"interactive"`), &c); err == nil {
+		t.Fatal("unknown class name accepted")
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	cases := []struct {
+		t    Tenant
+		want int
+	}{
+		{Tenant{Class: Latency}, 8},
+		{Tenant{Class: Batch}, 1},
+		{Tenant{Class: Batch, Weight: 3}, 3},
+		{Tenant{Class: Latency, Weight: 2}, 2},
+	}
+	for _, c := range cases {
+		if got := c.t.EffectiveWeight(); got != c.want {
+			t.Errorf("EffectiveWeight(%+v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(Tenant{ID: "", Key: "k"}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := NewRegistry(Tenant{ID: "a", Key: ""}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := NewRegistry(Tenant{ID: "a", Key: "k"}, Tenant{ID: "a", Key: "k2"}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	reg, err := NewRegistry(Tenant{ID: "b", Key: "k"}, Tenant{ID: "a", Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("a"); !ok {
+		t.Fatal("lookup a failed")
+	}
+	if _, ok := reg.Lookup("zzz"); ok {
+		t.Fatal("lookup of unknown id succeeded")
+	}
+	got := reg.List()
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("List() = %+v, want sorted [a b]", got)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`[
+		{"id":"alice","key":"s1","class":"latency","admin":true,
+		 "quotas":{"max_leases":2,"max_in_flight":8}},
+		{"id":"bob","key":"s2","class":"batch"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadFile(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, ok := reg.Lookup("alice")
+	if !ok || !alice.Admin || alice.Quotas.MaxLeases != 2 || alice.Quotas.MaxInFlight != 8 {
+		t.Fatalf("alice = %+v", alice)
+	}
+	if bob, _ := reg.Lookup("bob"); bob.Class != Batch {
+		t.Fatalf("bob class = %v, want batch", bob.Class)
+	}
+
+	wrapped := filepath.Join(dir, "wrapped.json")
+	if err := os.WriteFile(wrapped, []byte(`{"tenants":[{"id":"c","key":"s"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(wrapped); err != nil {
+		t.Fatalf("wrapped form: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(empty); err == nil {
+		t.Fatal("empty tenant file accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

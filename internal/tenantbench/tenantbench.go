@@ -1,0 +1,233 @@
+// Package tenantbench measures multi-tenant fairness in the micro-batching
+// data plane for cmd/mlv-bench-tenant, which records the numbers into
+// BENCH_tenant.json. The scenario is the QoS contract's worst case: one
+// batch-class tenant keeps a standing backlog against a shared lease while
+// one latency-class tenant sends a steady trickle of single requests. The
+// deficit-round-robin fair queue weights the latency class 8:1, so a
+// latency probe should never wait behind more than the batch already
+// executing — its p99 under contention must stay within a small factor of
+// its solo-run p99.
+package tenantbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+	"mlvfpga/internal/tenant"
+)
+
+// Options sizes one fairness run.
+type Options struct {
+	// Probes is the number of timed latency-tenant requests per phase.
+	Probes int
+	// Warmup requests run (and are discarded) before timing starts.
+	Warmup int
+	// Flood is the batch tenant's closed-loop worker count in the mixed
+	// phase; together with the workers' immediate resubmission it keeps a
+	// standing backlog in the fair queue.
+	Flood int
+	// MaxInFlight caps the batch tenant, bounding its backlog so the
+	// run's latency tail reflects scheduling policy, not queue length.
+	MaxInFlight int
+	// Spec is the layer the shared lease serves.
+	Spec kernels.LayerSpec
+	// Infer tunes the data plane under test.
+	Infer rms.InferOptions
+}
+
+// DefaultOptions is the recorded configuration: a small LSTM lease, one
+// machine, micro-batches of 4, and a 4-worker batch flood capped at 8
+// in flight.
+func DefaultOptions() Options {
+	return Options{
+		Probes:      300,
+		Warmup:      20,
+		Flood:       4,
+		MaxInFlight: 8,
+		Spec:        kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 64, TimeSteps: 2},
+		Infer: rms.InferOptions{
+			MaxBatch:   4,
+			FlushDelay: 500 * time.Microsecond,
+			Machines:   1,
+			Tiles:      1,
+			Seed:       11,
+		},
+	}
+}
+
+// Phase is one measured phase's latency distribution for the latency
+// tenant, plus the batch tenant's concurrent progress.
+type Phase struct {
+	Probes         int     `json:"probes"`
+	P50Us          float64 `json:"p50_us"`
+	P90Us          float64 `json:"p90_us"`
+	P99Us          float64 `json:"p99_us"`
+	MaxUs          float64 `json:"max_us"`
+	BatchCompleted int     `json:"batch_completed"`
+	BatchPerSec    float64 `json:"batch_per_sec,omitempty"`
+}
+
+// Result is one fairness run.
+type Result struct {
+	Solo  Phase `json:"solo"`
+	Mixed Phase `json:"mixed"`
+	// P99Ratio is Mixed.P99Us / Solo.P99Us — the number the 2x fairness
+	// bound is asserted against.
+	P99Ratio float64 `json:"p99_ratio"`
+	// BatchOccupancy is the batch tenant's mean riders per batch during
+	// the mixed phase (how full its share of the micro-batches ran).
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	// BatchRejections counts ErrTenantBusy sheds the flood absorbed.
+	BatchRejections int64 `json:"batch_rejections"`
+}
+
+// Run executes the solo phase (latency tenant alone) then the mixed phase
+// (batch flood + latency probes) against one shared lease and returns the
+// distributions. The caller asserts the fairness bound.
+func Run(o Options) (*Result, error) {
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(resource.PaperCluster(), db)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := tenant.NewRegistry(
+		tenant.Tenant{ID: "lat", Key: "lat-key", Class: tenant.Latency},
+		tenant.Tenant{ID: "bat", Key: "bat-key", Class: tenant.Batch,
+			Quotas: tenant.Quotas{MaxInFlight: o.MaxInFlight}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	svc.SetTenants(reg)
+	dp := rms.NewDataPlane(svc, o.Infer)
+	defer dp.Close()
+	dp.SetTenants(reg)
+
+	lease, err := svc.DeployWith(o.Spec, rms.PlaceOptions{Tenant: "lat"})
+	if err != nil {
+		return nil, fmt.Errorf("tenantbench: deploy: %w", err)
+	}
+
+	// A small pool of pre-built inputs; both tenants share the lease, the
+	// batch flood cycles the pool.
+	inputs := make([][][]float64, 8)
+	for i := range inputs {
+		inputs[i] = randInputs(o.Spec, int64(i)+1)
+	}
+
+	res := &Result{}
+	base := metrics.TenantCounters()
+	solo, err := measure(dp, lease.ID, o, inputs, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Solo = solo
+	mixed, err := measure(dp, lease.ID, o, inputs, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Mixed = mixed
+	if solo.P99Us > 0 {
+		res.P99Ratio = mixed.P99Us / solo.P99Us
+	}
+	cur := metrics.TenantCounters()
+	tdelta := func(name string) int64 { return cur[name]["bat"] - base[name]["bat"] }
+	if batches := tdelta("mlv_tenant_batches"); batches > 0 {
+		res.BatchOccupancy = float64(tdelta("mlv_tenant_batch_riders")) / float64(batches)
+	}
+	res.BatchRejections = tdelta("mlv_tenant_rejections")
+	return res, nil
+}
+
+// measure times Warmup+Probes sequential latency-tenant requests; with
+// flood set, Flood batch-tenant workers resubmit continuously for the
+// whole phase (a shed worker backs off briefly instead of spinning).
+func measure(dp *rms.DataPlane, leaseID int, o Options, inputs [][][]float64, flood bool) (Phase, error) {
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int
+	)
+	if flood {
+		for w := 0; w < o.Flood; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := w; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := dp.InferAs("bat", leaseID, inputs[i%len(inputs)]); err != nil {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+
+	lat := make([]time.Duration, 0, o.Probes)
+	started := time.Now()
+	for i := 0; i < o.Warmup+o.Probes; i++ {
+		t0 := time.Now()
+		if _, err := dp.InferAs("lat", leaseID, inputs[i%len(inputs)]); err != nil {
+			close(stop)
+			wg.Wait()
+			return Phase{}, fmt.Errorf("tenantbench: latency probe %d: %w", i, err)
+		}
+		if i >= o.Warmup {
+			lat = append(lat, time.Since(t0))
+		}
+	}
+	elapsed := time.Since(started)
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Microsecond)
+	}
+	ph := Phase{
+		Probes:         len(lat),
+		P50Us:          pct(0.50),
+		P90Us:          pct(0.90),
+		P99Us:          pct(0.99),
+		MaxUs:          pct(1.0),
+		BatchCompleted: completed,
+	}
+	if flood && elapsed > 0 {
+		ph.BatchPerSec = float64(completed) / elapsed.Seconds()
+	}
+	return ph, nil
+}
+
+// randInputs derives a deterministic input tensor for the layer shape.
+func randInputs(spec kernels.LayerSpec, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]float64, spec.TimeSteps)
+	for t := range in {
+		v := make([]float64, spec.Hidden)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		in[t] = v
+	}
+	return in
+}

@@ -1,0 +1,40 @@
+package tenantbench
+
+import "testing"
+
+// TestRunSmoke runs a miniature fairness measurement end to end: both
+// phases complete, distributions are populated and ordered, and the batch
+// flood made progress during the mixed phase. The 2x fairness bound is
+// asserted by cmd/mlv-bench-tenant when recording BENCH_tenant.json, not
+// here — wall-clock ratios on a loaded CI box are not a unit-test fact.
+func TestRunSmoke(t *testing.T) {
+	o := DefaultOptions()
+	o.Probes = 30
+	o.Warmup = 5
+	o.Flood = 2
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ph := range map[string]Phase{"solo": res.Solo, "mixed": res.Mixed} {
+		if ph.Probes != o.Probes {
+			t.Errorf("%s probes = %d, want %d", name, ph.Probes, o.Probes)
+		}
+		if ph.P50Us <= 0 || ph.P99Us < ph.P50Us || ph.MaxUs < ph.P99Us {
+			t.Errorf("%s distribution out of order: p50=%.0f p99=%.0f max=%.0f",
+				name, ph.P50Us, ph.P99Us, ph.MaxUs)
+		}
+	}
+	if res.Solo.BatchCompleted != 0 {
+		t.Errorf("solo phase recorded %d batch completions, want 0", res.Solo.BatchCompleted)
+	}
+	if res.Mixed.BatchCompleted == 0 {
+		t.Error("batch flood made no progress during the mixed phase")
+	}
+	if res.P99Ratio <= 0 {
+		t.Errorf("p99 ratio = %v", res.P99Ratio)
+	}
+	if res.BatchOccupancy <= 0 {
+		t.Errorf("batch occupancy = %v", res.BatchOccupancy)
+	}
+}
