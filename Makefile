@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-cluster bench-compile bench-tenant lint soak fuzz simtest repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-infer-smoke bench-cluster bench-compile bench-tenant lint soak fuzz simtest repro examples clean
 
 all: check
 
@@ -31,6 +31,12 @@ bench:
 bench-infer:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferSteadyState|BenchmarkInferBatched|BenchmarkServeConcurrent' -benchmem .
 	$(GO) run ./cmd/mlv-bench-infer
+
+# CI smoke: a tiny open-loop Poisson A/B of the flush vs continuous
+# serving planes. The binary self-validates its JSON report and exits
+# non-zero on a malformed file, so this doubles as the report-format gate.
+bench-infer-smoke:
+	$(GO) run ./cmd/mlv-bench-infer -smoke -o /tmp/bench_infer_smoke.json
 
 # Run the cluster soak + registry benchmarks and refresh BENCH_cluster.json.
 bench-cluster:

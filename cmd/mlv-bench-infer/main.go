@@ -1,13 +1,16 @@
 // mlv-bench-infer measures the online data plane's hot paths and writes
 // BENCH_infer.json: steady-state single-stream inference, batched
-// (RunBatch) inference, and the concurrent HTTP serving path. The "pre"
-// section holds the numbers recorded on the allocation-per-instruction,
-// quantize-every-m_rd engine this PR replaced, measured on the same layer
-// shape (LSTM h=256 t=8, 2 tiles) and host class.
+// (RunBatch) inference, the concurrent HTTP serving path, and an
+// open-loop Poisson A/B of the flush vs continuous batching planes. The
+// "pre" section holds the numbers recorded on the
+// allocation-per-instruction, quantize-every-m_rd engine an earlier PR
+// replaced, measured on the same layer shape (LSTM h=256 t=8, 2 tiles)
+// and host class.
 //
 // Usage:
 //
 //	mlv-bench-infer [-o BENCH_infer.json]
+//	mlv-bench-infer -smoke -o /tmp/bench.json   # CI: small open-loop only
 package main
 
 import (
@@ -45,6 +48,18 @@ var pre = []inferbench.Result{
 	},
 }
 
+// openLoopSection is the flush-vs-continuous A/B under one offered load.
+type openLoopSection struct {
+	Layer      string                     `json:"layer"`
+	LengthMix  string                     `json:"length_mix"`
+	Flush      *inferbench.OpenLoopResult `json:"flush"`
+	Continuous *inferbench.OpenLoopResult `json:"continuous"`
+	// ThroughputRatio is continuous/flush achieved RPS; P99Ratio is
+	// continuous/flush p99 latency (< 1 means continuous is better).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	P99Ratio        float64 `json:"p99_ratio"`
+}
+
 type report struct {
 	Recorded string              `json:"recorded"`
 	Host     benchhost.Info      `json:"host"`
@@ -57,11 +72,105 @@ type report struct {
 		BatchedSpeedup     float64 `json:"batched_speedup_vs_pre_sequential"`
 		BatchVsSingle      float64 `json:"batched_vs_post_single_stream"`
 	} `json:"summary"`
+	OpenLoop *openLoopSection `json:"open_loop,omitempty"`
+}
+
+func runOpenLoop(cfg inferbench.OpenLoopConfig) *openLoopSection {
+	sec := &openLoopSection{
+		Layer:     fmt.Sprintf("LSTM h=%d t=%d, %d tiles, %d machines x %d slots", cfg.Hidden, cfg.TimeSteps, cfg.Tiles, cfg.Machines, cfg.MaxBatch),
+		LengthMix: "4 of 5 requests 1-2 timesteps, 1 of 5 full window",
+	}
+	for _, flush := range []bool{true, false} {
+		cfg.Flush = flush
+		plane := "continuous"
+		if flush {
+			plane = "flush"
+		}
+		fmt.Printf("mlv-bench-infer: open-loop %s plane (%d connections, %d requests @ %.0f rps)...\n",
+			plane, cfg.Connections, cfg.Requests, cfg.Rate)
+		res, err := inferbench.OpenLoop(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  served %d shed %d: %.0f rps, p50 %.2fms p99 %.2fms, mean occupancy %.2f\n",
+			res.Served, res.Shed, res.AchievedRPS, res.P50Ms, res.P99Ms, res.MeanOccupancy)
+		if flush {
+			sec.Flush = res
+		} else {
+			sec.Continuous = res
+		}
+	}
+	sec.ThroughputRatio = round2(sec.Continuous.AchievedRPS / sec.Flush.AchievedRPS)
+	if sec.Flush.P99Ms > 0 {
+		sec.P99Ratio = round2(sec.Continuous.P99Ms / sec.Flush.P99Ms)
+	}
+	return sec
+}
+
+func writeReport(r *report, out string) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	// Self-validate: the file must round-trip as JSON (the CI smoke job
+	// relies on a non-zero exit to catch a malformed report).
+	back, err := os.ReadFile(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var check report
+	if err := json.Unmarshal(back, &check); err != nil {
+		log.Fatalf("mlv-bench-infer: wrote invalid JSON to %s: %v", out, err)
+	}
 }
 
 func main() {
 	out := flag.String("o", "BENCH_infer.json", "output file")
+	smoke := flag.Bool("smoke", false, "CI mode: run only a small open-loop A/B and validate the JSON output")
+	conns := flag.Int("open-connections", 10000, "open-loop client connections")
+	reqs := flag.Int("open-requests", 25000, "open-loop total requests")
+	rate := flag.Float64("open-rate", 3400, "open-loop offered load, requests/second")
 	flag.Parse()
+
+	cfg := inferbench.SmokeOpenLoopConfig(false)
+	if !*smoke {
+		cfg.Connections = *conns
+		cfg.Requests = *reqs
+		cfg.Rate = *rate
+		cfg.Machines = 4
+	} else {
+		// Smoke keeps its tiny defaults, but explicit -open-* flags still
+		// apply so the scale is tunable without the full micro-bench pass.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "open-connections":
+				cfg.Connections = *conns
+			case "open-requests":
+				cfg.Requests = *reqs
+			case "open-rate":
+				cfg.Rate = *rate
+			}
+		})
+	}
+
+	var r report
+	r.Recorded = time.Now().UTC().Format("2006-01-02")
+	r.Command = "go run ./cmd/mlv-bench-infer"
+	r.Layer = "LSTM h=256 t=8, 2 tiles (ServeConcurrent: GRU h=512 t=1)"
+	r.Pre = pre
+
+	if *smoke {
+		r.Command = "go run ./cmd/mlv-bench-infer -smoke"
+		r.Host = benchhost.Collect("smoke run: tiny open-loop only, numbers are not comparable")
+		r.OpenLoop = runOpenLoop(cfg)
+		writeReport(&r, *out)
+		fmt.Printf("mlv-bench-infer: smoke ok, throughput ratio %.2fx, wrote %s\n",
+			r.OpenLoop.ThroughputRatio, *out)
+		return
+	}
 
 	fmt.Println("mlv-bench-infer: measuring steady-state single-stream inference...")
 	steady := inferbench.Measure("InferSteadyState", 1, inferbench.InferSteadyState,
@@ -79,26 +188,16 @@ func main() {
 		"GRU h=512 t=1 lease, parallel clients, micro-batching engine")
 	fmt.Printf("  %.0f ns/op end-to-end per request\n", serve.NsPerOp)
 
-	var r report
-	r.Recorded = time.Now().UTC().Format("2006-01-02")
-	r.Host = benchhost.Collect("pre numbers were recorded on the same single-CPU container class; compare ratios, not absolute ns")
-	r.Command = "go run ./cmd/mlv-bench-infer"
-	r.Layer = "LSTM h=256 t=8, 2 tiles (ServeConcurrent: GRU h=512 t=1)"
-	r.Pre = pre
+	r.Host = benchhost.Collect("pre numbers were recorded on the same single-CPU container class; compare ratios, not absolute ns. When gomaxprocs exceeds hardware_cpus the sharded scheduler runs timesliced, so the open-loop A/B measures scheduling behavior, not parallel silicon speedup")
 	r.Post = []inferbench.Result{steady, batched, serve}
 	r.Summary.SteadyStateSpeedup = round2(pre[0].NsPerOp / steady.NsPerOp)
 	r.Summary.BatchedSpeedup = round2(pre[1].NsPerOp / batched.NsPerOp)
 	r.Summary.BatchVsSingle = round2(steady.NsPerOp * float64(inferbench.BatchStreams) / batched.NsPerOp)
+	r.OpenLoop = runOpenLoop(cfg)
 
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("mlv-bench-infer: steady-state %.1fx, batched %.1fx vs sequential pre; wrote %s\n",
-		r.Summary.SteadyStateSpeedup, r.Summary.BatchedSpeedup, *out)
+	writeReport(&r, *out)
+	fmt.Printf("mlv-bench-infer: steady-state %.1fx, batched %.1fx vs sequential pre; open-loop %.2fx throughput; wrote %s\n",
+		r.Summary.SteadyStateSpeedup, r.Summary.BatchedSpeedup, r.OpenLoop.ThroughputRatio, *out)
 }
 
 func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

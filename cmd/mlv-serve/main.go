@@ -37,8 +37,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -55,9 +57,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	restricted := flag.Bool("restricted", false, "use the same-type-only runtime policy")
-	maxBatch := flag.Int("max-batch", 8, "largest inference micro-batch")
-	flushDelay := flag.Duration("flush-delay", 500*time.Microsecond, "partial-batch flush deadline")
+	maxBatch := flag.Int("max-batch", 8, "largest inference micro-batch (continuous plane: per-machine slot count)")
+	flushDelay := flag.Duration("flush-delay", 500*time.Microsecond, "partial-batch flush deadline (flush plane only)")
 	machines := flag.Int("machines", 2, "per-lease machine pool size")
+	flushPlane := flag.Bool("flush-plane", false, "serve with the legacy flush-and-wait micro-batching engine instead of continuous batching")
+	shards := flag.Int("shards", 0, "continuous plane scheduler shards per lease (0 = GOMAXPROCS, capped at -machines)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this private address (empty = disabled); enables mutex and block profiling")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "simulated device heartbeat interval")
 	tick := flag.Duration("tick", time.Second, "control-plane tick interval (0 disables the loop)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed compilation cache directory (empty = in-memory for this process); known designs warm-start deploys")
@@ -90,7 +95,35 @@ func main() {
 	opts.MaxBatch = *maxBatch
 	opts.FlushDelay = *flushDelay
 	opts.Machines = *machines
+	opts.Flush = *flushPlane
+	opts.Shards = *shards
 	dp := rms.NewDataPlane(svc, opts)
+
+	// Opt-in profiling on a separate, private listener: the serving mux
+	// never exposes pprof, so an operator can bind this to localhost while
+	// the API listens publicly. Mutex and block sampling are turned on so
+	// contention in the submit path and the shard scheduler is visible.
+	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(10)
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           pmux,
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			log.Printf("mlv-serve: pprof on %s (private listener)", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mlv-serve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	var reg *tenant.Registry
 	if *tenantsFile != "" {

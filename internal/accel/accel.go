@@ -256,6 +256,9 @@ type Machine struct {
 	// allocating per instruction.
 	bvecs  [][]bfp.Block
 	bprods [][]float64
+	// runScs gathers the stream contexts a RunStreams call selects, reused
+	// so slot-granular stepping stays allocation-free.
+	runScs []*streamCtx
 
 	sigm, tanh *[1 << 16]fp16.Num
 }

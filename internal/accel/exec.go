@@ -85,6 +85,10 @@ var ErrProgramTooLarge = errors.New("accel: program exceeds instruction buffer")
 // ErrNoStreams is returned by RunBatch when the window has no offsets.
 var ErrNoStreams = errors.New("accel: RunBatch requires at least one stream")
 
+// ErrStreamRange is returned by RunStreams for a negative stream index or
+// mismatched streams/offsets lengths.
+var ErrStreamRange = errors.New("accel: bad stream selection")
+
 // Run executes the program to completion (through end_chain or the end of
 // the sequence) in stream 0.
 func (m *Machine) Run(p isa.Program) error {
@@ -110,6 +114,44 @@ func (m *Machine) RunBatch(p isa.Program, w StreamWindow) error {
 	}
 	m.base = w.Base
 	return m.exec(p, m.streams[:len(w.Offsets)])
+}
+
+// RunStreams executes p over an explicit subset of the machine's streams:
+// streams[i] selects a stream context and offsets[i] is the banking offset
+// applied to its DRAM accesses at or above base. Unlike RunBatch, the
+// selection need not be a contiguous prefix and the offsets are free per
+// call, so a slot-granular serving engine can step a cohort of streams
+// sitting at different positions of their programs: register files persist
+// across calls, and each stream's results are bit-identical to running its
+// instruction sequence alone (per-stream state is private; shared tiles
+// are read-only).
+func (m *Machine) RunStreams(p isa.Program, base int, streams, offsets []int) error {
+	if len(streams) == 0 {
+		return ErrNoStreams
+	}
+	if len(streams) != len(offsets) {
+		return fmt.Errorf("%w: %d streams, %d offsets", ErrStreamRange, len(streams), len(offsets))
+	}
+	max := 0
+	for _, s := range streams {
+		if s < 0 {
+			return fmt.Errorf("%w: stream %d", ErrStreamRange, s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	m.ensureStreams(max + 1)
+	if cap(m.runScs) < len(streams) {
+		m.runScs = make([]*streamCtx, len(streams))
+	}
+	scs := m.runScs[:len(streams)]
+	for i, s := range streams {
+		scs[i] = m.streams[s]
+		scs[i].off = offsets[i]
+	}
+	m.base = base
+	return m.exec(p, scs)
 }
 
 func (m *Machine) exec(p isa.Program, scs []*streamCtx) error {

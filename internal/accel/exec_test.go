@@ -361,3 +361,147 @@ func TestStatsMinus(t *testing.T) {
 		t.Errorf("delta cache stats = %d/%d, want 1 hit", d.TileCacheHits, d.TileCacheMisses)
 	}
 }
+
+func TestRunStreamsValidation(t *testing.T) {
+	m, p := mvmMachine(t)
+	if err := m.RunStreams(p, 16, nil, nil); !errors.Is(err, ErrNoStreams) {
+		t.Errorf("empty selection = %v, want ErrNoStreams", err)
+	}
+	if err := m.RunStreams(p, 16, []int{0, 1}, []int{0}); !errors.Is(err, ErrStreamRange) {
+		t.Errorf("mismatched offsets = %v, want ErrStreamRange", err)
+	}
+	if err := m.RunStreams(p, 16, []int{-1}, []int{0}); !errors.Is(err, ErrStreamRange) {
+		t.Errorf("negative stream = %v, want ErrStreamRange", err)
+	}
+}
+
+// TestRunStreamsMatchesRunBatch runs the same program over the same banked
+// windows through RunStreams (non-contiguous selection, explicit offsets)
+// and RunBatch, and demands bit-identical registers and DRAM.
+func TestRunStreamsMatchesRunBatch(t *testing.T) {
+	const base = 16
+	mat := []float64{
+		2, 0, 0, 0,
+		0, 1, 0, 0,
+		1, 1, 0, 0,
+		0, 0, 0, -1,
+	}
+	inputs := [][]float64{
+		{1, 2, 3, 4},
+		{-1, 0.5, 2, -0.25},
+		{0, 0, 1, 0},
+	}
+	src := `
+		m_rd r0, 0
+		v_rd r1, 16
+		mv_mul r2, r0, r1
+		v_sigm r3, r2
+		v_wr r3, 48
+		end_chain`
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Machine {
+		m, err := New(smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ConfigureMatrix(0, 4, 4); err != nil {
+			t.Fatal(err)
+		}
+		writeVec(t, m, 0, mat)
+		for s, in := range inputs {
+			writeVec(t, m, base+8*s, in)
+		}
+		return m
+	}
+
+	bm := build()
+	if err := bm.RunBatch(p, StreamWindow{Base: base, Offsets: []int{0, 8, 16}}); err != nil {
+		t.Fatal(err)
+	}
+	sm := build()
+	// Same work, issued as two slot-granular calls over a shuffled,
+	// non-contiguous stream selection.
+	if err := sm.RunStreams(p, base, []int{2, 0}, []int{16, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.RunStreams(p, base, []int{1}, []int{8}); err != nil {
+		t.Fatal(err)
+	}
+	for s := range inputs {
+		want, err := bm.ReadVectorStream(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sm.ReadVectorStream(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream %d r3 = %v, want %v (bit-exact)", s, got, want)
+		}
+		a, err := bm.DRAMPort().ReadWords(48+8*s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sm.DRAMPort().ReadWords(48+8*s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("stream %d DRAM output %v, want %v", s, b, a)
+		}
+	}
+}
+
+// TestRunStreamsPersistentState drives two streams through a two-phase
+// program split (load then accumulate) with a third stream admitted after
+// the first phase — the continuous-batching access pattern: register state
+// must persist across RunStreams calls and late admission must not
+// perturb the running streams.
+func TestRunStreamsPersistentState(t *testing.T) {
+	const base = 16
+	load, err := isa.Assemble(`
+		v_rd r1, 16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accum, err := isa.Assemble(`
+		vv_add r1, r1, r1
+		v_wr r1, 24`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		writeVec(t, m, base+8*s, []float64{float64(s + 1), 0, 1, -2})
+	}
+	// Streams 0 and 1 load, then stream 2 is admitted and loads while 0/1
+	// accumulate in the same cohort later.
+	if err := m.RunStreams(load, base, []int{0, 1}, []int{0, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunStreams(load, base, []int{2}, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunStreams(accum, base, []int{0, 1, 2}, []int{0, 8, 16}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		got, err := m.DRAMPort().ReadWords(24+8*s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{2 * float64(s+1), 0, 2, -4}
+		for i, w := range want {
+			if v := got[i].Float64(); v != w {
+				t.Errorf("stream %d out[%d] = %v, want %v", s, i, v, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package inferbench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/perf"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+	"mlvfpga/internal/scaleout"
+)
+
+// OpenLoopConfig drives one open-loop serving run. Arrivals are a
+// precomputed Poisson process: the generator never waits for a response
+// before issuing the next request, so queueing delay shows up in the
+// latency numbers instead of silently throttling the offered load
+// (no coordinated omission).
+type OpenLoopConfig struct {
+	// Flush selects the plane under test: true = the flush-and-wait
+	// micro-batching engine, false = continuous batching.
+	Flush bool
+	// Connections is the number of concurrent client goroutines; the
+	// arrival stream is dealt across them round-robin.
+	Connections int
+	// Requests is the total request count across all connections.
+	Requests int
+	// Rate is the aggregate offered load in requests/second.
+	Rate float64
+	// Seed derives arrivals and inputs.
+	Seed int64
+
+	// Layer shape and pool. Variable-length requests follow a serving-like
+	// mix: of every 5 requests, four are short (1–2 timesteps) and one is
+	// the full window — the same mix for both planes, so the flush plane's
+	// obligation to run every rider to the full window is measured, not
+	// assumed.
+	Hidden, TimeSteps, Tiles int
+	Machines, MaxBatch       int
+	// Shards is the continuous plane's scheduler shard count (0 =
+	// GOMAXPROCS).
+	Shards int
+}
+
+// SmokeOpenLoopConfig returns the CI-sized configuration: small enough to
+// finish in seconds, still exercising both planes end to end.
+func SmokeOpenLoopConfig(flush bool) OpenLoopConfig {
+	return OpenLoopConfig{
+		Flush:       flush,
+		Connections: 64,
+		Requests:    256,
+		Rate:        400,
+		Seed:        1,
+		Hidden:      64,
+		TimeSteps:   16,
+		Tiles:       1,
+		Machines:    2,
+		MaxBatch:    8,
+	}
+}
+
+// OpenLoopResult is one plane's verdict under the offered load.
+type OpenLoopResult struct {
+	Plane       string  `json:"plane"`
+	Connections int     `json:"connections"`
+	Requests    int     `json:"requests"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	// Served and Shed partition the requests; AchievedRPS is served
+	// divided by the makespan (first scheduled arrival to last
+	// completion), so shed load cannot inflate it.
+	Served      int     `json:"served"`
+	Shed        int     `json:"shed"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Latency is measured from the scheduled arrival time, not the
+	// dispatch time, over served requests only.
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	DurationS float64 `json:"duration_s"`
+	// Slot-occupancy evidence (continuous plane; zero on the flush
+	// plane, which has no slots): MeanOccupancy is the average
+	// co-resident cohort across step rounds. A flush plane drains to
+	// empty between batches; continuous admission holds this near
+	// MaxBatch under load, and AdmissionsIntoRunning counts the refills
+	// that prove it.
+	SlotRounds            int64   `json:"slot_rounds"`
+	MeanOccupancy         float64 `json:"mean_slot_occupancy"`
+	AdmissionsIntoRunning int64   `json:"admissions_into_running"`
+	Steals                int64   `json:"steals"`
+}
+
+// reqLen returns request i's timestep count under the 4-short:1-full mix.
+func reqLen(i, timeSteps int) int {
+	if i%5 == 4 {
+		return timeSteps
+	}
+	return 1 + i%2
+}
+
+// OpenLoop stands up a fresh service + data plane on the selected engine
+// and drives the configured Poisson arrival stream through it.
+func OpenLoop(cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
+	svc, err := rms.NewService(resource.PaperCluster(), db)
+	if err != nil {
+		return nil, err
+	}
+	lease, err := svc.Deploy(kernels.LayerSpec{
+		Kind: kernels.LSTM, Hidden: cfg.Hidden, TimeSteps: cfg.TimeSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := rms.DefaultInferOptions()
+	opts.Flush = cfg.Flush
+	opts.Machines = cfg.Machines
+	opts.MaxBatch = cfg.MaxBatch
+	opts.Shards = cfg.Shards
+	opts.Tiles = cfg.Tiles
+	dp := rms.NewDataPlane(svc, opts)
+	defer dp.Close()
+
+	// Precompute one input tensor per distinct length, shared read-only by
+	// every connection, so 10k goroutines do not allocate 10k tensors.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	byLen := map[int][][]float64{}
+	for _, n := range []int{1, 2, cfg.TimeSteps} {
+		xs := make([][]float64, n)
+		for t := range xs {
+			x := make([]float64, cfg.Hidden)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			xs[t] = x
+		}
+		byLen[n] = xs
+	}
+
+	// Warm the engine (kernel build, machine pool, tile loads) before the
+	// clock starts.
+	if _, err := dp.Infer(lease.ID, byLen[cfg.TimeSteps]); err != nil {
+		return nil, fmt.Errorf("openloop: warming: %w", err)
+	}
+
+	// Poisson arrivals: exponential inter-arrival gaps at the aggregate
+	// rate, dealt round-robin across connections. Precomputed so the hot
+	// loop only sleeps and submits.
+	arrivals := make([]time.Duration, cfg.Requests)
+	var at float64
+	for i := range arrivals {
+		at += rng.ExpFloat64() / cfg.Rate
+		arrivals[i] = time.Duration(at * float64(time.Second))
+	}
+
+	slotsBase := metrics.SlotCounters()
+	lat := make([]time.Duration, cfg.Requests) // -1 = shed
+	done := make([]time.Time, cfg.Requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Connections; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < cfg.Requests; i += cfg.Connections {
+				sched := start.Add(arrivals[i])
+				time.Sleep(time.Until(sched))
+				_, err := dp.Infer(lease.ID, byLen[reqLen(i, cfg.TimeSteps)])
+				done[i] = time.Now()
+				if err != nil {
+					lat[i] = -1
+					continue
+				}
+				lat[i] = done[i].Sub(sched)
+			}
+		}(c)
+	}
+	wg.Wait()
+	slotsNow := metrics.SlotCounters()
+
+	served := make([]time.Duration, 0, cfg.Requests)
+	shed := 0
+	last := start
+	for i, l := range lat {
+		if l < 0 {
+			shed++
+			continue
+		}
+		served = append(served, l)
+		if done[i].After(last) {
+			last = done[i]
+		}
+	}
+	sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+	makespan := last.Sub(start)
+	res := &OpenLoopResult{
+		Plane:       map[bool]string{true: "flush", false: "continuous"}[cfg.Flush],
+		Connections: cfg.Connections,
+		Requests:    cfg.Requests,
+		OfferedRPS:  cfg.Rate,
+		Served:      len(served),
+		Shed:        shed,
+		AchievedRPS: round2f(float64(len(served)) / makespan.Seconds()),
+		P50Ms:       pctMs(served, 50),
+		P99Ms:       pctMs(served, 99),
+		MaxMs:       pctMs(served, 100),
+		DurationS:   round2f(makespan.Seconds()),
+	}
+	sdelta := func(name string) int64 { return slotsNow[name] - slotsBase[name] }
+	res.SlotRounds = sdelta("mlv_slot_rounds")
+	res.AdmissionsIntoRunning = sdelta("mlv_admissions_into_running")
+	res.Steals = sdelta("mlv_steals")
+	if res.SlotRounds > 0 {
+		res.MeanOccupancy = round2f(float64(sdelta("mlv_slot_round_occupancy")) / float64(res.SlotRounds))
+	}
+	return res, nil
+}
+
+// pctMs reads the p-th percentile (nearest-rank; 100 = max) of a sorted
+// latency slice in milliseconds.
+func pctMs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(float64(p)/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return round2f(float64(sorted[idx]) / float64(time.Millisecond))
+}
+
+func round2f(x float64) float64 { return math.Round(x*100) / 100 }

@@ -119,6 +119,29 @@ func sqrtf(x float64) float64 {
 type Kernel struct {
 	Spec LayerSpec
 	Prog isa.Program
+	// Step-program decomposition for continuous batching. The monolithic
+	// Prog keeps every m_rd in its prologue (weights stay resident across
+	// the whole run) and advances both banked addresses by exactly Hidden
+	// words per timestep, so it factors into three programs that slot-
+	// granular admission can replay piecewise:
+	//
+	//   SharedInit — the m_rd tile loads. Matrix registers are machine
+	//     state, so this runs once per machine (re-running it is an
+	//     idempotent tile-cache hit).
+	//   StreamInit — bias v_rd loads plus state zeroing for one slot.
+	//     Runs once when a stream is admitted into a slot.
+	//   Step — one timestep at the t=0 addresses. A slot at timestep τ
+	//     executes it under banking offset SlotOffset(slot, τ); the two
+	//     banked accesses (x_t load, h_t store) land exactly where the
+	//     monolithic program's timestep τ would put them.
+	//
+	// Because every per-stream quantity (vector registers, banked DRAM
+	// window) is private to the slot and mv_mul computes each stream's
+	// product independently, a stream's results are bit-identical to the
+	// monolithic Prog no matter which cohort it shares step rounds with.
+	SharedInit isa.Program
+	StreamInit isa.Program
+	Step       isa.Program
 	// Image is the initial DRAM contents (weights, biases; inputs are
 	// written by SetInput before running).
 	Image []fp16.Num
@@ -178,6 +201,20 @@ func (k *Kernel) newMachine(cfg accel.Config, dram accel.DRAM) (*accel.Machine, 
 		}
 	}
 	return m, nil
+}
+
+// WindowBase is the banking base address for RunStreams/RunBatch:
+// addresses below it (weights, biases) are shared by every stream,
+// addresses at or above it are banked per slot.
+func (k *Kernel) WindowBase() int { return k.inputBase }
+
+// SlotOffset returns the banking offset under which the Step program
+// advances slot's timestep step: the slot's window plus step input/output
+// vectors. Both banked addresses in Step (x_0 load, h_0 store) shift by
+// the same offset, landing on StreamInputAddr(slot, step) and
+// StreamOutputAddr(slot, step).
+func (k *Kernel) SlotOffset(slot, step int) int {
+	return slot*k.StreamStride() + step*k.Spec.Hidden
 }
 
 // StreamStride is the DRAM footprint of one stream's banked window: the
@@ -305,29 +342,48 @@ func Build(w *Weights, timeSteps, tiles int) (*Kernel, error) {
 
 	// Prologue: load matrices (m0..), biases (r3..), zero the state.
 	var p isa.Program
+	var shared, sinit, step isa.Program
 	for i, name := range append(append([]string{}, wx...), uh...) {
-		p = append(p, isa.Instr{Op: isa.OpMRead, Dst: uint8(i), Imm: uint32(matAddr[name])})
+		ins := isa.Instr{Op: isa.OpMRead, Dst: uint8(i), Imm: uint32(matAddr[name])}
+		p = append(p, ins)
+		shared = append(shared, ins)
 	}
 	for i, name := range bias {
-		p = append(p, isa.Instr{Op: isa.OpVRead, Dst: uint8(3 + i), Imm: uint32(biasAddr[name])})
+		ins := isa.Instr{Op: isa.OpVRead, Dst: uint8(3 + i), Imm: uint32(biasAddr[name])}
+		p = append(p, ins)
+		sinit = append(sinit, ins)
 	}
-	p = append(p, isa.Instr{Op: isa.OpVConst, Dst: 1, Imm: 0}) // h = 0
+	zero := isa.Instr{Op: isa.OpVConst, Dst: 1, Imm: 0} // h = 0
+	p = append(p, zero)
+	sinit = append(sinit, zero)
 	if w.Kind == LSTM {
-		p = append(p, isa.Instr{Op: isa.OpVConst, Dst: 2, Imm: 0}) // c = 0
+		zc := isa.Instr{Op: isa.OpVConst, Dst: 2, Imm: 0} // c = 0
+		p = append(p, zc)
+		sinit = append(sinit, zc)
 	}
 
+	cell := func() isa.Program {
+		if w.Kind == LSTM {
+			return lstmStep()
+		}
+		return gruStep()
+	}
 	for t := 0; t < timeSteps; t++ {
 		p = append(p, isa.Instr{Op: isa.OpVRead, Dst: 0, Imm: uint32(k.InputAddr(t))})
-		switch w.Kind {
-		case LSTM:
-			p = append(p, lstmStep()...)
-		case GRU:
-			p = append(p, gruStep()...)
-		}
+		p = append(p, cell()...)
 		p = append(p, isa.Instr{Op: isa.OpVWrite, Src1: 1, Imm: uint32(k.OutputAddr(t))})
 	}
 	p = append(p, isa.Instr{Op: isa.OpEndChain})
 	k.Prog = p
+
+	// The step program is timestep 0's slice; SlotOffset banks it onto any
+	// (slot, timestep) pair.
+	step = append(step, isa.Instr{Op: isa.OpVRead, Dst: 0, Imm: uint32(k.InputAddr(0))})
+	step = append(step, cell()...)
+	step = append(step, isa.Instr{Op: isa.OpVWrite, Src1: 1, Imm: uint32(k.OutputAddr(0))})
+	k.SharedInit = append(shared, isa.Instr{Op: isa.OpEndChain})
+	k.StreamInit = append(sinit, isa.Instr{Op: isa.OpEndChain})
+	k.Step = append(step, isa.Instr{Op: isa.OpEndChain})
 	return k, nil
 }
 

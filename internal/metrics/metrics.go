@@ -105,6 +105,48 @@ var (
 	EquivSimRuns = expvar.NewInt("mlv_equiv_sim_runs")
 )
 
+// Continuous-batching data-plane counters. Kept out of Counters() — the
+// simulation harness audits them through SlotCounters() with its own
+// slot-conservation model (see internal/simtest).
+var (
+	// SlotsActive gauges streams currently resident in batch slots
+	// (+1 on admission, -1 when the slot is freed). At quiescence it must
+	// return to its baseline: a persistent residue is a leaked slot.
+	SlotsActive = expvar.NewInt("mlv_slots_active")
+	// SlotRounds counts executed step rounds; SlotRoundOccupancy sums the
+	// cohort size over those rounds, so occupancy/rounds is the mean
+	// co-resident stream count — the "batches no longer drain to empty"
+	// signal (a flush plane drains to zero between batches; continuous
+	// admission keeps this near MaxBatch under load).
+	SlotRounds         = expvar.NewInt("mlv_slot_rounds")
+	SlotRoundOccupancy = expvar.NewInt("mlv_slot_round_occupancy")
+	// Admissions counts streams admitted into slots;
+	// AdmissionsIntoRunning counts the subset admitted into a machine
+	// that already had live streams mid-flight — the continuous-batching
+	// moves a flush plane cannot make.
+	Admissions            = expvar.NewInt("mlv_admissions")
+	AdmissionsIntoRunning = expvar.NewInt("mlv_admissions_into_running")
+	// Steals counts scheduler rounds a worker ran on a machine stolen
+	// from another shard's run queue.
+	Steals = expvar.NewInt("mlv_steals")
+	// AdmissionWaitNS gauges the most recent per-engine EWMA of
+	// queue-to-slot admission latency in nanoseconds.
+	AdmissionWaitNS = expvar.NewInt("mlv_admission_wait_ns")
+)
+
+// SlotCounters snapshots the continuous-batching counters by expvar name
+// (the simulation harness diffs two snapshots for slot conservation).
+func SlotCounters() map[string]int64 {
+	return map[string]int64{
+		"mlv_slots_active":            SlotsActive.Value(),
+		"mlv_slot_rounds":             SlotRounds.Value(),
+		"mlv_slot_round_occupancy":    SlotRoundOccupancy.Value(),
+		"mlv_admissions":              Admissions.Value(),
+		"mlv_admissions_into_running": AdmissionsIntoRunning.Value(),
+		"mlv_steals":                  Steals.Value(),
+	}
+}
+
 // Multi-tenant serving counters. The per-tenant maps are keyed by tenant
 // id; they are kept out of Counters() because the simulation harness
 // checks them through TenantCounters() with its own per-tenant event

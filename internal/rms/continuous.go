@@ -1,0 +1,497 @@
+package rms
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlvfpga/internal/accel"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+)
+
+// contEngine is one lease's continuous-batching serving state: the same
+// compiled kernel and DRR fair queue as the flush engine, but machines
+// keep persistent batch slots. A stream that finishes retires its slot
+// immediately and the next request from the fair queue is admitted into
+// the freed slot of the already-running batch — no flush boundary, no
+// drain-to-empty between batches. The machine pool is sharded across
+// worker goroutines with per-shard run queues and work stealing, so one
+// lease's machines execute step rounds on every core at once.
+//
+// Bit-identity: the kernel's Step program reads and writes only the
+// slot's private banked window and vector registers, and mv_mul computes
+// each stream's product independently, so a stream's outputs are
+// byte-identical to a solo run of the monolithic program regardless of
+// which cohorts it shares step rounds with (see kernels.Kernel and
+// TestStepProgramsMatchMonolithic).
+type contEngine struct {
+	leaseID int
+	kern    *kernels.Kernel
+	opts    InferOptions
+	faults  func() Faults
+
+	queue    *fairQueue
+	queueCap int
+
+	shards   []*engineShard
+	machines []*contMachine
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// Load observability (LoadStats).
+	served   atomic.Int64
+	cohorts  atomic.Int64 // admission cohorts — the "batches" analogue
+	pending  atomic.Int64
+	waitEWMA atomic.Int64 // admission wait ns, alpha = 1/4
+
+	// leakedSlot arms the LeakSlot fault at most once per engine, so the
+	// injected capacity leak never starves serving outright.
+	leakedSlot atomic.Bool
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// engineShard is one scheduler shard: a mutex-guarded run queue of
+// machines plus a one-token wake channel for its worker. Workers pop
+// their own queue from the front and steal from other shards' tails.
+type engineShard struct {
+	mu   sync.Mutex
+	runq []*contMachine
+	wake chan struct{}
+}
+
+func (s *engineShard) pop() *contMachine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.runq) == 0 {
+		return nil
+	}
+	cm := s.runq[0]
+	s.runq = s.runq[1:]
+	return cm
+}
+
+func (s *engineShard) steal() *contMachine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.runq) == 0 {
+		return nil
+	}
+	cm := s.runq[len(s.runq)-1]
+	s.runq = s.runq[:len(s.runq)-1]
+	return cm
+}
+
+// contMachine state machine: idle (no slots, not scheduled) → queued (in
+// a shard run queue) → running (a worker owns it for one step round) →
+// queued | idle. A machine is in at most one run queue; only the owning
+// worker touches slots, so slot state needs no lock — the shard mutex
+// hand-off orders the accesses.
+const (
+	cmIdle int32 = iota
+	cmQueued
+	cmRunning
+)
+
+type contMachine struct {
+	m     *accel.Machine
+	home  int // home shard
+	state atomic.Int32
+
+	slots    []*contSlot // len MaxBatch; nil = free
+	occupied int         // non-nil slots, including leaked ones
+	stepping int         // occupied minus leaked: the live cohort
+
+	// Scratch reused across rounds so the steady state is allocation-free.
+	streams, offs []int
+}
+
+// contSlot is one admitted stream's residency in a batch slot.
+type contSlot struct {
+	req      *inferRequest
+	tau      int // next timestep to execute
+	steps    int // total timesteps = len(req.inputs)
+	admitted time.Time
+	base     accel.ExecStats
+	leaked   bool // LeakSlot fault: slot permanently lost
+}
+
+func newContEngine(lease *Lease, opts InferOptions, faults func() Faults) (*contEngine, error) {
+	kern, err := buildKernel(lease, opts)
+	if err != nil {
+		return nil, err
+	}
+	shardN := opts.Shards
+	if shardN <= 0 {
+		shardN = runtime.GOMAXPROCS(0)
+	}
+	if shardN > opts.Machines {
+		shardN = opts.Machines
+	}
+	e := &contEngine{
+		leaseID:  lease.ID,
+		kern:     kern,
+		opts:     opts,
+		faults:   faults,
+		queue:    newFairQueue(),
+		queueCap: opts.MaxBatch * opts.Machines * 8,
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < shardN; i++ {
+		e.shards = append(e.shards, &engineShard{wake: make(chan struct{}, 1)})
+	}
+	for i := 0; i < opts.Machines; i++ {
+		m, err := kern.NewBatchMachine(opts.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		// Load the weight tiles once; they stay resident across every
+		// stream the machine will ever serve.
+		if err := m.Run(kern.SharedInit); err != nil {
+			return nil, fmt.Errorf("rms: warming lease %d: %w", lease.ID, err)
+		}
+		e.machines = append(e.machines, &contMachine{
+			m: m, home: i % shardN,
+			slots:   make([]*contSlot, opts.MaxBatch),
+			streams: make([]int, 0, opts.MaxBatch),
+			offs:    make([]int, 0, opts.MaxBatch),
+		})
+	}
+	for i := range e.shards {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+// submit enqueues a request and kicks an idle machine. Same load-shed
+// contract as the flush engine: never block the caller.
+func (e *contEngine) submit(req *inferRequest) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrLeaseClosing
+	}
+	if int(e.pending.Load()) >= e.queueCap {
+		return ErrBusy
+	}
+	e.pending.Add(1)
+	e.queue.push(req)
+	e.kick()
+	return nil
+}
+
+// kick schedules one idle machine to pick the queue up. If every machine
+// is queued or running, nothing to do — running machines re-admit from
+// the queue every round and requeue themselves while work remains.
+func (e *contEngine) kick() {
+	for _, cm := range e.machines {
+		if cm.state.CompareAndSwap(cmIdle, cmQueued) {
+			e.enqueue(cm)
+			return
+		}
+	}
+}
+
+func (e *contEngine) enqueue(cm *contMachine) {
+	sh := e.shards[cm.home]
+	sh.mu.Lock()
+	sh.runq = append(sh.runq, cm)
+	sh.mu.Unlock()
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dequeue pops the worker's own shard, then tries to steal from the
+// other shards' tails.
+func (e *contEngine) dequeue(worker int) (cm *contMachine, stolen bool) {
+	if cm := e.shards[worker].pop(); cm != nil {
+		return cm, false
+	}
+	n := len(e.shards)
+	for i := 1; i < n; i++ {
+		if cm := e.shards[(worker+i)%n].steal(); cm != nil {
+			return cm, true
+		}
+	}
+	return nil, false
+}
+
+// close stops admission, serves everything already queued, and joins the
+// workers. Idempotent; concurrent closers all block until drained.
+func (e *contEngine) close() {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		close(e.done)
+	}
+	e.wg.Wait()
+}
+
+func (e *contEngine) worker(sh int) {
+	defer e.wg.Done()
+	for {
+		if cm, stolen := e.dequeue(sh); cm != nil {
+			e.runRound(cm, stolen)
+			continue
+		}
+		select {
+		case <-e.shards[sh].wake:
+		case <-e.done:
+			// Graceful drain: keep running rounds until every admitted
+			// request has been answered, then exit.
+			if cm, stolen := e.dequeue(sh); cm != nil {
+				e.runRound(cm, stolen)
+				continue
+			}
+			if e.pending.Load() == 0 {
+				return
+			}
+			// Another worker is finishing the tail; don't spin hard.
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// runRound is one scheduler turn on one machine: admit from the fair
+// queue into free slots, execute one step round over the resident
+// cohort, retire finished streams, and reschedule. Taking at most one
+// step per turn before requeueing keeps machines of the same shard (and
+// leases sharing a worker) round-robin fair.
+func (e *contEngine) runRound(cm *contMachine, stolen bool) {
+	cm.state.Store(cmRunning)
+	if stolen {
+		metrics.Steals.Add(1)
+	}
+	if free := e.opts.MaxBatch - cm.occupied; free > 0 {
+		if reqs := e.queue.take(free); len(reqs) > 0 {
+			e.admitCohort(cm, reqs)
+		}
+	}
+	if cm.stepping == 0 {
+		e.park(cm)
+		return
+	}
+
+	cm.streams = cm.streams[:0]
+	cm.offs = cm.offs[:0]
+	for s, sl := range cm.slots {
+		if sl == nil || sl.leaked {
+			continue
+		}
+		cm.streams = append(cm.streams, s)
+		cm.offs = append(cm.offs, e.kern.SlotOffset(s, sl.tau))
+	}
+	cohort := len(cm.streams)
+	if err := cm.m.RunStreams(e.kern.Step, e.kern.WindowBase(), cm.streams, cm.offs); err != nil {
+		e.failCohort(cm, err)
+		e.park(cm)
+		return
+	}
+	metrics.SlotRounds.Add(1)
+	metrics.SlotRoundOccupancy.Add(int64(cohort))
+	for _, s := range cm.streams {
+		sl := cm.slots[s]
+		sl.tau++
+		if sl.tau >= sl.steps {
+			e.retire(cm, s, sl, cohort)
+		}
+	}
+
+	if cm.stepping > 0 {
+		cm.state.Store(cmQueued)
+		e.enqueue(cm)
+		return
+	}
+	e.park(cm)
+}
+
+// park sets the machine idle, then re-checks the queue: a submit that
+// raced the machine's last (empty) take would otherwise be stranded with
+// every machine idle and no wake owed. The CAS loses to a concurrent
+// kick, which has already enqueued the machine.
+func (e *contEngine) park(cm *contMachine) {
+	cm.state.Store(cmIdle)
+	if e.queue.depth() > 0 && cm.state.CompareAndSwap(cmIdle, cmQueued) {
+		e.enqueue(cm)
+	}
+}
+
+// admitCohort installs a batch of freshly popped requests into free
+// slots. One take'n cohort counts as one "batch" for the flush-era
+// counters, so batches ≤ served holds in both planes and mean riders per
+// batch stays comparable.
+func (e *contEngine) admitCohort(cm *contMachine, reqs []*inferRequest) {
+	now := time.Now()
+	intoRunning := cm.stepping > 0
+	admitted := 0
+	riders := map[string]int64{}
+	for _, req := range reqs {
+		if e.admit(cm, req, now) {
+			admitted++
+			if intoRunning {
+				metrics.AdmissionsIntoRunning.Add(1)
+			}
+			if req.tenant != "" {
+				riders[req.tenant]++
+			}
+		}
+	}
+	if admitted == 0 {
+		return
+	}
+	e.cohorts.Add(1)
+	metrics.BatchesFlushed.Add(1)
+	for id, n := range riders {
+		metrics.TenantBatchRiders.Add(id, n)
+		metrics.TenantBatches.Add(id, 1)
+	}
+}
+
+// admit writes one request's inputs into a free slot and runs the
+// stream-init program (bias loads, state zeroing). Reports whether the
+// request now occupies a slot; on error the request is answered and
+// finished here.
+func (e *contEngine) admit(cm *contMachine, req *inferRequest, now time.Time) bool {
+	slot := -1
+	for s, sl := range cm.slots {
+		if sl == nil {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		// Cannot happen: take() is bounded by the free-slot count.
+		req.resp <- inferResponse{err: fmt.Errorf("rms: lease %d: no free slot", e.leaseID)}
+		e.pending.Add(-1)
+		return false
+	}
+	fail := func(err error) bool {
+		req.resp <- inferResponse{err: err}
+		e.pending.Add(-1)
+		return false
+	}
+	for t, x := range req.inputs {
+		if err := e.kern.SetInputStream(cm.m, slot, t, x); err != nil {
+			return fail(err)
+		}
+	}
+	if err := cm.m.RunStreams(e.kern.StreamInit, e.kern.WindowBase(),
+		[]int{slot}, []int{e.kern.SlotOffset(slot, 0)}); err != nil {
+		return fail(err)
+	}
+	cm.slots[slot] = &contSlot{
+		req: req, steps: len(req.inputs), admitted: now, base: cm.m.Stats(),
+	}
+	cm.occupied++
+	cm.stepping++
+	metrics.SlotsActive.Add(1)
+	metrics.Admissions.Add(1)
+	ewmaUpdate(&e.waitEWMA, int64(now.Sub(req.enqueued)))
+	metrics.AdmissionWaitNS.Set(e.waitEWMA.Load())
+	return true
+}
+
+// retire answers a finished stream and frees its slot — or, under the
+// injected LeakSlot fault, answers it and leaks the slot (a one-off
+// permanent capacity loss the simtest slot-conservation invariant must
+// catch: mlv_slots_active stays elevated at quiescence).
+func (e *contEngine) retire(cm *contMachine, s int, sl *contSlot, cohort int) {
+	req := sl.req
+	outs := make([][]float64, sl.steps)
+	var rerr error
+	for t := range outs {
+		if outs[t], rerr = e.kern.ReadOutputStream(cm.m, s, t); rerr != nil {
+			break
+		}
+	}
+	resp := inferResponse{err: rerr}
+	if rerr == nil {
+		resp = inferResponse{result: &InferResult{
+			LeaseID: e.leaseID,
+			Outputs: outs,
+			// BatchSize is the retire round's co-resident cohort;
+			// BatchStats spans the slot's residency, so it includes the
+			// co-riders' overlapping work — the continuous analogue of
+			// "the batch that carried it".
+			BatchSize:  cohort,
+			Stream:     s,
+			QueueWait:  sl.admitted.Sub(req.enqueued),
+			BatchStats: cm.m.Stats().Minus(sl.base),
+		}}
+	}
+	// All accounting lands before the response: a caller that has joined
+	// every request (the simtest harness) must see the slot gauge and
+	// pending count already settled. The resp channel is buffered, so the
+	// late send cannot block.
+	e.served.Add(1)
+	metrics.InfersServed.Add(1)
+	if req.tenant != "" && !(e.faults != nil && e.faults().SkipTenantServedMetric) {
+		metrics.TenantServed.Add(req.tenant, 1)
+	}
+	if e.faults != nil && e.faults().LeakSlot && !e.leakedSlot.Swap(true) {
+		sl.req = nil
+		sl.leaked = true
+		cm.stepping--
+		e.pending.Add(-1)
+		req.resp <- resp
+		return
+	}
+	cm.slots[s] = nil
+	cm.occupied--
+	cm.stepping--
+	metrics.SlotsActive.Add(-1)
+	e.pending.Add(-1)
+	req.resp <- resp
+}
+
+// failCohort answers every live slot with err and frees them; a step
+// round that failed has no per-stream result to salvage.
+func (e *contEngine) failCohort(cm *contMachine, err error) {
+	for _, s := range cm.streams {
+		sl := cm.slots[s]
+		req := sl.req
+		cm.slots[s] = nil
+		cm.occupied--
+		cm.stepping--
+		metrics.SlotsActive.Add(-1)
+		e.pending.Add(-1)
+		req.resp <- inferResponse{err: err}
+	}
+}
+
+func (e *contEngine) load() LoadStats {
+	inFlight := 0
+	for _, cm := range e.machines {
+		if cm.state.Load() != cmIdle {
+			inFlight++
+		}
+	}
+	return LoadStats{
+		QueueDepth:   e.queue.depth(),
+		InFlight:     inFlight,
+		Pending:      int(e.pending.Load()),
+		Served:       e.served.Load(),
+		Batches:      e.cohorts.Load(),
+		Machines:     e.opts.Machines,
+		AvgQueueWait: time.Duration(e.waitEWMA.Load()),
+	}
+}
+
+// ewmaUpdate folds sample into the EWMA at a with alpha = 1/4.
+func ewmaUpdate(a *atomic.Int64, sample int64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, old+(sample-old)/4) {
+			return
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package rms
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/metrics"
+)
+
+// TestContinuousInferMatchesSolo is the continuous plane's end-to-end
+// golden: concurrent variable-length requests through the sharded
+// scheduler must each return exactly the solo-machine answer
+// (bit-identical float64s from the same fp16 words), and slot accounting
+// must conserve — every admission retires and the active-slot gauge
+// returns to its baseline.
+func TestContinuousInferMatchesSolo(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 2
+	opts.MaxBatch = 4
+	opts.Shards = 2
+	_, dp, lease := testPlane(t, opts)
+
+	slotsBase := metrics.SlotCounters()
+	const N = 16
+	inputs := make([][][]float64, N)
+	results := make([]*InferResult, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		full := testInputs(lease.Spec, int64(100+i))
+		// Variable lengths: cycle 1..TimeSteps so streams retire at
+		// different rounds and slots turn over mid-batch.
+		inputs[i] = full[:1+i%lease.Spec.TimeSteps]
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := dp.Infer(lease.ID, inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		if len(res.Outputs) != len(inputs[i]) {
+			t.Fatalf("request %d: %d outputs for %d input steps", i, len(res.Outputs), len(inputs[i]))
+		}
+		ref := referenceOutputs(t, lease, opts, inputs[i])
+		if !reflect.DeepEqual(res.Outputs, ref[:len(inputs[i])]) {
+			t.Errorf("request %d: continuous result differs from solo execution", i)
+		}
+		if res.BatchSize < 1 || res.BatchSize > opts.MaxBatch {
+			t.Errorf("request %d: batch size %d outside [1,%d]", i, res.BatchSize, opts.MaxBatch)
+		}
+	}
+
+	// Slot conservation: admissions == retirements == served, and the
+	// gauge drains back to its baseline (retirement decrements may land
+	// just after the response, so poll).
+	waitFor(t, "slot gauge to drain", func() bool {
+		return metrics.SlotCounters()["mlv_slots_active"] == slotsBase["mlv_slots_active"]
+	})
+	delta := func(name string) int64 {
+		return metrics.SlotCounters()[name] - slotsBase[name]
+	}
+	if got := delta("mlv_admissions"); got != N {
+		t.Errorf("admissions delta = %d, want %d", got, N)
+	}
+	if rounds := delta("mlv_slot_rounds"); rounds <= 0 {
+		t.Error("no step rounds recorded")
+	} else if occ := delta("mlv_slot_round_occupancy"); occ < rounds {
+		t.Errorf("occupancy sum %d < rounds %d", occ, rounds)
+	}
+}
+
+// TestContinuousAdmitsIntoRunningBatch pins the tentpole behavior: with a
+// backlog of alternating short and long requests on one two-slot
+// machine, a short stream's retirement must open its slot to the next
+// queued request while the long co-rider is still mid-flight — an
+// admission into a running batch, which the flush plane cannot do.
+func TestContinuousAdmitsIntoRunningBatch(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	_, dp, lease := testPlane(t, opts)
+
+	base := metrics.SlotCounters()["mlv_admissions_into_running"]
+	e, err := dp.engine(mustLease(t, dp.svc, lease.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit directly so queue order is deterministic: alternating
+	// lengths guarantee mixed-length cohorts.
+	const N = 12
+	reqs := make([]*inferRequest, N)
+	for i := 0; i < N; i++ {
+		full := testInputs(lease.Spec, int64(i))
+		reqs[i] = &inferRequest{
+			inputs:   full[:1+i%2],
+			enqueued: time.Now(),
+			resp:     make(chan inferResponse, 1),
+		}
+		if err := e.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, req := range reqs {
+		r := <-req.resp
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+	}
+	if got := metrics.SlotCounters()["mlv_admissions_into_running"] - base; got == 0 {
+		t.Error("no admissions into a running batch — slots drained to empty between cohorts")
+	}
+}
+
+// TestContinuousResize exercises the engine-swap path over the sharded
+// pools: the lease keeps serving across a Resize and the new engine
+// reports the new pool size.
+func TestContinuousResize(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	_, dp, lease := testPlane(t, opts)
+
+	if _, err := dp.Infer(lease.ID, testInputs(lease.Spec, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Resize(lease.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dp.Infer(lease.ID, testInputs(lease.Spec, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceOutputs(t, lease, opts, testInputs(lease.Spec, 2))
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Error("post-resize result differs from solo execution")
+	}
+	st, ok := dp.Load(lease.ID)
+	if !ok || st.Machines != 3 {
+		t.Errorf("post-resize load = %+v, ok=%v, want 3 machines", st, ok)
+	}
+}
+
+// TestContinuousReleaseDrains asserts the close contract: a Release
+// racing live traffic loses no admitted request — every Infer either
+// completes or is shed with a closing/unknown-lease error, and close
+// itself does not hang.
+func TestContinuousReleaseDrains(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 2
+	_, dp, lease := testPlane(t, opts)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := dp.Infer(lease.ID, testInputs(lease.Spec, int64(i)))
+			if err != nil && !errors.Is(err, ErrLeaseClosing) && !errors.Is(err, ErrUnknownLease) {
+				t.Errorf("infer during release: %v", err)
+			}
+		}(i)
+	}
+	if err := dp.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

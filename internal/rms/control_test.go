@@ -22,6 +22,7 @@ import (
 // out the full FlushDelay on a leaked engine).
 func TestServiceReleaseDrainsDataPlane(t *testing.T) {
 	opts := DefaultInferOptions()
+	opts.Flush = true // the batch window under test is a flush-plane state
 	opts.Machines = 1
 	opts.MaxBatch = 4
 	opts.FlushDelay = 5 * time.Second

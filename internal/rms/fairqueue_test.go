@@ -138,3 +138,28 @@ func TestFairQueueReadySignal(t *testing.T) {
 	default:
 	}
 }
+
+// TestFairQueueLatencyFloodQuantumBound is the inverse starvation case
+// under continuous admission: a latency-class flood (weight 8) is
+// draining the queue one slot at a time — the slot-granular take pattern
+// of continuous batching — and a batch-class request (weight 1) must
+// still be served within one DRR cycle, i.e. within Σweights = 9 pops.
+func TestFairQueueLatencyFloodQuantumBound(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 64; i++ {
+		q.push(fqReq("lat", 8))
+	}
+	bat := fqReq("bat", 1)
+	q.push(bat)
+	const bound = 8 + 1 // one full DRR cycle over both quanta
+	for pop := 1; pop <= bound; pop++ {
+		got := q.take(1)
+		if len(got) != 1 {
+			t.Fatalf("pop %d returned %d requests", pop, len(got))
+		}
+		if got[0] == bat {
+			return
+		}
+	}
+	t.Fatalf("batch-class request not served within the DRR quantum bound (%d pops)", bound)
+}

@@ -30,14 +30,25 @@ var ErrTenantBusy = errors.New("rms: tenant at in-flight request cap")
 // InferOptions tunes the online data plane.
 type InferOptions struct {
 	// MaxBatch is the largest micro-batch one machine executes; a full
-	// batch flushes immediately.
+	// batch flushes immediately. Under continuous batching it is the
+	// per-machine slot count.
 	MaxBatch int
 	// FlushDelay bounds how long a partial batch waits for co-riders
-	// before it flushes.
+	// before it flushes (flush plane only; continuous admission has no
+	// flush boundary to wait for).
 	FlushDelay time.Duration
 	// Machines is the per-lease machine pool size: how many batches of a
 	// lease can execute concurrently.
 	Machines int
+	// Flush selects the legacy flush-and-wait micro-batching plane. The
+	// default (false) is continuous batching: persistent per-machine
+	// batch slots, immediate retirement, admission into running batches,
+	// and a sharded work-stealing scheduler (see contEngine).
+	Flush bool
+	// Shards is the continuous plane's scheduler shard count (per-shard
+	// run queues, one worker each, work stealing between them).
+	// 0 = GOMAXPROCS; capped at Machines.
+	Shards int
 	// Tiles is the simulated tile-engine count per machine.
 	Tiles int
 	// MantissaBits overrides the BFP mantissa width (0 = default).
@@ -62,7 +73,8 @@ func DefaultInferOptions() InferOptions {
 // stream of how large a batch served it, how long it queued, and the
 // execution-stat delta of the batch that carried it (shared by its
 // co-riders — TileCacheHits there is what weight-stationary batching
-// saves).
+// saves). Under continuous batching, BatchSize is the co-resident cohort
+// at the request's retire round and BatchStats spans its slot residency.
 type InferResult struct {
 	LeaseID    int             `json:"lease_id"`
 	Outputs    [][]float64     `json:"outputs"`
@@ -88,6 +100,37 @@ type inferResponse struct {
 	err    error
 }
 
+// leaseEngine is the data plane's per-lease serving engine: the legacy
+// flush-and-wait micro-batcher (inferEngine) or the continuous-batching
+// plane (contEngine). Both preserve the DRR fair-queue contract and the
+// load-shed error surface.
+type leaseEngine interface {
+	submit(req *inferRequest) error
+	close()
+	load() LoadStats
+}
+
+// newLeaseEngine builds the engine the options select.
+func newLeaseEngine(lease *Lease, opts InferOptions, faults func() Faults) (leaseEngine, error) {
+	if opts.Flush {
+		return newInferEngine(lease, opts, faults)
+	}
+	return newContEngine(lease, opts, faults)
+}
+
+// buildKernel compiles a lease's layer with per-lease weights (Seed +
+// lease id stands in for a real deployment's model upload).
+func buildKernel(lease *Lease, opts InferOptions) (*kernels.Kernel, error) {
+	spec := lease.Spec
+	w := kernels.RandomWeights(spec.Kind, spec.Hidden, opts.Seed+int64(lease.ID))
+	kern, err := kernels.Build(w, spec.TimeSteps, opts.Tiles)
+	if err != nil {
+		return nil, fmt.Errorf("rms: building kernel for lease %d: %w", lease.ID, err)
+	}
+	kern.Cfg.MantissaBits = opts.MantissaBits
+	return kern, nil
+}
+
 // inferEngine is one lease's serving state: the compiled kernel, a
 // free-list of warm machines (weights resident in every tile cache), and
 // the micro-batching collector goroutine.
@@ -107,6 +150,8 @@ type inferEngine struct {
 	done     chan struct{}
 	loopDone chan struct{}
 	running  sync.WaitGroup
+	// flushTimer is reused across partial-batch waits (collector-only).
+	flushTimer *time.Timer
 
 	// Load observability for the cluster control plane.
 	served   atomic.Int64
@@ -120,13 +165,10 @@ type inferEngine struct {
 }
 
 func newInferEngine(lease *Lease, opts InferOptions, faults func() Faults) (*inferEngine, error) {
-	spec := lease.Spec
-	w := kernels.RandomWeights(spec.Kind, spec.Hidden, opts.Seed+int64(lease.ID))
-	kern, err := kernels.Build(w, spec.TimeSteps, opts.Tiles)
+	kern, err := buildKernel(lease, opts)
 	if err != nil {
-		return nil, fmt.Errorf("rms: building kernel for lease %d: %w", lease.ID, err)
+		return nil, err
 	}
-	kern.Cfg.MantissaBits = opts.MantissaBits
 	e := &inferEngine{
 		leaseID:  lease.ID,
 		kern:     kern,
@@ -223,13 +265,34 @@ func (e *inferEngine) collect() ([]*inferRequest, bool) {
 	if len(batch) >= e.opts.MaxBatch || e.opts.FlushDelay <= 0 {
 		return batch, true
 	}
-	timer := time.NewTimer(e.opts.FlushDelay)
-	defer timer.Stop()
+	// One timer per engine, reused across partial-batch waits, instead of
+	// an allocation per collection. On every exit except the timer firing
+	// itself the timer is stopped and its channel drained, so the next
+	// Reset starts from a clean state. Only the collector goroutine
+	// touches it.
+	if e.flushTimer == nil {
+		e.flushTimer = time.NewTimer(e.opts.FlushDelay)
+	} else {
+		e.flushTimer.Reset(e.opts.FlushDelay)
+	}
+	fired := false
+	defer func() {
+		if fired {
+			return
+		}
+		if !e.flushTimer.Stop() {
+			select {
+			case <-e.flushTimer.C:
+			default:
+			}
+		}
+	}()
 	for len(batch) < e.opts.MaxBatch {
 		select {
 		case <-e.queue.ready:
 			batch = append(batch, e.queue.take(e.opts.MaxBatch-len(batch))...)
-		case <-timer.C:
+		case <-e.flushTimer.C:
+			fired = true
 			return batch, true
 		case <-e.done:
 			return batch, true
@@ -299,9 +362,11 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 			}
 		}
 	}
-	steps := e.kern.Spec.TimeSteps
 	for s, req := range batch {
-		outs := make([][]float64, steps)
+		// Variable-length requests: only len(inputs) timesteps are live
+		// (the program still runs the full unrolled sequence; h_t for
+		// t < len depends only on inputs up to t).
+		outs := make([][]float64, len(req.inputs))
 		var rerr error
 		for t := range outs {
 			if outs[t], rerr = e.kern.ReadOutputStream(m, s, t); rerr != nil {
@@ -323,6 +388,18 @@ func (e *inferEngine) execute(m *accel.Machine, batch []*inferRequest) {
 	}
 }
 
+func (e *inferEngine) load() LoadStats {
+	return LoadStats{
+		QueueDepth:   e.queue.depth(),
+		InFlight:     int(e.inFlight.Load()),
+		Pending:      int(e.pending.Load()),
+		Served:       e.served.Load(),
+		Batches:      e.batches.Load(),
+		Machines:     e.opts.Machines,
+		AvgQueueWait: time.Duration(e.waitEWMA.Load()),
+	}
+}
+
 // Faults enables deliberate bug injection for the deterministic
 // simulation harness (internal/simtest): each flag disables one
 // correctness mechanism so the harness's invariant checkers and failure
@@ -339,44 +416,73 @@ type Faults struct {
 	// per-tenant counter invariant exists to catch (served deltas must
 	// equal the event model's answered-request count).
 	SkipTenantServedMetric bool
+	// LeakSlot makes the continuous plane leak one batch slot: the first
+	// stream to retire is answered but its slot is never freed —
+	// recreating the slot-leak bug class (permanent capacity loss) the
+	// simtest slot-conservation invariant exists to catch
+	// (mlv_slots_active must return to its baseline at quiescence).
+	LeakSlot bool
 }
 
 // DataPlane serves inferences against admitted leases: per-lease machine
-// pools with resident (weight-stationary) tiles, fed by a micro-batching
-// queue so concurrent clients share each tile fetch.
+// pools with resident (weight-stationary) tiles, fed by a fair-share
+// queue — continuously batched by default, flush micro-batched when
+// InferOptions.Flush is set.
+//
+// The submit path is de-contended: the engine table sits behind an
+// RWMutex taken shared on the hot path, fault flags and the tenant
+// registry are atomic pointers, and the per-tenant in-flight gate is
+// striped by tenant-id hash so unrelated tenants never serialize on one
+// lock.
 type DataPlane struct {
 	svc  *Service
 	opts InferOptions
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	engines map[int]*engineSlot
 	// released tombstones drained lease ids (lease ids are never reused),
 	// so a Resize or lazy engine build racing a Release can never install
 	// an engine for a lease whose placements are already freed.
 	released map[int]bool
-	faults   Faults
+
+	faults atomic.Pointer[Faults]
 	// tenants, when set, turns on per-tenant in-flight caps and fair-share
 	// weights for InferAs.
-	tenants *tenant.Registry
+	tenants atomic.Pointer[tenant.Registry]
 	// inflight counts each tenant's admitted-and-unanswered requests
-	// across all leases (the MaxInFlight quota gate).
-	inflight map[string]int
+	// across all leases (the MaxInFlight quota gate), striped by tenant-id
+	// hash: a tenant always maps to one stripe, so its check-and-increment
+	// stays atomic while different tenants proceed in parallel.
+	inflight [inflightStripes]inflightStripe
+}
+
+const inflightStripes = 32
+
+type inflightStripe struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+// stripe maps a tenant id to its in-flight stripe (FNV-1a).
+func (dp *DataPlane) stripe(tenantID string) *inflightStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(tenantID); i++ {
+		h ^= uint32(tenantID[i])
+		h *= 16777619
+	}
+	return &dp.inflight[h%inflightStripes]
 }
 
 // SetTenants installs the tenant registry: InferAs resolves fair-share
 // weights and enforces MaxInFlight caps against it. A nil registry
 // restores anonymous serving.
 func (dp *DataPlane) SetTenants(reg *tenant.Registry) {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	dp.tenants = reg
+	dp.tenants.Store(reg)
 }
 
 // InjectFaults arms deliberate bugs for the simulation harness.
 func (dp *DataPlane) InjectFaults(f Faults) {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	dp.faults = f
+	dp.faults.Store(&f)
 }
 
 // CheckInvariants audits the data plane's engine and tombstone tables
@@ -409,7 +515,7 @@ type engineSlot struct {
 	// ready flips after e/err are final, so lock-free readers (Load) can
 	// check it without racing the once body.
 	ready atomic.Bool
-	e     *inferEngine
+	e     leaseEngine
 	err   error
 }
 
@@ -430,7 +536,9 @@ func NewDataPlane(svc *Service, opts InferOptions) *DataPlane {
 		svc: svc, opts: opts,
 		engines:  map[int]*engineSlot{},
 		released: map[int]bool{},
-		inflight: map[string]int{},
+	}
+	for i := range dp.inflight {
+		dp.inflight[i].n = map[string]int{}
 	}
 	svc.SetDrainer(dp.drainEngine)
 	return dp
@@ -459,22 +567,13 @@ type LoadStats struct {
 // engine yet (nothing inferred since deploy or resize) — callers should
 // treat that as an idle lease.
 func (dp *DataPlane) Load(leaseID int) (LoadStats, bool) {
-	dp.mu.Lock()
+	dp.mu.RLock()
 	slot := dp.engines[leaseID]
-	dp.mu.Unlock()
+	dp.mu.RUnlock()
 	if slot == nil || !slot.ready.Load() || slot.e == nil {
 		return LoadStats{}, false
 	}
-	e := slot.e
-	return LoadStats{
-		QueueDepth:   e.queue.depth(),
-		InFlight:     int(e.inFlight.Load()),
-		Pending:      int(e.pending.Load()),
-		Served:       e.served.Load(),
-		Batches:      e.batches.Load(),
-		Machines:     e.opts.Machines,
-		AvgQueueWait: time.Duration(e.waitEWMA.Load()),
-	}, true
+	return slot.e.load(), true
 }
 
 // Resize swaps the lease's engine for one with the given machine-pool
@@ -492,7 +591,7 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 	}
 	opts := dp.opts
 	opts.Machines = machines
-	e, err := newInferEngine(lease, opts, dp.faultState)
+	e, err := newLeaseEngine(lease, opts, dp.faultState)
 	if err != nil {
 		return err
 	}
@@ -522,9 +621,10 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 // faultState reads the injected-fault flags (passed to engines as their
 // faults accessor).
 func (dp *DataPlane) faultState() Faults {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	return dp.faults
+	if f := dp.faults.Load(); f != nil {
+		return *f
+	}
+	return Faults{}
 }
 
 // Infer runs the lease's layer on inputs anonymously (see InferAs).
@@ -533,40 +633,42 @@ func (dp *DataPlane) Infer(leaseID int, inputs [][]float64) (*InferResult, error
 }
 
 // InferAs runs the lease's layer on inputs (one vector of the layer's
-// hidden size per timestep) on behalf of tenantID and returns the
-// per-timestep hidden states. The request rides a micro-batch with
-// whatever else is in flight for the lease, scheduled by weighted fair
-// share across tenants; a tenant at its MaxInFlight cap is shed with
-// ErrTenantBusy. An empty tenantID is anonymous: weight 1, no cap.
+// hidden size per timestep, up to the layer's unrolled length — shorter
+// sequences retire early under continuous batching) on behalf of
+// tenantID and returns the per-timestep hidden states. The request rides
+// a batch with whatever else is in flight for the lease, scheduled by
+// weighted fair share across tenants; a tenant at its MaxInFlight cap is
+// shed with ErrTenantBusy. An empty tenantID is anonymous: weight 1, no
+// cap.
 func (dp *DataPlane) InferAs(tenantID string, leaseID int, inputs [][]float64) (*InferResult, error) {
 	weight := 0
 	if tenantID != "" {
 		metrics.TenantRequests.Add(tenantID, 1)
-		dp.mu.Lock()
-		reg := dp.tenants
-		if reg != nil {
+		st := dp.stripe(tenantID)
+		st.mu.Lock()
+		if reg := dp.tenants.Load(); reg != nil {
 			t, ok := reg.Lookup(tenantID)
 			if !ok {
-				dp.mu.Unlock()
+				st.mu.Unlock()
 				metrics.TenantRejections.Add(tenantID, 1)
 				return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, tenantID)
 			}
-			if limit := t.Quotas.MaxInFlight; limit > 0 && dp.inflight[tenantID] >= limit {
-				dp.mu.Unlock()
+			if limit := t.Quotas.MaxInFlight; limit > 0 && st.n[tenantID] >= limit {
+				st.mu.Unlock()
 				metrics.TenantRejections.Add(tenantID, 1)
 				return nil, fmt.Errorf("%w: %s", ErrTenantBusy, tenantID)
 			}
 			weight = t.EffectiveWeight()
 		}
-		dp.inflight[tenantID]++
-		dp.mu.Unlock()
+		st.n[tenantID]++
+		st.mu.Unlock()
 		defer func() {
-			dp.mu.Lock()
-			dp.inflight[tenantID]--
-			if dp.inflight[tenantID] <= 0 {
-				delete(dp.inflight, tenantID)
+			st.mu.Lock()
+			st.n[tenantID]--
+			if st.n[tenantID] <= 0 {
+				delete(st.n, tenantID)
 			}
-			dp.mu.Unlock()
+			st.mu.Unlock()
 		}()
 	}
 	lease, ok := dp.svc.Lease(leaseID)
@@ -574,8 +676,8 @@ func (dp *DataPlane) InferAs(tenantID string, leaseID int, inputs [][]float64) (
 		return nil, fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
 	}
 	spec := lease.Spec
-	if len(inputs) != spec.TimeSteps {
-		return nil, fmt.Errorf("rms: got %d input vectors, layer has %d timesteps", len(inputs), spec.TimeSteps)
+	if len(inputs) == 0 || len(inputs) > spec.TimeSteps {
+		return nil, fmt.Errorf("rms: got %d input vectors, layer takes 1..%d timesteps", len(inputs), spec.TimeSteps)
 	}
 	for t, x := range inputs {
 		if len(x) != spec.Hidden {
@@ -598,20 +700,30 @@ func (dp *DataPlane) InferAs(tenantID string, leaseID int, inputs [][]float64) (
 }
 
 // engine returns the lease's serving engine, building it on first use.
-func (dp *DataPlane) engine(lease *Lease) (*inferEngine, error) {
-	dp.mu.Lock()
-	if dp.released[lease.ID] {
-		dp.mu.Unlock()
+// The steady-state lookup takes the read lock only.
+func (dp *DataPlane) engine(lease *Lease) (leaseEngine, error) {
+	dp.mu.RLock()
+	released := dp.released[lease.ID]
+	slot, ok := dp.engines[lease.ID]
+	dp.mu.RUnlock()
+	if released {
 		return nil, ErrLeaseClosing
 	}
-	slot, ok := dp.engines[lease.ID]
 	if !ok {
-		slot = &engineSlot{}
-		dp.engines[lease.ID] = slot
+		dp.mu.Lock()
+		if dp.released[lease.ID] {
+			dp.mu.Unlock()
+			return nil, ErrLeaseClosing
+		}
+		slot, ok = dp.engines[lease.ID]
+		if !ok {
+			slot = &engineSlot{}
+			dp.engines[lease.ID] = slot
+		}
+		dp.mu.Unlock()
 	}
-	dp.mu.Unlock()
 	slot.once.Do(func() {
-		slot.e, slot.err = newInferEngine(lease, dp.opts, dp.faultState)
+		slot.e, slot.err = newLeaseEngine(lease, dp.opts, dp.faultState)
 		slot.ready.Store(true)
 	})
 	if slot.err != nil {
@@ -630,11 +742,10 @@ func (dp *DataPlane) Release(leaseID int) error {
 // drainEngine retires the lease's engine: admission stops, queued
 // requests are served, in-flight batches finish. Idempotent.
 func (dp *DataPlane) drainEngine(leaseID int) {
-	dp.mu.Lock()
-	if dp.faults.SkipReleaseTombstone {
-		dp.mu.Unlock()
+	if dp.faultState().SkipReleaseTombstone {
 		return
 	}
+	dp.mu.Lock()
 	dp.released[leaseID] = true
 	slot := dp.engines[leaseID]
 	delete(dp.engines, leaseID)

@@ -117,6 +117,7 @@ func TestInferMatchesDirectKernel(t *testing.T) {
 // single-stream answer (batching determinism through the whole stack).
 func TestInferBatchesConcurrentRequests(t *testing.T) {
 	opts := DefaultInferOptions()
+	opts.Flush = true // co-riding via the flush window is the behavior under test
 	opts.Machines = 1
 	opts.MaxBatch = 4
 	opts.FlushDelay = 200 * time.Millisecond

@@ -152,9 +152,10 @@ func TestInferAsInFlightCap(t *testing.T) {
 		}()
 	}
 	// Occupy both in-flight slots, then probe the third.
-	dp.mu.Lock()
-	dp.inflight["capped"] = 2
-	dp.mu.Unlock()
+	st := dp.stripe("capped")
+	st.mu.Lock()
+	st.n["capped"] = 2
+	st.mu.Unlock()
 	before := metrics.TenantCounters()["mlv_tenant_rejections"]["capped"]
 	if _, err := dp.InferAs("capped", lease.ID, inputs); !errors.Is(err, ErrTenantBusy) {
 		t.Fatalf("over-cap infer: %v, want ErrTenantBusy", err)
@@ -162,17 +163,20 @@ func TestInferAsInFlightCap(t *testing.T) {
 	if got := metrics.TenantCounters()["mlv_tenant_rejections"]["capped"]; got != before+1 {
 		t.Fatalf("rejection delta = %d, want 1", got-before)
 	}
-	dp.mu.Lock()
-	dp.inflight["capped"] = 0
-	dp.mu.Unlock()
+	st.mu.Lock()
+	st.n["capped"] = 0
+	st.mu.Unlock()
 	close(release)
 	wg.Wait()
 
 	// All requests answered: the in-flight table must be empty again and
 	// the served counter must cover both successes.
-	dp.mu.Lock()
-	left := len(dp.inflight)
-	dp.mu.Unlock()
+	left := 0
+	for i := range dp.inflight {
+		dp.inflight[i].mu.Lock()
+		left += len(dp.inflight[i].n)
+		dp.inflight[i].mu.Unlock()
+	}
 	if left != 0 {
 		t.Fatalf("inflight table has %d stale entries", left)
 	}
@@ -261,14 +265,15 @@ func TestSubmitShedsAtQueueBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Fill the queue past its bound without running the collector (steal
+	// Fill the queue past its bound without running the scheduler (steal
 	// the pending count directly): submit must shed with ErrBusy.
-	e.pending.Store(int64(e.queueCap))
+	ce := e.(*contEngine)
+	ce.pending.Store(int64(ce.queueCap))
 	req := &inferRequest{inputs: testInputs(lease.Spec, 1), enqueued: time.Now(), resp: make(chan inferResponse, 1)}
 	if err := e.submit(req); !errors.Is(err, ErrBusy) {
 		t.Fatalf("submit at bound: %v, want ErrBusy", err)
 	}
-	e.pending.Store(0)
+	ce.pending.Store(0)
 }
 
 func mustLease(t *testing.T, svc *Service, id int) *Lease {

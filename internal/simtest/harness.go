@@ -50,6 +50,11 @@ const (
 	// executed batches stop crediting the per-tenant served counter.
 	// Caught by the tenant-accounting invariant.
 	FaultSkipTenantServed Fault = "skip-tenant-served-metric"
+	// FaultLeakSlot arms rms.Faults.LeakSlot: the continuous plane's
+	// first retirement per engine leaves its batch slot permanently
+	// occupied — a real capacity leak. Caught by the slot-conservation
+	// invariant (mlv_slots_active fails to drain back to baseline).
+	FaultLeakSlot Fault = "leak-slot"
 )
 
 // Options configures one simulated run. Everything that influences the
@@ -135,10 +140,11 @@ type Violation struct {
 	// Invariant names the checker: "lease-conservation",
 	// "placement-shape", "duplicate-device", "placement-conservation",
 	// "feasible-depth", "engine-tombstone", "counter-conservation",
-	// "batch-conservation", "golden-equivalence", "infer-served",
-	// "warm-deploy", "artifact-cache", "stranded-placement",
-	// "quota-conservation", "tenant-accounting", or an *-error for an
-	// operation that failed when the model says it cannot.
+	// "batch-conservation", "slot-conservation", "golden-equivalence",
+	// "infer-served", "warm-deploy", "artifact-cache",
+	// "stranded-placement", "quota-conservation", "tenant-accounting",
+	// or an *-error for an operation that failed when the model says it
+	// cannot.
 	Invariant string
 	Detail    string
 }
@@ -241,11 +247,12 @@ type harness struct {
 	loads   map[int]rms.LoadStats
 	armFail int
 
-	live    []int
-	killed  map[int]bool
-	drained map[int]bool
-	golden  map[goldenKey]uint64
-	base    map[string]int64
+	live     []int
+	killed   map[int]bool
+	drained  map[int]bool
+	golden   map[goldenKey]uint64
+	base     map[string]int64
+	slotBase map[string]int64
 
 	// Tenant model: who owns each live lease, plus per-tenant expected
 	// counter deltas mirroring mlv_tenant_{requests,infers_served,
@@ -341,6 +348,8 @@ func newHarness(o Options) (*harness, error) {
 		h.cp.InjectFaults(cluster.Faults{SkipMigrationMetric: true})
 	case FaultSkipTenantServed:
 		dp.InjectFaults(rms.Faults{SkipTenantServedMetric: true})
+	case FaultLeakSlot:
+		dp.InjectFaults(rms.Faults{LeakSlot: true})
 	}
 	for _, f := range svc.Status().FPGAs {
 		h.devices = append(h.devices, f.ID)
@@ -349,6 +358,7 @@ func newHarness(o Options) (*harness, error) {
 	// Counter baselines before the preamble, so the LeasesActive delta
 	// tracks len(h.live) exactly and per-tenant deltas start at zero.
 	h.base = metrics.Counters()
+	h.slotBase = metrics.SlotCounters()
 	h.tenantBase = metrics.TenantCounters()
 	// Preamble: two leases exist before the first event, so even a
 	// one-event minimal schedule has something to act on. With tenants
@@ -1043,6 +1053,33 @@ func (h *harness) checkInvariants(step int) {
 	if bf := delta("mlv_batches_flushed"); bf < h.expInferEvents || bf > h.expInfers {
 		h.fail(step, "batch-conservation",
 			"mlv_batches_flushed moved %d, outside [%d, %d]", bf, h.expInferEvents, h.expInfers)
+		return
+	}
+
+	// Slot conservation in the continuous plane: every infer event joins
+	// its requests before returning and retirement settles all accounting
+	// before answering, so between events no stream is resident — the
+	// active-slot gauge must be exactly back at its baseline (a residue is
+	// a leaked slot: admitted capacity that never came back), and each
+	// served request accounts for exactly one slot admission.
+	scur := metrics.SlotCounters()
+	sdelta := func(name string) int64 { return scur[name] - h.slotBase[name] }
+	if got := sdelta("mlv_slots_active"); got != 0 {
+		h.fail(step, "slot-conservation",
+			"mlv_slots_active residue %d with no request in flight", got)
+		return
+	}
+	if !h.o.Infer.Flush {
+		if got := sdelta("mlv_admissions"); got != h.expInfers {
+			h.fail(step, "slot-conservation",
+				"mlv_admissions moved %d, events account for %d", got, h.expInfers)
+			return
+		}
+		if occ, rounds := sdelta("mlv_slot_round_occupancy"), sdelta("mlv_slot_rounds"); occ < rounds {
+			h.fail(step, "slot-conservation",
+				"mlv_slot_round_occupancy %d below mlv_slot_rounds %d: a round ran with an empty cohort", occ, rounds)
+			return
+		}
 	}
 }
 

@@ -138,6 +138,7 @@ func TestSimCatchesInjectedBugs(t *testing.T) {
 		{"skip-release-tombstone", FaultSkipTombstone, "engine-tombstone"},
 		{"skip-migration-metric", FaultSkipMigrationMetric, "counter-conservation"},
 		{"skip-tenant-served-metric", FaultSkipTenantServed, "tenant-accounting"},
+		{"leak-slot", FaultLeakSlot, "slot-conservation"},
 	}
 	for _, tc := range cases {
 		tc := tc
