@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-infer-smoke bench-cluster bench-compile bench-tenant lint soak fuzz simtest repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-infer-smoke bench-cluster bench-compile bench-tenant bench-preempt lint soak fuzz simtest repro examples clean
 
 all: check
 
@@ -57,15 +57,25 @@ bench-compile:
 bench-tenant:
 	$(GO) run ./cmd/mlv-bench-tenant
 
+# Preemptive-scheduling bench: a latency tenant's probe p99 against a
+# machine saturated by full-length batch sequences must improve when the
+# continuous plane may checkpoint batch streams instead of draining them.
+# Refreshes BENCH_preempt.json and fails if preemption doesn't beat
+# drain-only.
+bench-preempt:
+	$(GO) run ./cmd/mlv-bench-preempt
+
 # Static analysis beyond go vet. Uses staticcheck when installed (CI
-# installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest)
+# installs the pinned STATICCHECK_VERSION below; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))
 # and degrades to a notice when absent, so `make lint` never needs network.
+STATICCHECK_VERSION ?= 2024.1.1
 lint:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
-		echo "lint: staticcheck not installed, ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "lint: staticcheck not installed, ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 # Failure-injection soak: kill one device mid-run, drain another, assert

@@ -1,0 +1,111 @@
+// mlv-bench-preempt measures what preemptive scheduling buys the latency
+// class and writes BENCH_preempt.json: a latency tenant's probe-latency
+// distribution against a machine whose slots are all held by a batch
+// tenant's full-length sequences, drain-only vs preemptive. With Preempt
+// off a probe waits for a batch stream to retire; with it on, a batch
+// stream is checkpointed at the next round boundary, the probe is served,
+// and the evicted stream is restored bit-identical afterwards. The run
+// fails unless the preemptive p99 improves on drain-only by at least
+// -min-improvement (default 1.1x).
+//
+// Usage:
+//
+//	mlv-bench-preempt [-o BENCH_preempt.json] [-probes 200] [-min-improvement 1.1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mlvfpga/internal/benchhost"
+	"mlvfpga/internal/preemptbench"
+)
+
+type report struct {
+	Recorded string         `json:"recorded"`
+	Host     benchhost.Info `json:"host"`
+	Command  string         `json:"command"`
+	Layer    string         `json:"layer"`
+	Config   struct {
+		Probes         int     `json:"probes"`
+		ProbeSteps     int     `json:"probe_steps"`
+		BatchSteps     int     `json:"batch_steps"`
+		FloodDepth     int     `json:"flood_depth"`
+		MaxBatch       int     `json:"max_batch"`
+		Machines       int     `json:"machines"`
+		MinImprovement float64 `json:"min_improvement"`
+	} `json:"config"`
+	Result  *preemptbench.Result `json:"result"`
+	Summary struct {
+		DrainP99Us     float64 `json:"drain_p99_us"`
+		PreemptP99Us   float64 `json:"preempt_p99_us"`
+		P99Improvement float64 `json:"p99_improvement"`
+		Evictions      int64   `json:"evictions"`
+		Restores       int64   `json:"restores"`
+		ImprovementOK  bool    `json:"improvement_ok"`
+	} `json:"summary"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_preempt.json", "output file")
+	probes := flag.Int("probes", 200, "timed latency-tenant probes per phase")
+	min := flag.Float64("min-improvement", 1.1, "minimum required drain/preempt p99 ratio")
+	flag.Parse()
+
+	o := preemptbench.DefaultOptions()
+	o.Probes = *probes
+
+	fmt.Printf("mlv-bench-preempt: %d probes/phase against a %d-deep flood of %d-step sequences...\n",
+		o.Probes, o.Flood, o.Spec.TimeSteps)
+	res, err := preemptbench.Run(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drain-only p50 %.0fus p99 %.0fus (batch: %d served)\n",
+		res.DrainOnly.P50Us, res.DrainOnly.P99Us, res.DrainOnly.BatchCompleted)
+	fmt.Printf("  preemptive p50 %.0fus p99 %.0fus (batch: %d served, %d evictions, %d restores)\n",
+		res.Preemptive.P50Us, res.Preemptive.P99Us, res.Preemptive.BatchCompleted,
+		res.Preemptive.Evictions, res.Preemptive.Restores)
+
+	var r report
+	r.Recorded = time.Now().UTC().Format("2006-01-02")
+	r.Host = benchhost.Collect("closed-loop wall-clock latencies on a shared host; the asserted fact is the drain/preempt p99 ratio, not absolute us")
+	r.Command = "go run ./cmd/mlv-bench-preempt"
+	r.Layer = o.Spec.String()
+	r.Config.Probes = o.Probes
+	r.Config.ProbeSteps = o.ProbeSteps
+	r.Config.BatchSteps = o.Spec.TimeSteps
+	r.Config.FloodDepth = o.Flood
+	r.Config.MaxBatch = o.Infer.MaxBatch
+	r.Config.Machines = o.Infer.Machines
+	r.Config.MinImprovement = *min
+	r.Result = res
+	r.Summary.DrainP99Us = res.DrainOnly.P99Us
+	r.Summary.PreemptP99Us = res.Preemptive.P99Us
+	r.Summary.P99Improvement = res.P99Improvement
+	r.Summary.Evictions = res.Preemptive.Evictions
+	r.Summary.Restores = res.Preemptive.Restores
+	r.Summary.ImprovementOK = res.P99Improvement >= *min
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mlv-bench-preempt: drain/preempt p99 ratio %.2f (min %.1f); wrote %s\n",
+		res.P99Improvement, *min, *out)
+	if !r.Summary.ImprovementOK {
+		log.Fatalf("improvement bound violated: preempt p99 %.0fus not %.1fx under drain p99 %.0fus",
+			res.Preemptive.P99Us, *min, res.DrainOnly.P99Us)
+	}
+	if res.Preemptive.Evictions == 0 || res.Preemptive.Evictions != res.Preemptive.Restores {
+		log.Fatalf("preemption accounting broken: %d evictions, %d restores",
+			res.Preemptive.Evictions, res.Preemptive.Restores)
+	}
+}

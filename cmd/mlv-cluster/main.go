@@ -10,6 +10,8 @@
 //	mlv-cluster [-addr host:port] [-tenant id -key secret] kill <device-id>
 //	mlv-cluster [-addr host:port] [-tenant id -key secret] heartbeat <device-id>
 //	mlv-cluster [-addr host:port] [-tenant id -key secret] rebalance
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] defrag
+//	mlv-cluster [-addr host:port] [-tenant id -key secret] preempt <lease-id> [slots]
 //	mlv-cluster [-addr host:port] status
 //
 // Against a server started with -tenants, the mutating subcommands need
@@ -36,7 +38,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlv-cluster [-addr host:port] [-tenant id -key secret] <devices|drain|undrain|kill|heartbeat|rebalance|status> [device-id]")
+	fmt.Fprintln(os.Stderr, "usage: mlv-cluster [-addr host:port] [-tenant id -key secret] <devices|drain|undrain|kill|heartbeat|rebalance|defrag|preempt|status> [args]")
 	os.Exit(2)
 }
 
@@ -146,6 +148,45 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	case "defrag":
+		out := post("/cluster/defrag", struct{}{})
+		var rep cluster.DefragReport
+		if err := json.Unmarshal(out, &rep); err != nil {
+			fatalf("decoding report: %v", err)
+		}
+		fmt.Printf("defrag %d: stranded blocks %d -> %d, empty devices %d -> %d, %d moves, %d skipped\n",
+			rep.Run, rep.ScoreBefore, rep.ScoreAfter, rep.EmptyBefore, rep.EmptyAfter, len(rep.Moves), rep.Skipped)
+		for _, ev := range rep.Moves {
+			line := fmt.Sprintf("  lease %d: %s at depth %d", ev.Lease, ev.Kind, ev.ToDepth)
+			if ev.Err != "" {
+				line += " FAILED: " + ev.Err
+			}
+			fmt.Println(line)
+		}
+	case "preempt":
+		if flag.NArg() < 2 || flag.NArg() > 3 {
+			usage()
+		}
+		leaseID, err := strconv.Atoi(flag.Arg(1))
+		if err != nil {
+			fatalf("bad lease id %q", flag.Arg(1))
+		}
+		slots := 0 // server default: the lease's full batch width
+		if flag.NArg() == 3 {
+			if slots, err = strconv.Atoi(flag.Arg(2)); err != nil {
+				fatalf("bad slot count %q", flag.Arg(2))
+			}
+		}
+		out := post("/preempt", map[string]any{"id": leaseID, "slots": slots})
+		var rep struct {
+			Evicted int `json:"evicted"`
+		}
+		if err := json.Unmarshal(out, &rep); err != nil {
+			fatalf("decoding response: %v", err)
+		}
+		// The server reports synchronous evictions only; machines that were
+		// mid-round consume the demand at their next round boundary.
+		fmt.Printf("preempted %d resident streams of lease %d synchronously; busy machines evict at their next round (watch mlv_preempt_evictions)\n", rep.Evicted, leaseID)
 	case "status":
 		var st rms.ClusterStatus
 		get("/status", &st)

@@ -62,6 +62,8 @@ func main() {
 	machines := flag.Int("machines", 2, "per-lease machine pool size")
 	flushPlane := flag.Bool("flush-plane", false, "serve with the legacy flush-and-wait micro-batching engine instead of continuous batching")
 	shards := flag.Int("shards", 0, "continuous plane scheduler shards per lease (0 = GOMAXPROCS, capped at -machines)")
+	preempt := flag.Bool("preempt", false, "preemptive scheduling: a full machine checkpoints batch-class streams while latency-class requests wait (continuous plane only)")
+	drainDeadline := flag.Duration("drain-deadline", 10*time.Second, "shutdown drain budget; streams still running at the deadline are checkpointed instead of served (0 = drain unbounded)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this private address (empty = disabled); enables mutex and block profiling")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "simulated device heartbeat interval")
 	tick := flag.Duration("tick", time.Second, "control-plane tick interval (0 disables the loop)")
@@ -97,6 +99,7 @@ func main() {
 	opts.Machines = *machines
 	opts.Flush = *flushPlane
 	opts.Shards = *shards
+	opts.Preempt = *preempt
 	dp := rms.NewDataPlane(svc, opts)
 
 	// Opt-in profiling on a separate, private listener: the serving mux
@@ -241,10 +244,29 @@ func main() {
 	close(stop)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// The engine drain runs concurrently with the HTTP shutdown: /infer
+	// handlers block on their in-flight inferences, so Shutdown can only
+	// return once the data plane has answered them — gracefully within
+	// -drain-deadline, or by checkpointing still-running streams at the
+	// deadline (their callers get a 503 lease-closing answer and can retry
+	// against the next instance). Draining after Shutdown instead would
+	// make the deadline dead code: Shutdown would wait out the full
+	// sequence first.
+	drained := make(chan int, 1)
+	go func() {
+		if *drainDeadline > 0 {
+			drained <- dp.CloseWithin(*drainDeadline)
+		} else {
+			dp.Close()
+			drained <- 0
+		}
+	}()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("mlv-serve: shutdown: %v", err)
 	}
-	dp.Close()
+	if n := <-drained; n > 0 {
+		log.Printf("mlv-serve: drain deadline: checkpointed %d in-flight streams", n)
+	}
 	for _, lease := range svc.Leases() {
 		if err := svc.Release(lease.ID); err != nil {
 			log.Printf("mlv-serve: releasing lease %d: %v", lease.ID, err)

@@ -235,6 +235,29 @@ func (s ExecStats) Minus(prev ExecStats) ExecStats {
 	return d
 }
 
+// Plus returns the element-wise sum of two stat deltas — how a stream's
+// pre-preemption work is folded into the BatchStats its final retirement
+// reports.
+func (s ExecStats) Plus(o ExecStats) ExecStats {
+	d := ExecStats{
+		Instructions:    s.Instructions + o.Instructions,
+		ByOp:            map[isa.Opcode]int{},
+		MACs:            s.MACs + o.MACs,
+		VectorOps:       s.VectorOps + o.VectorOps,
+		DRAMReads:       s.DRAMReads + o.DRAMReads,
+		DRAMWrites:      s.DRAMWrites + o.DRAMWrites,
+		TileCacheHits:   s.TileCacheHits + o.TileCacheHits,
+		TileCacheMisses: s.TileCacheMisses + o.TileCacheMisses,
+	}
+	for op, c := range s.ByOp {
+		d.ByOp[op] += c
+	}
+	for op, c := range o.ByOp {
+		d.ByOp[op] += c
+	}
+	return d
+}
+
 // Machine is one simulated accelerator instance. A Machine is not safe for
 // concurrent use; the serving layer pools machines so each executes one
 // (possibly batched) program at a time.

@@ -33,8 +33,8 @@ func fuzzVals(data []byte) []float64 {
 //     a binary16 value survives a float64 round trip unchanged.
 func FuzzQuantizeRoundTrip(f *testing.F) {
 	f.Add([]byte{5})
-	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0xF0, 0x3F, 0, 0, 0, 0, 0, 0, 0xF0, 0xBF})        // 1.0, -1.0
-	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0xF8, 0x7F, 0, 0, 0, 0, 0, 0, 0xF0, 0x7F})        // NaN, +Inf
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0xF0, 0x3F, 0, 0, 0, 0, 0, 0, 0xF0, 0xBF})              // 1.0, -1.0
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0xF8, 0x7F, 0, 0, 0, 0, 0, 0, 0xF0, 0x7F})              // NaN, +Inf
 	f.Add([]byte{23, 0x9A, 0x99, 0x99, 0x99, 0x99, 0x99, 0xB9, 0x3F, 1, 0, 0, 0, 0, 0, 0, 0}) // 0.1, subnormal
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {

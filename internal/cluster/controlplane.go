@@ -116,10 +116,11 @@ type ControlPlane struct {
 	loads LoadSource
 	sizer Resizer
 
-	mu     sync.Mutex
-	leases map[int]*leaseState
-	ticks  int
-	faults Faults
+	mu      sync.Mutex
+	leases  map[int]*leaseState
+	ticks   int
+	defrags int
+	faults  Faults
 	// comm caches the per-spec comm-cost function (keyed by spec string).
 	comm map[string]func(depth int) time.Duration
 }

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/rms"
+)
+
+// DefragReport is the deterministic record of one defragmentation pass.
+type DefragReport struct {
+	Run int `json:"run"`
+	// ScoreBefore and ScoreAfter are the fragmentation scores around the
+	// pass: free blocks stranded on partially-occupied devices. Lower is
+	// better — stranded blocks cannot host a deployment that needs a whole
+	// device, even though the fleet-wide free total says it should fit.
+	ScoreBefore int `json:"score_before"`
+	ScoreAfter  int `json:"score_after"`
+	// EmptyBefore and EmptyAfter count fully-free devices — the currency
+	// deep (multi-piece) deployments actually spend.
+	EmptyBefore int `json:"empty_before"`
+	EmptyAfter  int `json:"empty_after"`
+	// Moves are the consolidation migrations attempted (Kind "defrag").
+	Moves []Event `json:"moves,omitempty"`
+	// Skipped counts leases left alone: serving traffic, in backoff, over
+	// budget, or with no placement that improves the score.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// fragTable is the planner's working copy of device occupancy.
+type fragTable struct {
+	free  map[int]int
+	total map[int]int
+	typ   map[int]string
+	ids   []int // ascending, for deterministic iteration
+}
+
+func newFragTable(st rms.ClusterStatus) *fragTable {
+	t := &fragTable{free: map[int]int{}, total: map[int]int{}, typ: map[int]string{}}
+	for _, f := range st.FPGAs { // Status lists devices sorted by id
+		t.free[f.ID] = f.FreeBlocks
+		t.total[f.ID] = f.TotalBlocks
+		t.typ[f.ID] = f.Device
+		t.ids = append(t.ids, f.ID)
+	}
+	return t
+}
+
+// score is the stranded-free-block count: free blocks on devices that are
+// neither full nor empty.
+func (t *fragTable) score() int {
+	s := 0
+	for _, id := range t.ids {
+		if f := t.free[id]; f > 0 && f < t.total[id] {
+			s += f
+		}
+	}
+	return s
+}
+
+// empty counts fully-free devices.
+func (t *fragTable) empty() int {
+	n := 0
+	for _, id := range t.ids {
+		if t.free[id] == t.total[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// preview best-fit places the lease's current piece shapes onto devices
+// other than its own, mirroring the service's placement policy (fewest
+// free blocks that still fit), and returns the score the move would
+// yield. ok is false when no such placement exists.
+func (t *fragTable) preview(l *rms.Lease, placeable func(int) bool) (score int, ok bool) {
+	own := map[int]bool{}
+	for _, pl := range l.Placements {
+		own[pl.FPGA] = true
+	}
+	trial := map[int]int{}
+	for id, f := range t.free {
+		trial[id] = f
+	}
+	for _, pl := range l.Placements {
+		trial[pl.FPGA] += pl.Blocks // vacating frees the old blocks first
+	}
+	used := map[int]bool{}
+	for _, pl := range l.Placements {
+		best, bestFree := -1, 1<<30
+		for _, id := range t.ids {
+			if own[id] || used[id] || t.typ[id] != pl.Device || !placeable(id) {
+				continue
+			}
+			if f := trial[id]; f >= pl.Blocks && f < bestFree {
+				best, bestFree = id, f
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		used[best] = true
+		trial[best] -= pl.Blocks
+	}
+	saved := t.free
+	t.free = trial
+	score = t.score()
+	t.free = saved
+	return score, true
+}
+
+// apply replays a committed migration into the working table.
+func (t *fragTable) apply(old, new []rms.Placement) {
+	for _, pl := range old {
+		t.free[pl.FPGA] += pl.Blocks
+	}
+	for _, pl := range new {
+		t.free[pl.FPGA] -= pl.Blocks
+	}
+}
+
+// Defrag runs one quiet-period defragmentation pass: idle leases are
+// consolidated onto already-occupied devices (same-depth make-before-break
+// migrations, best-fit like every placement) whenever the move lowers the
+// fragmentation score — free blocks stranded on partially-occupied
+// devices. Leases serving traffic are never touched; should load arrive
+// mid-move, the data-plane Resize transplants queued and resident streams
+// onto the new placement via checkpoint/restore, so callers see latency,
+// not errors. The pass shares the control plane's migration budget and
+// per-lease backoff, so defrag cannot stampede a fleet that Tick is
+// already repairing. Lease order is ascending by id and every time read
+// comes from the injected clock, so a scripted run replays exactly.
+func (cp *ControlPlane) Defrag() *DefragReport {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.defrags++
+	metrics.DefragRuns.Add(1)
+	rep := &DefragReport{Run: cp.defrags}
+	now := cp.clock.Now()
+	budget := cp.cfg.MigrationBudget
+	avoid := func(id int) bool { return !cp.reg.Placeable(id) }
+
+	tab := newFragTable(cp.svc.Status())
+	rep.ScoreBefore, rep.EmptyBefore = tab.score(), tab.empty()
+
+	for _, l := range cp.svc.Leases() {
+		st := cp.leases[l.ID]
+		if st == nil {
+			st = &leaseState{}
+			cp.leases[l.ID] = st
+		}
+		if budget <= 0 || now.Before(st.backoffUntil) {
+			rep.Skipped++
+			continue
+		}
+		// Quiet gate: only leases with nothing queued and nothing resident
+		// are candidates — defrag is maintenance, not load management.
+		if cp.loads != nil {
+			if load, ok := cp.loads.Load(l.ID); ok && (load.QueueDepth > 0 || load.InFlight > 0) {
+				rep.Skipped++
+				continue
+			}
+		}
+		moved, ok := tab.preview(l, cp.reg.Placeable)
+		if !ok || moved >= tab.score() {
+			rep.Skipped++
+			continue
+		}
+		budget--
+		own := map[int]bool{}
+		for _, pl := range l.Placements {
+			own[pl.FPGA] = true
+		}
+		ev := Event{Lease: l.ID, Kind: "defrag", FromDepth: l.Depth, ToDepth: l.Depth}
+		moved2, err := cp.svc.Migrate(l.ID, l.Depth,
+			func(id int) bool { return avoid(id) || own[id] }, false)
+		if err != nil {
+			ev.Err = err.Error()
+			cp.failLocked(st, now)
+			metrics.MigrationFailures.Add(1)
+		} else {
+			cp.okLocked(st)
+			tab.apply(l.Placements, moved2.Placements)
+			metrics.DefragMoves.Add(1)
+			if !cp.faults.SkipMigrationMetric {
+				metrics.Migrations.Add(1)
+			}
+			if cp.sizer != nil {
+				// Rebuild the engine pool against the new placement; the
+				// transplant checkpoints any streams that slipped in since
+				// the quiet check and resumes them on the new devices.
+				st.wantMachines = 0
+				if rerr := cp.sizer.Resize(l.ID, l.Depth*cp.cfg.MachinesPerPiece); rerr != nil {
+					ev.Err = rerr.Error()
+					st.wantMachines = l.Depth * cp.cfg.MachinesPerPiece
+					cp.failLocked(st, now)
+				}
+			}
+		}
+		rep.Moves = append(rep.Moves, ev)
+	}
+	rep.ScoreAfter, rep.EmptyAfter = tab.score(), tab.empty()
+	return rep
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/resource"
+	"mlvfpga/internal/rms"
+)
+
+// fragment deploys leases until one lands on a second device, then
+// releases the intermediates, leaving exactly two idle single-piece
+// leases stranded on two partially-occupied devices — the canonical
+// fragmented layout a consolidation pass must fix.
+func fragment(t *testing.T, svc *rms.Service) (*rms.Lease, *rms.Lease) {
+	t.Helper()
+	first, err := svc.Deploy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extras []int
+	for i := 0; i < 64; i++ {
+		l, err := svc.Deploy(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Placements[0].FPGA != first.Placements[0].FPGA {
+			for _, id := range extras {
+				if err := svc.Release(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return first, l
+		}
+		extras = append(extras, l.ID)
+	}
+	t.Fatal("64 deploys never spilled onto a second device")
+	return nil, nil
+}
+
+func TestDefragConsolidatesIdleLeases(t *testing.T) {
+	cfg := DefaultConfig()
+	cp, svc, fp, _ := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, cfg)
+	first, second := fragment(t, svc)
+	runsBase := metrics.DefragRuns.Value()
+	movesBase := metrics.DefragMoves.Value()
+
+	rep := cp.Defrag()
+	if rep.Run != 1 {
+		t.Fatalf("run = %d, want 1", rep.Run)
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].Kind != "defrag" || rep.Moves[0].Err != "" {
+		t.Fatalf("moves = %+v, want one clean defrag move", rep.Moves)
+	}
+	if rep.Moves[0].FromDepth != rep.Moves[0].ToDepth {
+		t.Fatalf("defrag changed depth: %+v", rep.Moves[0])
+	}
+	if rep.ScoreAfter >= rep.ScoreBefore {
+		t.Fatalf("score did not improve: %d -> %d", rep.ScoreBefore, rep.ScoreAfter)
+	}
+	if rep.EmptyAfter <= rep.EmptyBefore {
+		t.Fatalf("empty devices did not increase: %d -> %d", rep.EmptyBefore, rep.EmptyAfter)
+	}
+	gotFirst, _ := svc.Lease(first.ID)
+	gotSecond, _ := svc.Lease(second.ID)
+	if gotFirst.Placements[0].FPGA != gotSecond.Placements[0].FPGA {
+		t.Fatalf("leases still apart: fpga %d vs %d",
+			gotFirst.Placements[0].FPGA, gotSecond.Placements[0].FPGA)
+	}
+	if gotFirst.Migrations+gotSecond.Migrations != 1 {
+		t.Fatalf("migrations = %d+%d, want exactly one move",
+			gotFirst.Migrations, gotSecond.Migrations)
+	}
+	// The mover's engine pool was rebuilt against the new placement (the
+	// Resize transplant is what carries any in-flight streams across).
+	moved := rep.Moves[0].Lease
+	if fp.resized[moved] != 1*cfg.MachinesPerPiece {
+		t.Fatalf("resized[%d] = %d, want %d", moved, fp.resized[moved], cfg.MachinesPerPiece)
+	}
+	if metrics.DefragRuns.Value()-runsBase != 1 || metrics.DefragMoves.Value()-movesBase != 1 {
+		t.Fatalf("counters: runs +%d moves +%d, want +1 +1",
+			metrics.DefragRuns.Value()-runsBase, metrics.DefragMoves.Value()-movesBase)
+	}
+
+	// The layout has converged: a second pass finds nothing to improve.
+	rep = cp.Defrag()
+	if len(rep.Moves) != 0 || rep.Run != 2 {
+		t.Fatalf("second pass: %+v, want no moves", rep)
+	}
+	if rep.ScoreAfter != rep.ScoreBefore {
+		t.Fatalf("idempotent pass changed score: %d -> %d", rep.ScoreBefore, rep.ScoreAfter)
+	}
+}
+
+func TestDefragSkipsBusyLeases(t *testing.T) {
+	cp, svc, fp, _ := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, DefaultConfig())
+	first, second := fragment(t, svc)
+	fp.setLoad(first.ID, rms.LoadStats{InFlight: 1})
+	fp.setLoad(second.ID, rms.LoadStats{QueueDepth: 3})
+
+	rep := cp.Defrag()
+	if len(rep.Moves) != 0 {
+		t.Fatalf("defrag moved busy leases: %+v", rep.Moves)
+	}
+	if rep.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", rep.Skipped)
+	}
+	if rep.ScoreAfter != rep.ScoreBefore {
+		t.Fatalf("no-op pass changed score: %d -> %d", rep.ScoreBefore, rep.ScoreAfter)
+	}
+
+	// Quiesce: the same layout now consolidates.
+	fp.setLoad(first.ID, rms.LoadStats{})
+	fp.setLoad(second.ID, rms.LoadStats{})
+	if rep := cp.Defrag(); len(rep.Moves) != 1 {
+		t.Fatalf("quiet pass: %+v, want one move", rep.Moves)
+	}
+}
+
+func TestDefragRespectsBudgetAndBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationBudget = 0 // floor-clamped to the default by New
+	cp, svc, _, _ := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, cfg)
+	fragment(t, svc)
+
+	// Exhaust the budget artificially by shrinking it after construction.
+	cp.mu.Lock()
+	cp.cfg.MigrationBudget = 0
+	cp.mu.Unlock()
+	rep := cp.Defrag()
+	if len(rep.Moves) != 0 || rep.Skipped == 0 {
+		t.Fatalf("budget-less pass acted: %+v", rep)
+	}
+}
+
+func TestDefragHTTPAndCLIShape(t *testing.T) {
+	cp, svc, _, _ := testControlPlane(t, resource.ClusterSpec{resource.XCVU37P.Name: 4}, DefaultConfig())
+	fragment(t, svc)
+	srv := httptest.NewServer(cp.Handler(rms.Handler(svc)))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/cluster/defrag", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /cluster/defrag: %d", resp.StatusCode)
+	}
+	var rep DefragReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].Kind != "defrag" {
+		t.Fatalf("report over HTTP: %+v", rep)
+	}
+
+	// Wrong method is a JSON 405, matching the rest of the surface.
+	getResp, err := http.Get(srv.URL + "/cluster/defrag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /cluster/defrag: %d, want 405", getResp.StatusCode)
+	}
+}

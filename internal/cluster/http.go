@@ -14,6 +14,7 @@ import (
 //	POST /cluster/heartbeat {"id":2}        -> 204
 //	POST /cluster/kill      {"id":2}        -> 204 (immediate Dead, as from failure evidence)
 //	POST /cluster/rebalance                 -> TickReport (one control pass, on demand)
+//	POST /cluster/defrag                    -> DefragReport (one consolidation pass)
 //
 // base may be nil when the control plane runs standalone.
 //
@@ -96,6 +97,14 @@ func (cp *ControlPlane) Handler(base http.Handler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, cp.Tick())
+	})
+
+	mux.HandleFunc("/cluster/defrag", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		writeJSON(w, http.StatusOK, cp.Defrag())
 	})
 
 	if base != nil {

@@ -147,6 +147,53 @@ func SlotCounters() map[string]int64 {
 	}
 }
 
+// Checkpoint/restore counters: snapshot volume, preemptive scheduling
+// and defragmentation. Kept out of Counters() — the simulation harness
+// audits them through SnapshotCounters() with its own snapshot-
+// conservation model (captures from preemption must be matched by
+// restores; see internal/simtest).
+var (
+	// SnapshotCaptures counts slot checkpoints taken (preemption,
+	// transplant on resize, drain-deadline checkpointing);
+	// SnapshotRestores counts checkpoints installed into a slot.
+	SnapshotCaptures = expvar.NewInt("mlv_snapshot_captures")
+	SnapshotRestores = expvar.NewInt("mlv_snapshot_restores")
+	// SnapshotBytes sums the encoded payload size of every capture.
+	SnapshotBytes = expvar.NewInt("mlv_snapshot_bytes")
+	// PreemptEvictions counts streams evicted mid-flight from a slot
+	// (their checkpoints re-enter the fair queue as resume tokens);
+	// PreemptRestores counts evicted streams re-admitted from a token.
+	PreemptEvictions = expvar.NewInt("mlv_preempt_evictions")
+	PreemptRestores  = expvar.NewInt("mlv_preempt_restores")
+	// PreemptRequests counts explicit or automatic preemption triggers
+	// (each may evict zero or more slots).
+	PreemptRequests = expvar.NewInt("mlv_preempt_requests")
+	// DrainCheckpoints counts streams checkpointed because a shutdown
+	// drain deadline expired before they finished. Not part of the
+	// simtest conservation model (the harness never deadline-drains).
+	DrainCheckpoints = expvar.NewInt("mlv_drain_checkpoints")
+	// DefragRuns counts defragmentation planner invocations; DefragMoves
+	// counts the checkpoint-migrations those runs performed.
+	DefragRuns  = expvar.NewInt("mlv_defrag_runs")
+	DefragMoves = expvar.NewInt("mlv_defrag_moves")
+)
+
+// SnapshotCounters snapshots the checkpoint/restore counters by expvar
+// name (the simulation harness diffs two snapshots for snapshot
+// conservation; DrainCheckpoints and DefragRuns are excluded from the
+// equality model and audited directly).
+func SnapshotCounters() map[string]int64 {
+	return map[string]int64{
+		"mlv_snapshot_captures": SnapshotCaptures.Value(),
+		"mlv_snapshot_restores": SnapshotRestores.Value(),
+		"mlv_snapshot_bytes":    SnapshotBytes.Value(),
+		"mlv_preempt_evictions": PreemptEvictions.Value(),
+		"mlv_preempt_restores":  PreemptRestores.Value(),
+		"mlv_preempt_requests":  PreemptRequests.Value(),
+		"mlv_defrag_moves":      DefragMoves.Value(),
+	}
+}
+
 // Multi-tenant serving counters. The per-tenant maps are keyed by tenant
 // id; they are kept out of Counters() because the simulation harness
 // checks them through TenantCounters() with its own per-tenant event

@@ -1,0 +1,60 @@
+package preemptbench
+
+import "testing"
+
+// TestRunSmoke runs a miniature A/B measurement end to end: both phases
+// complete, distributions are populated and ordered, the batch flood made
+// progress in both, and preemption machinery fired only in the preemptive
+// phase. The p99-improvement bound is asserted by cmd/mlv-bench-preempt
+// when recording BENCH_preempt.json, not here — wall-clock ratios on a
+// loaded CI box are not a unit-test fact.
+func TestRunSmoke(t *testing.T) {
+	o := DefaultOptions()
+	o.Probes = 30
+	o.Warmup = 5
+	// Flood stays at the default: auto-preemption only fires on a full
+	// machine, so the flood must outnumber the slots (MaxBatch).
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ph := range map[string]Phase{"drain": res.DrainOnly, "preempt": res.Preemptive} {
+		if ph.Probes != o.Probes {
+			t.Errorf("%s probes = %d, want %d", name, ph.Probes, o.Probes)
+		}
+		if ph.P50Us <= 0 || ph.P99Us < ph.P50Us || ph.MaxUs < ph.P99Us {
+			t.Errorf("%s distribution out of order: p50=%.0f p99=%.0f max=%.0f",
+				name, ph.P50Us, ph.P99Us, ph.MaxUs)
+		}
+		if ph.BatchCompleted == 0 {
+			t.Errorf("%s phase: batch flood made no progress", name)
+		}
+	}
+	if res.DrainOnly.Evictions != 0 || res.DrainOnly.PreemptRequests != 0 {
+		t.Errorf("drain-only phase preempted: %d requests, %d evictions",
+			res.DrainOnly.PreemptRequests, res.DrainOnly.Evictions)
+	}
+	if res.Preemptive.Evictions == 0 {
+		t.Error("preemptive phase never evicted a batch stream")
+	}
+	if res.Preemptive.Evictions != res.Preemptive.Restores {
+		t.Errorf("evictions %d != restores %d: a checkpoint was dropped",
+			res.Preemptive.Evictions, res.Preemptive.Restores)
+	}
+	if res.P99Improvement <= 0 {
+		t.Errorf("p99 improvement = %v", res.P99Improvement)
+	}
+}
+
+// TestRejectsBadProbeLength pins the options validation.
+func TestRejectsBadProbeLength(t *testing.T) {
+	o := DefaultOptions()
+	o.ProbeSteps = o.Spec.TimeSteps + 1
+	if _, err := Run(o); err == nil {
+		t.Fatal("over-long probe accepted")
+	}
+	o.ProbeSteps = 0
+	if _, err := Run(o); err == nil {
+		t.Fatal("zero-length probe accepted")
+	}
+}

@@ -47,9 +47,26 @@ type contEngine struct {
 	pending  atomic.Int64
 	waitEWMA atomic.Int64 // admission wait ns, alpha = 1/4
 
+	// resident counts streams currently occupying live slots across all
+	// machines (stepping, summed) — the transplant path polls it to zero.
+	resident atomic.Int64
+	// preemptReq is outstanding explicit-preemption demand in slots;
+	// each run round consumes what it can evict (see preempt.go).
+	preemptReq atomic.Int64
+	// evacuating switches run rounds to evict-only: every resident stream
+	// is checkpointed back into the queue so transplantTo can move it.
+	evacuating atomic.Bool
+	// drainCheckpoint switches run rounds to checkpoint-and-abandon:
+	// resident streams are snapshotted and their callers answered
+	// ErrLeaseClosing (deadline-bounded shutdown, see closeWithin).
+	drainCheckpoint   atomic.Bool
+	drainCheckpointed atomic.Int64
+
 	// leakedSlot arms the LeakSlot fault at most once per engine, so the
-	// injected capacity leak never starves serving outright.
+	// injected capacity leak never starves serving outright; leakedSnap
+	// does the same for the LeakSnapshot fault.
 	leakedSlot atomic.Bool
+	leakedSnap atomic.Bool
 
 	mu     sync.RWMutex
 	closed bool
@@ -118,6 +135,16 @@ type contSlot struct {
 	admitted time.Time
 	base     accel.ExecStats
 	leaked   bool // LeakSlot fault: slot permanently lost
+
+	// resumedFrom is the timestep this residency started at (0 for a
+	// fresh admission, the snapshot's tau for a restore). A slot is only
+	// preemptible once tau > resumedFrom, so every admission cycle makes
+	// at least one step of progress — no preemption livelock.
+	resumedFrom int
+	// carry folds in the work and queue wait accrued in earlier
+	// residencies of a preempted stream.
+	carry     accel.ExecStats
+	carryWait time.Duration
 }
 
 func newContEngine(lease *Lease, opts InferOptions, faults func() Faults) (*contEngine, error) {
@@ -271,6 +298,38 @@ func (e *contEngine) runRound(cm *contMachine, stolen bool) {
 	if stolen {
 		metrics.Steals.Add(1)
 	}
+	if e.drainCheckpoint.Load() {
+		// Deadline-bounded shutdown: checkpoint and abandon (closeWithin).
+		e.checkpointAbandon(cm)
+		cm.state.Store(cmIdle)
+		return
+	}
+	if e.evacuating.Load() {
+		// Transplant: evict everything back into the queue; transplantTo
+		// moves the queue to the destination engine. No admission here.
+		e.evictSlots(cm, len(cm.slots), 0, false, true)
+		cm.state.Store(cmIdle)
+		return
+	}
+	// Explicit preemption demand: evict what this machine can supply,
+	// lowest priority class first.
+	if want := e.preemptReq.Load(); want > 0 {
+		if n := e.evictSlots(cm, int(want), 0, true, false); n > 0 {
+			if e.preemptReq.Add(-int64(n)) < 0 {
+				clampNonNegative(&e.preemptReq)
+			}
+		}
+	}
+	// Automatic preemption: a full machine evicts batch-class streams
+	// while latency-class requests wait in the fair queue, so priority is
+	// preemptive rather than drain-and-hope.
+	if e.opts.Preempt && cm.occupied >= e.opts.MaxBatch {
+		if lw := e.queue.latencyDepth(); lw > 0 {
+			if n := e.evictSlots(cm, lw, 1, true, false); n > 0 {
+				metrics.PreemptRequests.Add(1)
+			}
+		}
+	}
 	if free := e.opts.MaxBatch - cm.occupied; free > 0 {
 		if reqs := e.queue.take(free); len(reqs) > 0 {
 			e.admitCohort(cm, reqs)
@@ -332,11 +391,15 @@ func (e *contEngine) park(cm *contMachine) {
 func (e *contEngine) admitCohort(cm *contMachine, reqs []*inferRequest) {
 	now := time.Now()
 	intoRunning := cm.stepping > 0
-	admitted := 0
+	fresh := 0
 	riders := map[string]int64{}
 	for _, req := range reqs {
-		if e.admit(cm, req, now) {
-			admitted++
+		resumed := req.resume != nil
+		if e.admit(cm, req, now) && !resumed {
+			// Restored streams already rode (and were counted in) the
+			// batch of their first admission; only fresh admissions make
+			// a new cohort.
+			fresh++
 			if intoRunning {
 				metrics.AdmissionsIntoRunning.Add(1)
 			}
@@ -345,7 +408,7 @@ func (e *contEngine) admitCohort(cm *contMachine, reqs []*inferRequest) {
 			}
 		}
 	}
-	if admitted == 0 {
+	if fresh == 0 {
 		return
 	}
 	e.cohorts.Add(1)
@@ -379,6 +442,12 @@ func (e *contEngine) admit(cm *contMachine, req *inferRequest, now time.Time) bo
 		e.pending.Add(-1)
 		return false
 	}
+	if tok := req.resume; tok != nil {
+		// A preempted or transplanted stream: install its checkpoint and
+		// resume at the saved timestep instead of re-running StreamInit.
+		req.resume = nil
+		return e.restore(cm, req, tok, slot, now, fail)
+	}
 	for t, x := range req.inputs {
 		if err := e.kern.SetInputStream(cm.m, slot, t, x); err != nil {
 			return fail(err)
@@ -393,6 +462,7 @@ func (e *contEngine) admit(cm *contMachine, req *inferRequest, now time.Time) bo
 	}
 	cm.occupied++
 	cm.stepping++
+	e.resident.Add(1)
 	metrics.SlotsActive.Add(1)
 	metrics.Admissions.Add(1)
 	ewmaUpdate(&e.waitEWMA, int64(now.Sub(req.enqueued)))
@@ -422,10 +492,12 @@ func (e *contEngine) retire(cm *contMachine, s int, sl *contSlot, cohort int) {
 			// BatchStats spans the slot's residency, so it includes the
 			// co-riders' overlapping work — the continuous analogue of
 			// "the batch that carried it".
-			BatchSize:  cohort,
-			Stream:     s,
-			QueueWait:  sl.admitted.Sub(req.enqueued),
-			BatchStats: cm.m.Stats().Minus(sl.base),
+			BatchSize: cohort,
+			Stream:    s,
+			// A preempted stream's earlier residencies carry into the
+			// final report, so the totals match a never-preempted run's.
+			QueueWait:  sl.carryWait + sl.admitted.Sub(req.enqueued),
+			BatchStats: cm.m.Stats().Minus(sl.base).Plus(sl.carry),
 		}}
 	}
 	// All accounting lands before the response: a caller that has joined
@@ -441,6 +513,7 @@ func (e *contEngine) retire(cm *contMachine, s int, sl *contSlot, cohort int) {
 		sl.req = nil
 		sl.leaked = true
 		cm.stepping--
+		e.resident.Add(-1)
 		e.pending.Add(-1)
 		req.resp <- resp
 		return
@@ -448,6 +521,7 @@ func (e *contEngine) retire(cm *contMachine, s int, sl *contSlot, cohort int) {
 	cm.slots[s] = nil
 	cm.occupied--
 	cm.stepping--
+	e.resident.Add(-1)
 	metrics.SlotsActive.Add(-1)
 	e.pending.Add(-1)
 	req.resp <- resp
@@ -462,6 +536,7 @@ func (e *contEngine) failCohort(cm *contMachine, err error) {
 		cm.slots[s] = nil
 		cm.occupied--
 		cm.stepping--
+		e.resident.Add(-1)
 		metrics.SlotsActive.Add(-1)
 		e.pending.Add(-1)
 		req.resp <- inferResponse{err: err}

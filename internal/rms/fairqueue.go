@@ -30,6 +30,10 @@ type fairQueue struct {
 	// re-crediting the quantum.
 	resuming bool
 	size     int
+	// latency counts queued requests with weight > 1 (latency-class
+	// tenants) — the automatic-preemption trigger: a machine with no free
+	// slots evicts batch-class streams only while latency work waits.
+	latency int
 }
 
 type tenantFIFO struct {
@@ -56,6 +60,9 @@ func (q *fairQueue) push(r *inferRequest) {
 		tf.weight = r.weight
 	}
 	tf.reqs = append(tf.reqs, r)
+	if r.weight > 1 {
+		q.latency++
+	}
 	if !tf.active {
 		tf.active = true
 		q.ring = append(q.ring, tf)
@@ -96,6 +103,9 @@ func (q *fairQueue) take(max int) []*inferRequest {
 			tf.reqs = tf.reqs[1:]
 			tf.deficit--
 			q.size--
+			if r.weight > 1 {
+				q.latency--
+			}
 			out = append(out, r)
 		}
 		if len(tf.reqs) == 0 {
@@ -136,4 +146,12 @@ func (q *fairQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
+}
+
+// latencyDepth reports how many queued requests carry a latency-class
+// weight — the signal automatic preemption acts on.
+func (q *fairQueue) latencyDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.latency
 }

@@ -39,9 +39,13 @@ func Handler(s *Service) http.Handler { return handler(s, nil) }
 // Handler exposes the admission API plus the serving endpoints:
 //
 //	POST /infer    {"id":3,"inputs":[[...h floats...], ...]}   -> InferResult
+//	POST /preempt  {"id":3,"slots":2}                          -> {"evicted":N}
 //	GET  /healthz                                              -> 200 "ok"
 //
-// /release drains the lease's engine before freeing its blocks.
+// /release drains the lease's engine before freeing its blocks; /preempt
+// checkpoints up to slots resident streams of the lease back into its
+// fair queue (409 when the lease serves on the flush plane, which has no
+// resident streams to preempt).
 func (dp *DataPlane) Handler() http.Handler { return handler(dp.svc, dp) }
 
 // retryAfter is the backoff hint stamped on 429/503 responses.
@@ -206,6 +210,44 @@ func handler(s *Service, dp *DataPlane) http.Handler {
 				writeErr(w, http.StatusBadRequest, err)
 			default:
 				writeJSON(w, http.StatusOK, res)
+			}
+		})
+	}
+
+	if dp != nil {
+		mux.HandleFunc("/preempt", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+				return
+			}
+			var req struct {
+				ID    int `json:"id"`
+				Slots int `json:"slots"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
+				return
+			}
+			// Ownership mirrors /release: a tenant may only preempt its own
+			// leases, admins (and anonymous mode) may preempt any.
+			if who, admin := caller(r); who != "" && !admin {
+				if lease, ok := s.Lease(req.ID); ok && lease.Tenant != who {
+					metrics.TenantRejections.Add(who, 1)
+					writeErr(w, http.StatusForbidden,
+						fmt.Errorf("lease %d is not owned by tenant %s", req.ID, who))
+					return
+				}
+			}
+			evicted, err := dp.Preempt(req.ID, req.Slots)
+			switch {
+			case errors.Is(err, ErrUnknownLease):
+				writeErr(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrFlushPlane):
+				writeErr(w, http.StatusConflict, err)
+			case err != nil:
+				writeErr(w, http.StatusInternalServerError, err)
+			default:
+				writeJSON(w, http.StatusOK, map[string]int{"evicted": evicted})
 			}
 		})
 	}

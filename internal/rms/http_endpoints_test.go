@@ -239,3 +239,100 @@ func TestHTTPDeployWithDepthField(t *testing.T) {
 		t.Fatalf("impossible depth: %d, want 422 (body %s)", w.Code, w.Body.String())
 	}
 }
+
+// TestHTTPPreempt drives the /preempt endpoint: error contract, the
+// flush-plane 409, ownership gating, and a successful eviction count.
+func TestHTTPPreempt(t *testing.T) {
+	_, dp, lease := testPlane(t, DefaultInferOptions())
+	h := dp.Handler()
+
+	do := func(method, body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(method, "/preempt", strings.NewReader(body)))
+		return w
+	}
+
+	if w := do(http.MethodGet, ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /preempt: %d, want 405", w.Code)
+	}
+	if w := do(http.MethodPost, "{oops"); w.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", w.Code)
+	}
+	if w := do(http.MethodPost, `{"id":424242,"slots":1}`); w.Code != http.StatusNotFound {
+		t.Errorf("unknown lease: %d, want 404", w.Code)
+	}
+
+	// No engine yet: a valid no-op answering zero evictions.
+	w := do(http.MethodPost, fmt.Sprintf(`{"id":%d,"slots":1}`, lease.ID))
+	if w.Code != http.StatusOK {
+		t.Fatalf("preempt idle lease: %d %s", w.Code, w.Body.String())
+	}
+	var rep struct {
+		Evicted int `json:"evicted"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil || rep.Evicted != 0 {
+		t.Fatalf("body %q, want {\"evicted\":0}", w.Body.String())
+	}
+
+	// Flush-plane leases have no resident streams to checkpoint: 409.
+	fopts := DefaultInferOptions()
+	fopts.Flush = true
+	_, fdp, flease := testPlane(t, fopts)
+	if _, err := fdp.Infer(flease.ID, testInputs(flease.Spec, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fw := httptest.NewRecorder()
+	fdp.Handler().ServeHTTP(fw, httptest.NewRequest(http.MethodPost, "/preempt",
+		strings.NewReader(fmt.Sprintf(`{"id":%d,"slots":1}`, flease.ID))))
+	if fw.Code != http.StatusConflict {
+		t.Errorf("flush-plane preempt: %d, want 409 (body %s)", fw.Code, fw.Body.String())
+	}
+}
+
+// TestHTTPPreemptOwnership checks a tenant cannot preempt another
+// tenant's lease while admins can.
+func TestHTTPPreemptOwnership(t *testing.T) {
+	svc, dp, _ := testPlane(t, DefaultInferOptions())
+	reg, err := tenant.NewRegistry(
+		tenant.Tenant{ID: "owner", Key: "ko"},
+		tenant.Tenant{ID: "other", Key: "kx"},
+		tenant.Tenant{ID: "root", Key: "kr", Admin: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetTenants(reg)
+	dp.SetTenants(reg)
+	now := time.Unix(1_700_000_000, 0)
+	nonce := 0
+	guard := tenant.NewGuard(reg, tenant.GuardOptions{Now: func() time.Time { return now }})
+	h := guard.Wrap(dp.Handler())
+
+	post := func(id, key, path, body string) *httptest.ResponseRecorder {
+		nonce++
+		r := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		tenant.SignRequest(r, id, []byte(key), []byte(body), now, fmt.Sprintf("pre%d", nonce))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	w := post("owner", "ko", "/deploy", `{"kind":"LSTM","hidden":256,"timesteps":2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("deploy: %d %s", w.Code, w.Body.String())
+	}
+	var lease Lease
+	if err := json.Unmarshal(w.Body.Bytes(), &lease); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"id":%d,"slots":1}`, lease.ID)
+	if w := post("other", "kx", "/preempt", body); w.Code != http.StatusForbidden {
+		t.Fatalf("cross-tenant preempt: %d, want 403 (body %s)", w.Code, w.Body.String())
+	}
+	if w := post("owner", "ko", "/preempt", body); w.Code != http.StatusOK {
+		t.Fatalf("owner preempt: %d (body %s)", w.Code, w.Body.String())
+	}
+	if w := post("root", "kr", "/preempt", body); w.Code != http.StatusOK {
+		t.Fatalf("admin preempt: %d (body %s)", w.Code, w.Body.String())
+	}
+}

@@ -27,6 +27,11 @@ var ErrBusy = errors.New("rms: serving queue full")
 // (HTTP maps this to 429 + Retry-After).
 var ErrTenantBusy = errors.New("rms: tenant at in-flight request cap")
 
+// ErrFlushPlane is returned by preemption operations against a lease
+// served by the legacy flush plane, which has no persistent slots to
+// checkpoint.
+var ErrFlushPlane = errors.New("rms: lease is on the flush plane; preemption needs continuous batching")
+
 // InferOptions tunes the online data plane.
 type InferOptions struct {
 	// MaxBatch is the largest micro-batch one machine executes; a full
@@ -56,6 +61,12 @@ type InferOptions struct {
 	// Seed derives per-lease weights (Seed + lease id), standing in for a
 	// real deployment's model upload.
 	Seed int64
+	// Preempt enables automatic preemption in the continuous plane: a
+	// machine with no free slots checkpoints batch-class streams while
+	// latency-class requests wait in the fair queue, instead of making
+	// them wait for a natural retirement. Explicit preemption
+	// (DataPlane.Preempt) works regardless of this flag.
+	Preempt bool
 }
 
 // DefaultInferOptions returns the serving defaults.
@@ -93,6 +104,10 @@ type inferRequest struct {
 	// Anonymous requests share the "" tenant at weight 1.
 	tenant string
 	weight int
+	// resume, when set, carries a preempted stream's checkpoint: admission
+	// restores it and continues from the saved timestep instead of running
+	// StreamInit (continuous plane only).
+	resume *resumeToken
 }
 
 type inferResponse struct {
@@ -422,6 +437,18 @@ type Faults struct {
 	// simtest slot-conservation invariant exists to catch
 	// (mlv_slots_active must return to its baseline at quiescence).
 	LeakSlot bool
+	// LeakSnapshot makes the continuous plane drop one preemption
+	// checkpoint: the eviction counts its capture but the resume token is
+	// discarded, so the stream restarts from scratch — recreating the
+	// lost-checkpoint bug class the simtest snapshot-conservation
+	// invariant (mlv_snapshot_captures == mlv_snapshot_restores at
+	// quiescence) exists to catch.
+	LeakSnapshot bool
+	// RestoreAtZero makes a restore resume at timestep 0 instead of the
+	// checkpoint's saved stream PC — recreating the stale-PC bug class the
+	// golden preempted-twin invariant (restored outputs bit-identical to a
+	// never-preempted run) exists to catch.
+	RestoreAtZero bool
 }
 
 // DataPlane serves inferences against admitted leases: per-lease machine
@@ -612,10 +639,45 @@ func (dp *DataPlane) Resize(leaseID, machines int) error {
 	if old != nil {
 		old.once.Do(func() {})
 		if old.e != nil {
+			if oldCE, ok := old.e.(*contEngine); ok {
+				if newCE, ok2 := e.(*contEngine); ok2 {
+					// Make-before-break: the new engine is serving, so move
+					// the old engine's queued and resident streams over —
+					// residents are checkpointed and resume mid-sequence on
+					// the new pool instead of being re-run.
+					oldCE.transplantTo(newCE)
+				}
+			}
 			old.e.close()
 		}
 	}
 	return nil
+}
+
+// Preempt checkpoints up to n of the lease's resident streams back into
+// its fair queue (n <= 0 means one machine's full slot count). The
+// returned count is what was evicted synchronously from idle machines;
+// the remainder is posted as demand the running machines consume on
+// their next step rounds. A lease with no engine yet has nothing
+// resident and reports 0.
+func (dp *DataPlane) Preempt(leaseID, n int) (int, error) {
+	if _, ok := dp.svc.Lease(leaseID); !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownLease, leaseID)
+	}
+	if n <= 0 {
+		n = dp.opts.MaxBatch
+	}
+	dp.mu.RLock()
+	slot := dp.engines[leaseID]
+	dp.mu.RUnlock()
+	if slot == nil || !slot.ready.Load() || slot.e == nil {
+		return 0, nil
+	}
+	ce, ok := slot.e.(*contEngine)
+	if !ok {
+		return 0, ErrFlushPlane
+	}
+	return ce.preempt(n), nil
 }
 
 // faultState reads the injected-fault flags (passed to engines as their
@@ -775,4 +837,38 @@ func (dp *DataPlane) Close() {
 			s.e.close()
 		}
 	}
+}
+
+// CloseWithin drains and stops every engine like Close, but bounded by
+// one shared deadline: continuous engines that cannot drain in time
+// checkpoint their still-running streams and answer their callers
+// ErrLeaseClosing (flush engines drain unbounded — they have no
+// checkpoint path). Returns how many in-flight streams were
+// checkpointed, for the server's shutdown log.
+func (dp *DataPlane) CloseWithin(d time.Duration) int {
+	dp.mu.Lock()
+	slots := make([]*engineSlot, 0, len(dp.engines))
+	for id, s := range dp.engines {
+		slots = append(slots, s)
+		delete(dp.engines, id)
+	}
+	dp.mu.Unlock()
+	deadline := time.Now().Add(d)
+	checkpointed := 0
+	for _, s := range slots {
+		s.once.Do(func() {})
+		if s.e == nil {
+			continue
+		}
+		if ce, ok := s.e.(*contEngine); ok {
+			remain := time.Until(deadline)
+			if remain < 0 {
+				remain = 0
+			}
+			checkpointed += ce.closeWithin(remain)
+			continue
+		}
+		s.e.close()
+	}
+	return checkpointed
 }

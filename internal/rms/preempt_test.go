@@ -1,0 +1,423 @@
+package rms
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/resource"
+)
+
+// preemptPlane builds a plane over a longer-sequence lease than
+// testPlane's, so streams stay resident across many step rounds and
+// preemption reliably catches them mid-flight.
+func preemptPlane(t *testing.T, opts InferOptions) (*Service, *DataPlane, *Lease) {
+	t.Helper()
+	svc, err := NewService(resource.PaperCluster(), testDB(Flexible))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := svc.Deploy(kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 256, TimeSteps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := NewDataPlane(svc, opts)
+	t.Cleanup(dp.Close)
+	return svc, dp, lease
+}
+
+func snapDelta(base map[string]int64, name string) int64 {
+	return metrics.SnapshotCounters()[name] - base[name]
+}
+
+// TestPreemptGoldenTwin is the data-plane golden preempted-twin: streams
+// evicted mid-sequence by explicit preemption and restored into whatever
+// slot frees up next must return outputs bit-identical to a
+// never-preempted solo run, and every checkpoint captured must be
+// matched by a restore.
+func TestPreemptGoldenTwin(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	_, dp, lease := preemptPlane(t, opts)
+
+	base := metrics.SnapshotCounters()
+	const N = 6
+	inputs := make([][][]float64, N)
+	results := make([]*InferResult, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		inputs[i] = testInputs(lease.Spec, int64(300+i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := dp.Infer(lease.ID, inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	// Hammer explicit preemption while the backlog drains. The progress
+	// guard (one step minimum per residency) bounds the churn, so the
+	// backlog still finishes.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for snapDelta(base, "mlv_preempt_evictions") == 0 {
+		select {
+		case <-done:
+			t.Fatal("backlog drained before any preemption landed")
+		default:
+		}
+		if _, err := dp.Preempt(lease.ID, 1); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	<-done
+
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		ref := referenceOutputs(t, lease, opts, inputs[i])
+		if !reflect.DeepEqual(res.Outputs, ref) {
+			t.Errorf("request %d: restored stream differs from never-preempted twin", i)
+		}
+	}
+	// Snapshot conservation: by the time every request is answered, each
+	// capture has been consumed by exactly one restore.
+	if c, r := snapDelta(base, "mlv_snapshot_captures"), snapDelta(base, "mlv_snapshot_restores"); c != r {
+		t.Errorf("captures %d != restores %d", c, r)
+	}
+	if ev, re := snapDelta(base, "mlv_preempt_evictions"), snapDelta(base, "mlv_preempt_restores"); ev != re {
+		t.Errorf("preempt evictions %d != preempt restores %d", ev, re)
+	}
+}
+
+// TestResizeTransplantsResidentStreams pins the make-before-break data
+// path of a depth migration: a Resize mid-flight checkpoints the old
+// pool's resident streams and resumes them on the new pool — different
+// machine count, same bit-exact outputs, nothing re-run from scratch and
+// nothing answered with an error.
+func TestResizeTransplantsResidentStreams(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	_, dp, lease := preemptPlane(t, opts)
+
+	base := metrics.SnapshotCounters()
+	slotsBase := metrics.SlotCounters()["mlv_slots_active"]
+	// A deep backlog (retrying past the queue cap and the brief
+	// engine-swap window) keeps the old pool's slots full for the whole
+	// time Resize spends building the new pool, so the transplant always
+	// finds resident streams to checkpoint.
+	const N, patterns = 64, 8
+	refs := make([][][]float64, patterns)
+	for p := 0; p < patterns; p++ {
+		refs[p] = referenceOutputs(t, lease, opts, testInputs(lease.Spec, int64(500+p)))
+	}
+	results := make([]*InferResult, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := testInputs(lease.Spec, int64(500+i%patterns))
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				res, err := dp.Infer(lease.ID, in)
+				if errors.Is(err, ErrBusy) || errors.Is(err, ErrLeaseClosing) {
+					if time.Now().After(deadline) {
+						t.Errorf("request %d: still shed at deadline: %v", i, err)
+						return
+					}
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = res
+				return
+			}
+		}(i)
+	}
+	// Busy-wait (yield, don't sleep): the residency window outlives the
+	// whole backlog, but coarse-timer kernels can starve a sleeping poller
+	// under load.
+	resDeadline := time.Now().Add(10 * time.Second)
+	for metrics.SlotCounters()["mlv_slots_active"] <= slotsBase {
+		if time.Now().After(resDeadline) {
+			t.Fatal("streams never became resident")
+		}
+		runtime.Gosched()
+	}
+	if err := dp.Resize(lease.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		if !reflect.DeepEqual(res.Outputs, refs[i%patterns]) {
+			t.Errorf("request %d: transplanted stream differs from solo run", i)
+		}
+	}
+	if st, ok := dp.Load(lease.ID); !ok || st.Machines != 2 {
+		t.Errorf("post-resize load = %+v, ok=%v, want 2 machines", st, ok)
+	}
+	if moved := snapDelta(base, "mlv_snapshot_captures"); moved == 0 {
+		t.Error("resize moved no checkpoints — transplant did not run")
+	}
+	if c, r := snapDelta(base, "mlv_snapshot_captures"), snapDelta(base, "mlv_snapshot_restores"); c != r {
+		t.Errorf("captures %d != restores %d", c, r)
+	}
+}
+
+// TestAutoPreemptFavorsLatencyClass pins the scheduling tentpole: with
+// Preempt on, a full machine checkpoints a batch-class stream the moment
+// a latency-class request waits in the fair queue, instead of letting it
+// queue behind full-length sequences — and the displaced streams still
+// finish bit-identical.
+func TestAutoPreemptFavorsLatencyClass(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	opts.Preempt = true
+	_, dp, lease := preemptPlane(t, opts)
+
+	e, err := dp.engine(mustLease(t, dp.svc, lease.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := metrics.SnapshotCounters()
+	slotsBase := metrics.SlotCounters()["mlv_slots_active"]
+
+	const B = 6
+	reqs := make([]*inferRequest, 0, B+1)
+	inputs := make([][][]float64, 0, B+1)
+	for i := 0; i < B; i++ {
+		in := testInputs(lease.Spec, int64(700+i))
+		req := &inferRequest{
+			inputs: in, enqueued: time.Now(), resp: make(chan inferResponse, 1),
+			tenant: "bulk", weight: 1,
+		}
+		if err := e.submit(req); err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, req)
+		inputs = append(inputs, in)
+	}
+	// Once the machine is full of batch-class streams, a latency-class
+	// arrival must preempt rather than wait for a retirement.
+	waitFor(t, "machine to fill", func() bool {
+		return metrics.SlotCounters()["mlv_slots_active"]-slotsBase >= int64(opts.MaxBatch)
+	})
+	in := testInputs(lease.Spec, 799)
+	rt := &inferRequest{
+		inputs: in, enqueued: time.Now(), resp: make(chan inferResponse, 1),
+		tenant: "rt", weight: 8,
+	}
+	if err := e.submit(rt); err != nil {
+		t.Fatal(err)
+	}
+	reqs = append(reqs, rt)
+	inputs = append(inputs, in)
+
+	for i, req := range reqs {
+		r := <-req.resp
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		ref := referenceOutputs(t, lease, opts, inputs[i])
+		if !reflect.DeepEqual(r.result.Outputs, ref) {
+			t.Errorf("request %d: outputs differ from solo run", i)
+		}
+	}
+	if snapDelta(base, "mlv_preempt_evictions") == 0 {
+		t.Error("latency-class arrival triggered no preemption on a full machine")
+	}
+	if c, r := snapDelta(base, "mlv_snapshot_captures"), snapDelta(base, "mlv_snapshot_restores"); c != r {
+		t.Errorf("captures %d != restores %d", c, r)
+	}
+}
+
+// TestCloseWithinCheckpointsAtDeadline pins the deadline-bounded drain:
+// streams still resident when the deadline passes are checkpointed
+// (counted for the shutdown log) and their callers answered
+// ErrLeaseClosing, and the slot gauge still drains to its baseline.
+func TestCloseWithinCheckpointsAtDeadline(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	_, dp, lease := preemptPlane(t, opts)
+
+	slotsBase := metrics.SlotCounters()["mlv_slots_active"]
+	drainBase := metrics.DrainCheckpoints.Value()
+	e, err := dp.engine(mustLease(t, dp.svc, lease.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue to its cap (MaxBatch * Machines * 8 = 16) with direct
+	// submissions, so the engine provably holds a deep backlog when the
+	// already-expired deadline lands.
+	reqs := make([]*inferRequest, 16)
+	for i := range reqs {
+		reqs[i] = &inferRequest{
+			inputs:   testInputs(lease.Spec, int64(900+i)),
+			enqueued: time.Now(), resp: make(chan inferResponse, 1),
+		}
+		if err := e.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Busy-wait for the machine to fill: the residency window is a few
+	// milliseconds, finer than time.Sleep's granularity on coarse-timer
+	// kernels, so yield instead of sleeping.
+	fillDeadline := time.Now().Add(5 * time.Second)
+	for metrics.SlotCounters()["mlv_slots_active"]-slotsBase < int64(opts.MaxBatch) {
+		if time.Now().After(fillDeadline) {
+			t.Fatal("machine never filled")
+		}
+		runtime.Gosched()
+	}
+	n := dp.CloseWithin(0)
+	if n == 0 {
+		t.Error("deadline drain checkpointed no streams")
+	}
+	shed := 0
+	for i, req := range reqs {
+		r := <-req.resp
+		if r.err != nil {
+			if !errors.Is(r.err, ErrLeaseClosing) {
+				t.Errorf("request %d: %v", i, r.err)
+			}
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Error("deadline drain shed no requests")
+	}
+	if got := metrics.DrainCheckpoints.Value() - drainBase; got != int64(n) {
+		t.Errorf("drain checkpoint counter delta = %d, CloseWithin reported %d", got, n)
+	}
+	if got := metrics.SlotCounters()["mlv_slots_active"]; got != slotsBase {
+		t.Errorf("slot gauge residue after deadline drain: %d", got-slotsBase)
+	}
+}
+
+// TestPreemptErrorSurface pins the operation's edges: unknown leases
+// error, leases with no engine yet report zero work, and the legacy
+// flush plane (no persistent slots) refuses with ErrFlushPlane.
+func TestPreemptErrorSurface(t *testing.T) {
+	opts := DefaultInferOptions()
+	_, dp, lease := testPlane(t, opts)
+	if _, err := dp.Preempt(lease.ID+999, 1); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("unknown lease: err = %v, want ErrUnknownLease", err)
+	}
+	if n, err := dp.Preempt(lease.ID, 1); err != nil || n != 0 {
+		t.Errorf("no engine yet: got (%d, %v), want (0, nil)", n, err)
+	}
+
+	fopts := DefaultInferOptions()
+	fopts.Flush = true
+	_, fdp, flease := testPlane(t, fopts)
+	if _, err := fdp.Infer(flease.ID, testInputs(flease.Spec, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fdp.Preempt(flease.ID, 1); !errors.Is(err, ErrFlushPlane) {
+		t.Errorf("flush plane: err = %v, want ErrFlushPlane", err)
+	}
+}
+
+// TestReleaseMidFlightCleansUp is the Release regression for the
+// preemption-era engine: releasing a lease while weighted tenants have
+// requests queued, resident, and mid-preemption must retire every slot
+// cleanly (no gauge residue), leave no per-tenant queue-depth residue,
+// and keep serving other deployments afterwards.
+func TestReleaseMidFlightCleansUp(t *testing.T) {
+	opts := DefaultInferOptions()
+	opts.Machines = 1
+	opts.MaxBatch = 2
+	opts.Shards = 1
+	opts.Preempt = true
+	svc, dp, lease := preemptPlane(t, opts)
+
+	slotsBase := metrics.SlotCounters()["mlv_slots_active"]
+	depthBase := metrics.TenantCounters()["mlv_tenant_queue_depth"]
+
+	e, err := dp.engine(mustLease(t, dp.svc, lease.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 8
+	reqs := make([]*inferRequest, N)
+	for i := 0; i < N; i++ {
+		tenant, weight := "bulk", 1
+		if i%4 == 3 {
+			tenant, weight = "rt", 8
+		}
+		reqs[i] = &inferRequest{
+			inputs:   testInputs(lease.Spec, int64(1100+i)),
+			enqueued: time.Now(), resp: make(chan inferResponse, 1),
+			tenant: tenant, weight: weight,
+		}
+		if err := e.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kick a preemption into the mix so eviction/restore state is live
+	// when the release lands.
+	if _, err := dp.Preempt(lease.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		r := <-req.resp
+		if r.err != nil && !errors.Is(r.err, ErrLeaseClosing) {
+			t.Errorf("request %d: %v", i, r.err)
+		}
+	}
+
+	if got := metrics.SlotCounters()["mlv_slots_active"]; got != slotsBase {
+		t.Errorf("slot gauge residue after release: %d", got-slotsBase)
+	}
+	depth := metrics.TenantCounters()["mlv_tenant_queue_depth"]
+	for _, id := range []string{"bulk", "rt"} {
+		if depth[id] != depthBase[id] {
+			t.Errorf("tenant %q queue-depth residue: %d", id, depth[id]-depthBase[id])
+		}
+	}
+	if _, ok := dp.Load(lease.ID); ok {
+		t.Error("released lease still has an engine")
+	}
+	// The plane still serves fresh deployments with weighted tenants.
+	l2, err := svc.Deploy(kernels.LayerSpec{Kind: kernels.GRU, Hidden: 64, TimeSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInputs(l2.Spec, 7)
+	res, err := dp.InferAs("bulk", l2.ID, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Outputs, referenceOutputs(t, l2, opts, in)) {
+		t.Error("post-release deployment serves wrong outputs")
+	}
+}

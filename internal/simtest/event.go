@@ -59,6 +59,18 @@ const (
 	// EvResizeFail arms the resize interceptor to fail the next machine
 	// pool resizes, exercising the control plane's resize-debt retry.
 	EvResizeFail
+	// EvPreempt serves a concurrent batch on one lease while firing
+	// explicit preemptions into it: resident streams are checkpointed back
+	// into the fair queue mid-sequence and must finish bit-identical to a
+	// never-preempted run.
+	EvPreempt
+	// EvRestore rebuilds a lease's engine pool mid-batch (a same-size
+	// resize): the transplant checkpoints resident streams and restores
+	// them onto the fresh machines, again bit-identical.
+	EvRestore
+	// EvDefrag runs one quiet-period consolidation pass on the control
+	// plane (idle leases packed onto already-occupied devices).
+	EvDefrag
 
 	numEventKinds
 )
@@ -77,6 +89,9 @@ var eventNames = [...]string{
 	EvUndrain:    "undrain",
 	EvCondemn:    "condemn",
 	EvResizeFail: "resize_fail",
+	EvPreempt:    "preempt",
+	EvRestore:    "restore",
+	EvDefrag:     "defrag",
 }
 
 func (k EventKind) String() string {
@@ -108,32 +123,38 @@ func Schedule(seed int64, steps int) []Event {
 		p := rng.Intn(1000)
 		var k EventKind
 		switch {
-		case p < 280:
+		case p < 270:
 			k = EvHeartbeat
-		case p < 530:
+		case p < 500:
 			k = EvInfer
-		case p < 730:
+		case p < 690:
 			k = EvTick
-		case p < 830:
+		case p < 780:
 			k = EvLoad
-		case p < 865:
+		case p < 813:
 			k = EvDeploy
-		case p < 895:
+		case p < 841:
 			k = EvRedeploy
-		case p < 925:
+		case p < 869:
 			k = EvRelease
-		case p < 945:
+		case p < 887:
 			k = EvKill
-		case p < 962:
+		case p < 903:
 			k = EvRevive
-		case p < 976:
+		case p < 916:
 			k = EvDrain
-		case p < 990:
+		case p < 929:
 			k = EvUndrain
-		case p < 995:
+		case p < 941:
 			k = EvCondemn
-		default:
+		case p < 950:
 			k = EvResizeFail
+		case p < 972:
+			k = EvPreempt
+		case p < 988:
+			k = EvRestore
+		default:
+			k = EvDefrag
 		}
 		out[i] = Event{Kind: k, R: rng.Uint64()}
 	}

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -55,6 +56,16 @@ const (
 	// occupied — a real capacity leak. Caught by the slot-conservation
 	// invariant (mlv_slots_active fails to drain back to baseline).
 	FaultLeakSlot Fault = "leak-slot"
+	// FaultLeakSnapshot arms rms.Faults.LeakSnapshot: one eviction's
+	// checkpoint is dropped and the stream restarts from scratch. Caught
+	// by the snapshot-conservation invariant (a capture with no restore).
+	FaultLeakSnapshot Fault = "leak-snapshot"
+	// FaultRestoreAtZero arms rms.Faults.RestoreAtZero: restores resume
+	// at timestep 0 instead of the saved program counter, so the restored
+	// register state replays from the wrong place. Caught by the
+	// golden-equivalence invariant (outputs diverge from the
+	// never-preempted twin).
+	FaultRestoreAtZero Fault = "restore-at-zero"
 )
 
 // Options configures one simulated run. Everything that influences the
@@ -114,6 +125,10 @@ func DefaultOptions(seed int64) Options {
 			Machines:   1,
 			Tiles:      1,
 			Seed:       7,
+			// Automatic latency-class preemption stays on in the sweep:
+			// preempted streams resume bit-identically, so traces remain
+			// deterministic while the checkpoint path earns real coverage.
+			Preempt: true,
 		},
 		Control:   ctl,
 		MaxLeases: 4,
@@ -143,6 +158,7 @@ type Violation struct {
 	// "batch-conservation", "slot-conservation", "golden-equivalence",
 	// "infer-served", "warm-deploy", "artifact-cache",
 	// "stranded-placement", "quota-conservation", "tenant-accounting",
+	// "snapshot-conservation",
 	// or an *-error for an operation that failed when the model says it
 	// cannot.
 	Invariant string
@@ -253,6 +269,7 @@ type harness struct {
 	golden   map[goldenKey]uint64
 	base     map[string]int64
 	slotBase map[string]int64
+	snapBase map[string]int64
 
 	// Tenant model: who owns each live lease, plus per-tenant expected
 	// counter deltas mirroring mlv_tenant_{requests,infers_served,
@@ -272,6 +289,7 @@ type harness struct {
 	expMigFailures int64
 	expHbMisses    int64
 	expCondemned   int64
+	expDefragMoves int64
 
 	settling bool
 	// excused marks leases whose settle-phase evacuation failed for lack
@@ -350,6 +368,10 @@ func newHarness(o Options) (*harness, error) {
 		dp.InjectFaults(rms.Faults{SkipTenantServedMetric: true})
 	case FaultLeakSlot:
 		dp.InjectFaults(rms.Faults{LeakSlot: true})
+	case FaultLeakSnapshot:
+		dp.InjectFaults(rms.Faults{LeakSnapshot: true})
+	case FaultRestoreAtZero:
+		dp.InjectFaults(rms.Faults{RestoreAtZero: true})
 	}
 	for _, f := range svc.Status().FPGAs {
 		h.devices = append(h.devices, f.ID)
@@ -359,6 +381,7 @@ func newHarness(o Options) (*harness, error) {
 	// tracks len(h.live) exactly and per-tenant deltas start at zero.
 	h.base = metrics.Counters()
 	h.slotBase = metrics.SlotCounters()
+	h.snapBase = metrics.SnapshotCounters()
 	h.tenantBase = metrics.TenantCounters()
 	// Preamble: two leases exist before the first event, so even a
 	// one-event minimal schedule has something to act on. With tenants
@@ -489,6 +512,12 @@ func (h *harness) exec(step int, ev Event) {
 		h.doCondemn(step, ev.R)
 	case EvResizeFail:
 		h.doResizeFail(step, ev.R)
+	case EvPreempt:
+		h.doPreempt(step, ev.R)
+	case EvRestore:
+		h.doRestore(step, ev.R)
+	case EvDefrag:
+		h.doDefrag(step)
 	}
 	if h.violation == nil {
 		h.checkInvariants(step)
@@ -539,8 +568,56 @@ func (h *harness) accountTick(rep *cluster.TickReport) {
 }
 
 func (h *harness) doInfer(step int, r uint64) {
+	h.serveBatch(step, r, "infer", nil)
+}
+
+// doPreempt serves a concurrent batch while firing explicit preemptions
+// into it: resident streams are checkpointed back into the fair queue and
+// resumed, and the outputs must not change. The eviction count is timing-
+// dependent, so it never enters the trace or the model — the snapshot-
+// conservation invariants pin the bookkeeping instead, and any demand
+// left unconsumed here preempts streams of later events (more coverage,
+// same invariants).
+func (h *harness) doPreempt(step int, r uint64) {
+	h.serveBatch(step, r, "preempt", func(id int) {
+		for k := 0; k < 24; k++ {
+			if _, err := h.dp.Preempt(id, 1); err != nil {
+				h.fail(step, "preempt-error", "lease %d: %v", id, err)
+				return
+			}
+			runtime.Gosched() // 1-CPU boxes: let workers hit the demand
+		}
+	})
+}
+
+// doRestore rebuilds the lease's engine pool mid-batch at its current
+// size: the transplant checkpoints every queued and resident stream and
+// restores them onto the fresh machines, bit-identically.
+func (h *harness) doRestore(step int, r uint64) {
+	h.serveBatch(step, r, "restore", func(id int) {
+		lease, ok := h.svc.Lease(id)
+		if !ok {
+			h.fail(step, "lease-conservation", "model says lease %d is live, service disagrees", id)
+			return
+		}
+		per := h.o.Control.MachinesPerPiece
+		if per <= 0 {
+			per = cluster.DefaultConfig().MachinesPerPiece
+		}
+		runtime.Gosched()
+		if err := h.dp.Resize(id, lease.Depth*per); err != nil {
+			h.fail(step, "restore-error", "lease %d: %v", id, err)
+		}
+	})
+}
+
+// serveBatch is the shared body of the infer-shaped events: a small
+// concurrent request batch on one lease, optionally disturbed mid-flight
+// by mid (preemption, transplant), then joined and audited against the
+// golden memo.
+func (h *harness) serveBatch(step int, r uint64, kind string, mid func(id int)) {
 	if len(h.live) == 0 {
-		h.tracef(step, "infer noop")
+		h.tracef(step, "%s noop", kind)
 		return
 	}
 	id := h.pickLive(r)
@@ -568,10 +645,16 @@ func (h *harness) doInfer(step int, r uint64) {
 			results[j], errs[j] = h.dp.InferAs(who, id, inputsFor(h.o.Spec, id, seeds[j]))
 		}()
 	}
+	if mid != nil {
+		mid(id)
+	}
 	wg.Wait()
 	if who != "" {
 		// InferAs counts every attempt before shedding or serving.
 		h.expTenantReq[who] += int64(n)
+	}
+	if h.violation != nil {
+		return // mid already failed; the joined requests are accounted above
 	}
 	hashes := make([]string, n)
 	for j := 0; j < n; j++ {
@@ -597,7 +680,26 @@ func (h *harness) doInfer(step int, r uint64) {
 	}
 	h.expInfers += int64(n)
 	h.expInferEvents++
-	h.tracef(step, "infer lease=%d tenant=%s n=%d seeds=%v out=%v", id, who, n, seeds, hashes)
+	h.tracef(step, "%s lease=%d tenant=%s n=%d seeds=%v out=%v", kind, id, who, n, seeds, hashes)
+}
+
+// doDefrag runs one consolidation pass. The report is deterministic (the
+// quiet gate reads the scripted load map, placements are a pure function
+// of event history), so it is traced whole.
+func (h *harness) doDefrag(step int) {
+	rep := h.cp.Defrag()
+	for _, ev := range rep.Moves {
+		if ev.Err == "" || ev.Err == resizeFailMsg {
+			// The consolidation migration landed (a resize failure is owed
+			// as debt and retried by a later tick's "resize" event).
+			h.expMigrations++
+			h.expDefragMoves++
+		} else {
+			h.expMigFailures++
+		}
+	}
+	b, _ := json.Marshal(rep)
+	h.tracef(step, "defrag %s", b)
 }
 
 func (h *harness) doLoad(step int, r uint64) {
@@ -1025,6 +1127,36 @@ func (h *harness) checkInvariants(step int) {
 	if st := h.store.Stats(); st.Computes != 1 || st.CorruptDropped != 0 {
 		h.fail(step, "artifact-cache",
 			"computes=%d corrupt=%d, want exactly 1 compile and 0 corrupt drops", st.Computes, st.CorruptDropped)
+		return
+	}
+
+	// Snapshot conservation: every event joins its in-flight work before
+	// returning, so between events no stream is mid-checkpoint — every
+	// capture must have found its restore (explicit preemption, automatic
+	// preemption and transplant alike; a capture with no restore is a
+	// dropped stream restarting from scratch), preemption evictions must
+	// pair one-to-one with preemption restores, and defrag moves must
+	// match the event model exactly. Drain checkpoints are deliberately
+	// outside this family: they are terminal by design (no restore ever
+	// follows), so they live in a separate counter. Checked before the
+	// generic counter families because a dropped checkpoint also skews
+	// batch and admission accounting downstream — the root cause should
+	// name the violation.
+	pcur := metrics.SnapshotCounters()
+	pdelta := func(name string) int64 { return pcur[name] - h.snapBase[name] }
+	if c, rs := pdelta("mlv_snapshot_captures"), pdelta("mlv_snapshot_restores"); c != rs {
+		h.fail(step, "snapshot-conservation",
+			"mlv_snapshot_captures moved %d, mlv_snapshot_restores %d: a checkpoint was captured and never restored", c, rs)
+		return
+	}
+	if ev, rs := pdelta("mlv_preempt_evictions"), pdelta("mlv_preempt_restores"); ev != rs {
+		h.fail(step, "snapshot-conservation",
+			"mlv_preempt_evictions moved %d, mlv_preempt_restores %d", ev, rs)
+		return
+	}
+	if got := pdelta("mlv_defrag_moves"); got != h.expDefragMoves {
+		h.fail(step, "snapshot-conservation",
+			"mlv_defrag_moves moved %d, events account for %d", got, h.expDefragMoves)
 		return
 	}
 

@@ -2,6 +2,10 @@ package simtest
 
 import (
 	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -13,6 +17,26 @@ var (
 	flagSteps = flag.Int("steps", 250, "schedule events per simulated run")
 	flagSeed  = flag.Int64("seed", 0, "single seed for TestSimSeed (0 = skip; use to reproduce a printed failure)")
 )
+
+// writeReport dumps a failing run's report (seed, violation, minimized
+// ddmin schedule, minimal trace) where CI can collect it as an artifact.
+// The directory comes from SIMTEST_REPORT_DIR; unset means skip.
+func writeReport(t *testing.T, res *Result) {
+	dir := os.Getenv("SIMTEST_REPORT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("simtest report dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed-%d.txt", t.Name(), res.Seed))
+	if err := os.WriteFile(path, []byte(res.Report()), 0o644); err != nil {
+		t.Logf("simtest report write: %v", err)
+		return
+	}
+	t.Logf("wrote failure report to %s", path)
+}
 
 // TestSimSweep is the harness's front door: one deterministic run per
 // seed, failing with the minimized schedule on any invariant violation.
@@ -34,6 +58,7 @@ func TestSimSweep(t *testing.T) {
 			t.Fatalf("seed %d: %v", s, err)
 		}
 		if res.Violation != nil {
+			writeReport(t, res)
 			t.Fatalf("\n%s", res.Report())
 		}
 		t.Logf("%s", res.Report())
@@ -56,7 +81,58 @@ func TestSimSeed(t *testing.T) {
 		t.Log(line)
 	}
 	if res.Violation != nil {
+		writeReport(t, res)
 		t.Fatalf("\n%s", res.Report())
+	}
+}
+
+// TestSimPreemptionSchedule pins a fixed, checkpoint-heavy schedule: every
+// third event is a preemption, transplant or defrag against live serving
+// traffic, with heartbeats keeping the fleet healthy. The run must stay
+// golden (preempted streams finish bit-identical) and replay bit-for-bit
+// — this is the CI regression for the checkpoint/restore path as a whole.
+func TestSimPreemptionSchedule(t *testing.T) {
+	o := DefaultOptions(99)
+	rng := rand.New(rand.NewSource(99))
+	pattern := []EventKind{
+		EvHeartbeat, EvInfer, EvPreempt,
+		EvHeartbeat, EvInfer, EvRestore,
+		EvHeartbeat, EvTick, EvDefrag,
+	}
+	steps := 108
+	if testing.Short() {
+		steps = 54
+	}
+	sched := make([]Event, steps)
+	for i := range sched {
+		sched[i] = Event{Kind: pattern[i%len(pattern)], R: rng.Uint64()}
+	}
+	run := func() *outcome {
+		out, err := runSchedule(o, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run()
+	if a.violation != nil {
+		writeReport(t, &Result{Seed: o.Seed, Schedule: sched, Trace: a.trace,
+			TraceHash: hashTrace(a.trace), Violation: a.violation})
+		t.Fatalf("preemption schedule violated %q: %s", a.violation.Invariant, a.violation.Detail)
+	}
+	b := run()
+	if b.violation != nil {
+		t.Fatalf("replay violated %q: %s", b.violation.Invariant, b.violation.Detail)
+	}
+	if hashTrace(a.trace) != hashTrace(b.trace) {
+		for i := range a.trace {
+			if i < len(b.trace) && a.trace[i] != b.trace[i] {
+				t.Errorf("trace diverged at line %d:\n  run A: %s\n  run B: %s", i, a.trace[i], b.trace[i])
+				break
+			}
+		}
+		t.Fatalf("preemption schedule is not deterministic: %016x vs %016x",
+			hashTrace(a.trace), hashTrace(b.trace))
 	}
 }
 
@@ -139,6 +215,8 @@ func TestSimCatchesInjectedBugs(t *testing.T) {
 		{"skip-migration-metric", FaultSkipMigrationMetric, "counter-conservation"},
 		{"skip-tenant-served-metric", FaultSkipTenantServed, "tenant-accounting"},
 		{"leak-slot", FaultLeakSlot, "slot-conservation"},
+		{"leak-snapshot", FaultLeakSnapshot, "snapshot-conservation"},
+		{"restore-at-zero", FaultRestoreAtZero, "golden-equivalence"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sample() *Slot {
+	return &Slot{
+		KernelHash: 0xdeadbeefcafef00d,
+		Tau:        7,
+		Steps:      25,
+		Regs: [][]uint16{
+			{1, 2, 3},
+			nil,
+			{0xffff, 0, 0x8000, 42},
+			nil,
+		},
+		Window: []uint16{9, 8, 7, 6, 5},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sample()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, s)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	s := &Slot{KernelHash: 1, Regs: [][]uint16{nil, nil}, Window: []uint16{}}
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.KernelHash != 1 || len(got.Regs) != 2 || got.Regs[0] != nil || len(got.Window) != 0 {
+		t.Fatalf("empty round trip: %#v", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob := sample().Encode()
+	for i := range blob {
+		mut := append([]byte{}, blob...)
+		mut[i] ^= 0x5a
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	blob := sample().Encode()
+	for n := 0; n < len(blob); n++ {
+		if _, err := Decode(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	blob := sample().Encode()
+	blob[0] = 'X'
+	if _, err := Decode(blob); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	s := sample()
+	payload := s.encode()
+	payload[0] = FormatVersion + 1 // little-endian version low byte
+	blob := append([]byte{}, Magic...)
+	blob = append(blob, byte(len(payload)), byte(len(payload)>>8), byte(len(payload)>>16), byte(len(payload)>>24))
+	blob = append(blob, payload...)
+	// Recompute a valid checksum so only the version differs.
+	good, err := Decode(s.Encode())
+	_ = good
+	if err != nil {
+		t.Fatalf("baseline decode: %v", err)
+	}
+	sum := fnvSum(payload)
+	for i := 0; i < 8; i++ {
+		blob = append(blob, byte(sum>>(8*i)))
+	}
+	if _, err := Decode(blob); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func fnvSum(b []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func TestBytesMatchesEncodedPayload(t *testing.T) {
+	s := sample()
+	if got, want := s.Bytes(), len(s.encode()); got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+}

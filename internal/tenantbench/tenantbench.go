@@ -12,6 +12,7 @@ package tenantbench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -179,6 +180,26 @@ func measure(dp *rms.DataPlane, leaseID int, o Options, inputs [][][]float64, fl
 					mu.Unlock()
 				}
 			}()
+		}
+		// The spawned workers don't run until this goroutine yields, and on
+		// a single-CPU host a short probe loop can otherwise finish inside
+		// one scheduler timeslice with the flood never scheduled at all.
+		// Wait for the flood's first completion so every timed probe really
+		// contends with batch traffic.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			n := completed
+			mu.Unlock()
+			if n > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				close(stop)
+				wg.Wait()
+				return Phase{}, fmt.Errorf("tenantbench: batch flood never started")
+			}
+			runtime.Gosched()
 		}
 	}
 
