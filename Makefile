@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-infer bench-infer-smoke bench-cluster bench-compile bench-tenant bench-preempt lint soak fuzz simtest repro examples clean
+.PHONY: all build test check race cover bench bench-infer bench-infer-smoke bench-cluster bench-compile bench-tenant bench-preempt lint soak fuzz simtest scenario scenario-smoke repro examples clean
 
 all: check
 
@@ -96,6 +96,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/rtl
 	$(GO) test -fuzz=FuzzBisect -fuzztime=$(FUZZTIME) ./internal/partition
 	$(GO) test -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME) ./internal/bfp
+	$(GO) test -fuzz=FuzzParseMLW -fuzztime=$(FUZZTIME) ./internal/wdsl
 
 # Deterministic whole-cluster simulation sweep. Each seed drives one
 # scripted run of the full stack (registry + control plane + data plane)
@@ -111,6 +112,25 @@ ifneq ($(SIMSEED),0)
 else
 	$(GO) test ./internal/simtest -run 'TestSimSweep|TestSimDeterminism' -seeds=$(SIMSEEDS) -steps=$(SIMSTEPS) -count=1 -v
 endif
+
+# Workload-DSL scenario runs: compile a .mlw spec's models to AS-ISA
+# kernels and play its arrival process and fault storms on the
+# deterministic simulation stack, every invariant family checked per
+# event. SCENARIO picks the spec; the SLO report JSON lands in
+# SCENARIO_REPORT_DIR (validated after a write-read round trip).
+SCENARIO ?= testdata/scenarios/diurnal-1000.mlw
+SCENARIO_REPORT_DIR ?= /tmp/scenario-reports
+scenario:
+	mkdir -p $(SCENARIO_REPORT_DIR)
+	$(GO) run ./cmd/mlv-scenario run -out $(SCENARIO_REPORT_DIR)/$(notdir $(SCENARIO)).json $(SCENARIO)
+
+# CI smoke: the small-fleet diurnal spec with a mid-run kill storm, plus
+# the scenario package tests (committed specs, determinism at 10 and 1000
+# devices, report round-trip).
+scenario-smoke:
+	mkdir -p $(SCENARIO_REPORT_DIR)
+	$(GO) run ./cmd/mlv-scenario run -out $(SCENARIO_REPORT_DIR)/smoke.json testdata/scenarios/smoke.mlw
+	$(GO) test ./internal/scenario ./internal/wdsl -count=1
 
 examples:
 	$(GO) run ./examples/quickstart

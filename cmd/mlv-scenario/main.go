@@ -1,0 +1,173 @@
+// mlv-scenario runs workload-DSL scenario specs (.mlw files) on the
+// deterministic simulation stack: the spec's models compile to AS-ISA
+// kernels, its fleet boots as a simulated cluster, arrivals and fault
+// storms play out in virtual time with every simtest invariant family
+// checked per event, and the run emits a machine-readable SLO report.
+//
+// Usage:
+//
+//	mlv-scenario run testdata/scenarios/smoke.mlw
+//	mlv-scenario run -out report.json testdata/scenarios/diurnal-1000.mlw
+//	mlv-scenario check testdata/scenarios/smoke.mlw
+//
+// run exits non-zero if any invariant is violated or the report fails its
+// own validation. check parses, compiles and builds every kernel without
+// running the scenario.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mlvfpga/internal/scenario"
+	"mlvfpga/internal/wdsl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "check":
+		checkCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mlv-scenario run [-out report.json] spec.mlw")
+	fmt.Fprintln(os.Stderr, "       mlv-scenario check spec.mlw")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mlv-scenario:", err)
+	os.Exit(1)
+}
+
+func load(path string) *wdsl.Spec {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	f, err := wdsl.Parse(string(src))
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	spec, err := wdsl.Compile(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return spec
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "", "write the SLO report JSON here (default: stdout only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	spec := load(path)
+
+	rep, err := scenario.Run(spec, filepath.Base(path))
+	if err != nil {
+		fail(err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		// Re-read what we wrote and validate that: the artifact on disk is
+		// the contract, not the in-memory struct.
+		back, rerr := os.ReadFile(*out)
+		if rerr != nil {
+			fail(rerr)
+		}
+		var rr scenario.Report
+		if err := json.Unmarshal(back, &rr); err != nil {
+			fail(fmt.Errorf("re-reading %s: %w", *out, err))
+		}
+		rep = &rr
+	}
+	if err := rep.Validate(); err != nil {
+		fail(fmt.Errorf("report failed self-validation: %w", err))
+	}
+
+	summarize(rep)
+	if !rep.Valid {
+		fmt.Fprintf(os.Stderr, "mlv-scenario: INVARIANT VIOLATION: %s\n", rep.Violation)
+		os.Exit(1)
+	}
+}
+
+func summarize(rep *scenario.Report) {
+	fmt.Printf("%s: seed %d, %d devices, %s, %d leases\n",
+		rep.Spec, rep.Seed, rep.Devices, rep.Duration, rep.Leases)
+	fmt.Printf("  arrivals %d  sampled-on-stack %d  trace %s\n",
+		rep.Arrivals, rep.Sampled, rep.TraceHash)
+	printSLOs := func(label string, m map[string]*scenario.SLO) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := m[k]
+			fmt.Printf("  %s %-10s req %6d  served %6d  shed %5d (%.2f%%)  p50 %8.3fms  p99 %8.3fms\n",
+				label, k, s.Requests, s.Served, s.Shed, 100*s.ShedRate, s.P50Ms, s.P99Ms)
+		}
+	}
+	printSLOs("tenant", rep.Tenants)
+	printSLOs("class ", rep.Classes)
+	green := 0
+	for _, v := range rep.Invariants {
+		if v.Status == "green" {
+			green++
+		}
+	}
+	fmt.Printf("  invariants: %d/%d green\n", green, len(rep.Invariants))
+	if rep.Valid {
+		fmt.Println("  PASS")
+	}
+}
+
+func checkCmd(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	spec := load(path)
+	seed := int64(1)
+	if spec.Scenario != nil {
+		seed = spec.Scenario.Seed
+	}
+	counts, err := wdsl.BuildKernels(spec, seed)
+	if err != nil {
+		fail(err)
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s: %d layer(s), instructions %v\n", n, len(counts[n]), counts[n])
+	}
+	fmt.Println("OK")
+}

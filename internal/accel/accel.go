@@ -283,7 +283,7 @@ type Machine struct {
 	// so slot-granular stepping stays allocation-free.
 	runScs []*streamCtx
 
-	sigm, tanh *[1 << 16]fp16.Num
+	sigm, tanh, exp, recip *[1 << 16]fp16.Num
 }
 
 // New builds a machine with a fresh private DRAM.
@@ -318,7 +318,7 @@ func NewWithDRAM(cfg Config, dram DRAM) (*Machine, error) {
 	}
 	inner, _ := dram.(ReaderInto)
 	m.dram = &trackedDRAM{inner: dram, innerInto: inner, m: m}
-	m.sigm, m.tanh = actTables()
+	m.sigm, m.tanh, m.exp, m.recip = actTables()
 	m.ensureStreams(1)
 	m.stats.ByOp = map[isa.Opcode]int{}
 	return m, nil

@@ -14,19 +14,23 @@ import (
 // simulator models them the way the hardware does: as lookup tables, built
 // once from the exact fp16 routines (bit-identical by construction).
 var (
-	actOnce sync.Once
-	sigmTab [1 << 16]fp16.Num
-	tanhTab [1 << 16]fp16.Num
+	actOnce  sync.Once
+	sigmTab  [1 << 16]fp16.Num
+	tanhTab  [1 << 16]fp16.Num
+	expTab   [1 << 16]fp16.Num
+	recipTab [1 << 16]fp16.Num
 )
 
-func actTables() (sigm, tanh *[1 << 16]fp16.Num) {
+func actTables() (sigm, tanh, exp, recip *[1 << 16]fp16.Num) {
 	actOnce.Do(func() {
 		for i := 0; i < 1<<16; i++ {
 			sigmTab[i] = fp16.Sigmoid(fp16.Num(i))
 			tanhTab[i] = fp16.Tanh(fp16.Num(i))
+			expTab[i] = fp16.Exp(fp16.Num(i))
+			recipTab[i] = fp16.Recip(fp16.Num(i))
 		}
 	})
-	return &sigmTab, &tanhTab
+	return &sigmTab, &tanhTab, &expTab, &recipTab
 }
 
 // streamCtx is one batch stream's architectural and scratch state: a
@@ -415,7 +419,7 @@ func (m *Machine) step1(sc *streamCtx, ins isa.Instr) error {
 		}
 		m.stats.VectorOps += int64(len(a))
 
-	case isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass:
+	case isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass, isa.OpVExp, isa.OpVRecip:
 		dst, err := m.vreg(ins.Dst)
 		if err != nil {
 			return err
@@ -433,6 +437,14 @@ func (m *Machine) step1(sc *streamCtx, ins isa.Instr) error {
 		case isa.OpVTanh:
 			for i, x := range a {
 				out[i] = m.tanh[x]
+			}
+		case isa.OpVExp:
+			for i, x := range a {
+				out[i] = m.exp[x]
+			}
+		case isa.OpVRecip:
+			for i, x := range a {
+				out[i] = m.recip[x]
 			}
 		case isa.OpVRelu:
 			for i, x := range a {

@@ -70,6 +70,11 @@ func TestSoakDepthScalesUnderBurst(t *testing.T) {
 	}
 	o := DefaultSoakOptions()
 	o.KillAtStep, o.DrainAtStep = -1, -1 // isolate the load signal
+	// The scale-up trigger needs one control tick to overlap a >=3-deep
+	// queue. The default burst can drain between two paced ticks on a fast
+	// machine, so sustain it: enough requests that the client phase spans
+	// many ticks.
+	o.Requests = 1280
 	res, err := RunSoak(o)
 	if err != nil {
 		t.Fatal(err)

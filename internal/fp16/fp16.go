@@ -183,6 +183,18 @@ func Tanh(n Num) Num {
 	return FromFloat64(math.Tanh(n.Float64()))
 }
 
+// Exp returns e^n rounded to binary16, the accelerator's v_exp
+// activation (overflow saturates to +Inf per IEEE conversion).
+func Exp(n Num) Num {
+	return FromFloat64(math.Exp(n.Float64()))
+}
+
+// Recip returns 1/n rounded to binary16, the accelerator's v_recip
+// activation (1/0 is +Inf, matching IEEE division).
+func Recip(n Num) Num {
+	return FromFloat64(1 / n.Float64())
+}
+
 // Less reports a < b with IEEE semantics (NaN compares false).
 func Less(a, b Num) bool {
 	if a.IsNaN() || b.IsNaN() {

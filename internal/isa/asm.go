@@ -110,7 +110,7 @@ func assembleLine(line string) (Instr, error) {
 		}
 		i.Src2, err = reg(args[2])
 		return i, err
-	case OpVSigm, OpVTanh, OpVRelu, OpVPass:
+	case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVExp, OpVRecip:
 		if err = need(2); err != nil {
 			return i, err
 		}

@@ -53,6 +53,12 @@ const (
 	OpVRsub
 	// OpEndChain terminates an instruction chain (one inference).
 	OpEndChain
+	// OpVExp applies e^x element-wise (the attention cell's unnormalized
+	// key weighting; like sigmoid/tanh it is an MFU lookup table).
+	OpVExp
+	// OpVRecip applies 1/x element-wise (the attention cell's
+	// normalization, replacing a divide the MFUs do not have).
+	OpVRecip
 
 	opMax
 )
@@ -72,6 +78,8 @@ var opNames = map[Opcode]string{
 	OpVConst:   "v_const",
 	OpVRsub:    "v_rsub",
 	OpEndChain: "end_chain",
+	OpVExp:     "v_exp",
+	OpVRecip:   "v_recip",
 }
 
 var opByName = func() map[string]Opcode {
@@ -151,7 +159,7 @@ func (i Instr) String() string {
 		return fmt.Sprintf("%s r%d, %d", i.Op, i.Src1, i.Imm)
 	case OpMVMul, OpVVAdd, OpVVSub, OpVVMul:
 		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Dst, i.Src1, i.Src2)
-	case OpVSigm, OpVTanh, OpVRelu, OpVPass:
+	case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVExp, OpVRecip:
 		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Dst, i.Src1)
 	case OpVConst:
 		return fmt.Sprintf("%s r%d, %#04x", i.Op, i.Dst, i.Imm)
@@ -219,7 +227,7 @@ func (i Instr) Reads() []int {
 		return []int{MRegBase + int(i.Src1), int(i.Src2)}
 	case OpVVAdd, OpVVSub, OpVVMul:
 		return []int{int(i.Src1), int(i.Src2)}
-	case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVRsub:
+	case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVRsub, OpVExp, OpVRecip:
 		return []int{int(i.Src1)}
 	}
 	return nil
@@ -233,7 +241,8 @@ const MRegBase = 1000
 func (i Instr) Writes() []int {
 	switch i.Op {
 	case OpVRead, OpMVMul, OpVVAdd, OpVVSub, OpVVMul,
-		OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVConst, OpVRsub:
+		OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVConst, OpVRsub,
+		OpVExp, OpVRecip:
 		return []int{int(i.Dst)}
 	case OpMRead:
 		return []int{MRegBase + int(i.Dst)}

@@ -95,7 +95,7 @@ func Validate(p Program, spec MachineSpec) []Issue {
 			checkReg(ins.Dst, false)
 			checkReg(ins.Src1, false)
 			checkReg(ins.Src2, false)
-		case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVRsub:
+		case OpVSigm, OpVTanh, OpVRelu, OpVPass, OpVRsub, OpVExp, OpVRecip:
 			checkReg(ins.Dst, false)
 			checkReg(ins.Src1, false)
 		}

@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"reflect"
+	"testing"
+
+	"mlvfpga/internal/isa"
+)
+
+// The attention cell's golden coverage: the float64 reference match here,
+// plus the kind-parameterized bit-identity suites (snapshot round-trip in
+// snapshot_test.go, continuous-batching step equivalence in step_test.go)
+// which run the Attention case alongside LSTM/GRU.
+
+func TestAttentionMatchesReference(t *testing.T) {
+	runKernel(t, Attention, 48, 4, 0.08)
+}
+
+func TestAttentionLongerSequenceStaysBounded(t *testing.T) {
+	// The running normalizer z grows with t; the normalized state S/z must
+	// keep quantization error bounded over longer sequences.
+	runKernel(t, Attention, 32, 12, 0.15)
+}
+
+func TestAttentionWeightsShape(t *testing.T) {
+	w := RandomWeights(Attention, 32, 5)
+	if len(w.M) != 4 || len(w.B) != 4 {
+		t.Fatalf("attention has %d matrices, %d biases, want 4/4", len(w.M), len(w.B))
+	}
+	for _, name := range []string{"Wq", "Wk", "Wv", "Wo"} {
+		if len(w.M[name]) != 32*32 {
+			t.Errorf("matrix %s has %d elements", name, len(w.M[name]))
+		}
+	}
+}
+
+// TestAttentionProgramUsesNewOps pins that the generated step program
+// actually exercises the v_exp/v_recip MFU ops (a silent fallback to
+// sigmoid-only code would still pass a tolerance test).
+func TestAttentionProgramUsesNewOps(t *testing.T) {
+	w := RandomWeights(Attention, 32, 5)
+	k, err := Build(w, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[isa.Opcode]int{}
+	for _, ins := range k.Step {
+		counts[ins.Op]++
+	}
+	if counts[isa.OpVExp] != 1 || counts[isa.OpVRecip] != 1 {
+		t.Fatalf("step program has %d v_exp and %d v_recip, want 1 each", counts[isa.OpVExp], counts[isa.OpVRecip])
+	}
+	if counts[isa.OpMVMul] != MVMsPerStep(Attention) {
+		t.Fatalf("step program has %d mv_mul, want %d", counts[isa.OpMVMul], MVMsPerStep(Attention))
+	}
+}
+
+// TestAttentionDeterministic pins bit-identical replay: two machines built
+// from the same weights produce exactly the same output words.
+func TestAttentionDeterministic(t *testing.T) {
+	w := RandomWeights(Attention, 32, 11)
+	k, err := Build(w, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(k, 1, 29)[0]
+	run := func() [][]float64 {
+		m, err := k.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt, x := range inputs {
+			if err := k.SetInput(m, tt, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Run(k.Prog); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]float64, k.Spec.TimeSteps)
+		for tt := range out {
+			o, err := k.ReadOutput(m, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[tt] = o
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("identical kernels produced different output bits")
+	}
+}

@@ -21,6 +21,19 @@ type RNNKind int
 const (
 	LSTM RNNKind = iota
 	GRU
+	// Attention is a recurrent attention cell (AFT-style): instead of
+	// materializing a softmax over the whole history — which the AS ISA
+	// cannot express (no cross-lane reduction) — the cell keeps a running
+	// key-weighted value sum S_t and normalizer z_t:
+	//
+	//	S_t = S_{t-1} + exp(k_t) ⊙ v_t
+	//	z_t = z_{t-1} + exp(k_t)
+	//	y_t = σ(q_t) ⊙ (S_t ⊙ recip(z_t)), then h_t = Wo·y_t + bo
+	//
+	// with q/k/v = W{q,k,v}·x_t + b{q,k,v}. The state (S, z) is two vector
+	// registers, so the cell steps under the same banked Step program,
+	// snapshot/restore and scale-out machinery as LSTM/GRU.
+	Attention
 )
 
 func (k RNNKind) String() string {
@@ -29,6 +42,8 @@ func (k RNNKind) String() string {
 		return "LSTM"
 	case GRU:
 		return "GRU"
+	case Attention:
+		return "Attention"
 	}
 	return fmt.Sprintf("RNNKind(%d)", int(k))
 }
@@ -45,6 +60,12 @@ func (k RNNKind) gateNames() (wx, uh, bias []string) {
 		return []string{"Wz", "Wr", "Wn"},
 			[]string{"Uz", "Ur", "Un"},
 			[]string{"bz", "br", "bn"}
+	case Attention:
+		// All four projections act on the step input (the recurrence runs
+		// through the (S, z) accumulators, not through matrices on h).
+		return []string{"Wq", "Wk", "Wv", "Wo"},
+			nil,
+			[]string{"bq", "bk", "bv", "bo"}
 	}
 	return nil, nil, nil
 }
@@ -307,6 +328,11 @@ func Build(w *Weights, timeSteps, tiles int) (*Kernel, error) {
 	if timeSteps <= 0 {
 		return nil, fmt.Errorf("kernels: timeSteps = %d", timeSteps)
 	}
+	switch w.Kind {
+	case LSTM, GRU, Attention:
+	default:
+		return nil, fmt.Errorf("kernels: unknown cell %v", w.Kind)
+	}
 	spec := LayerSpec{Kind: w.Kind, Hidden: w.Hidden, TimeSteps: timeSteps}
 	cfg := DefaultConfig(spec, tiles)
 	k := &Kernel{Spec: spec, Cfg: cfg}
@@ -356,15 +382,25 @@ func Build(w *Weights, timeSteps, tiles int) (*Kernel, error) {
 	zero := isa.Instr{Op: isa.OpVConst, Dst: 1, Imm: 0} // h = 0
 	p = append(p, zero)
 	sinit = append(sinit, zero)
-	if w.Kind == LSTM {
+	switch w.Kind {
+	case LSTM:
 		zc := isa.Instr{Op: isa.OpVConst, Dst: 2, Imm: 0} // c = 0
 		p = append(p, zc)
 		sinit = append(sinit, zc)
+	case Attention:
+		for _, dst := range []uint8{2, 15} { // S = 0, z = 0
+			zs := isa.Instr{Op: isa.OpVConst, Dst: dst, Imm: 0}
+			p = append(p, zs)
+			sinit = append(sinit, zs)
+		}
 	}
 
 	cell := func() isa.Program {
-		if w.Kind == LSTM {
+		switch w.Kind {
+		case LSTM:
 			return lstmStep()
+		case Attention:
+			return attnStep()
 		}
 		return gruStep()
 	}
@@ -453,6 +489,32 @@ func gruStep() isa.Program {
 	}
 }
 
+// attnStep emits one recurrent-attention timestep. Register convention:
+// r0=x_t r1=h r2=S r15=z r3..r6=bq,bk,bv,bo; m0..m3=Wq,Wk,Wv,Wo.
+func attnStep() isa.Program {
+	I := func(op isa.Opcode, d, s1, s2 uint8) isa.Instr {
+		return isa.Instr{Op: op, Dst: d, Src1: s1, Src2: s2}
+	}
+	return isa.Program{
+		I(isa.OpMVMul, 7, 0, 0), // Wq x
+		I(isa.OpVVAdd, 7, 7, 3), // q
+		I(isa.OpMVMul, 8, 1, 0), // Wk x
+		I(isa.OpVVAdd, 8, 8, 4), // k
+		I(isa.OpMVMul, 9, 2, 0), // Wv x
+		I(isa.OpVVAdd, 9, 9, 5), // v
+		I(isa.OpVExp, 8, 8, 0),  // e = exp(k)
+		I(isa.OpVVMul, 10, 8, 9),
+		I(isa.OpVVAdd, 2, 2, 10),  // S += e ⊙ v
+		I(isa.OpVVAdd, 15, 15, 8), // z += e
+		I(isa.OpVSigm, 7, 7, 0),   // σ(q)
+		I(isa.OpVRecip, 10, 15, 0),
+		I(isa.OpVVMul, 10, 2, 10), // S / z
+		I(isa.OpVVMul, 10, 7, 10), // y = σ(q) ⊙ (S/z)
+		I(isa.OpMVMul, 11, 3, 10), // Wo y
+		I(isa.OpVVAdd, 1, 11, 6),  // h' = Wo y + bo
+	}
+}
+
 // StepInstructions returns the number of instructions one timestep costs
 // (including the x_t load and h_t store), used by the timing model.
 func StepInstructions(kind RNNKind) int {
@@ -461,6 +523,8 @@ func StepInstructions(kind RNNKind) int {
 		return len(lstmStep()) + 2
 	case GRU:
 		return len(gruStep()) + 2
+	case Attention:
+		return len(attnStep()) + 2
 	}
 	return 0
 }
@@ -468,8 +532,11 @@ func StepInstructions(kind RNNKind) int {
 // MVMsPerStep returns how many h x h matrix-vector products one timestep
 // performs.
 func MVMsPerStep(kind RNNKind) int {
-	if kind == LSTM {
+	switch kind {
+	case LSTM:
 		return 8
+	case Attention:
+		return 4
 	}
 	return 6
 }

@@ -154,7 +154,10 @@ func TestStepInstructionCounts(t *testing.T) {
 	if StepInstructions(GRU) != 22 {
 		t.Errorf("GRU step = %d instrs", StepInstructions(GRU))
 	}
-	if MVMsPerStep(LSTM) != 8 || MVMsPerStep(GRU) != 6 {
+	if StepInstructions(Attention) != 18 {
+		t.Errorf("Attention step = %d instrs", StepInstructions(Attention))
+	}
+	if MVMsPerStep(LSTM) != 8 || MVMsPerStep(GRU) != 6 || MVMsPerStep(Attention) != 4 {
 		t.Error("MVM counts wrong")
 	}
 }
@@ -174,7 +177,7 @@ func TestInstructionFootprint(t *testing.T) {
 
 // Every generated program must pass the ISA static validator.
 func TestGeneratedProgramsValidate(t *testing.T) {
-	for _, kind := range []RNNKind{LSTM, GRU} {
+	for _, kind := range []RNNKind{LSTM, GRU, Attention} {
 		w := RandomWeights(kind, 64, 3)
 		k, err := Build(w, 5, 2)
 		if err != nil {

@@ -11,6 +11,8 @@ type Reference struct {
 	w *Weights
 	h []float64
 	c []float64 // LSTM cell state
+	s []float64 // attention running key-weighted value sum
+	z []float64 // attention running normalizer
 }
 
 // NewReference builds a reference evaluator with zero initial state.
@@ -19,6 +21,8 @@ func NewReference(w *Weights) *Reference {
 		w: w,
 		h: make([]float64, w.Hidden),
 		c: make([]float64, w.Hidden),
+		s: make([]float64, w.Hidden),
+		z: make([]float64, w.Hidden),
 	}
 }
 
@@ -35,6 +39,8 @@ func (r *Reference) Step(x []float64) ([]float64, error) {
 		return r.stepLSTM(x), nil
 	case GRU:
 		return r.stepGRU(x), nil
+	case Attention:
+		return r.stepAttention(x), nil
 	}
 	return nil, fmt.Errorf("kernels: unknown cell %v", r.w.Kind)
 }
@@ -89,6 +95,46 @@ func (r *Reference) stepGRU(x []float64) []float64 {
 		rr := sigmoid(wrx[k] + urh[k] + r.w.B["br"][k])
 		n := math.Tanh(rr*unh[k] + wnx[k] + r.w.B["bn"][k])
 		newH[k] = (1-z)*n + z*r.h[k]
+	}
+	r.h = newH
+	return append([]float64{}, newH...)
+}
+
+// stepAttention mirrors attnStep's recurrence exactly: running
+// accumulators (S, z) instead of a softmax over the materialized history,
+// so a float64 evaluation is a step-for-step twin of the kernel.
+func (r *Reference) stepAttention(x []float64) []float64 {
+	h := r.w.Hidden
+	proj := func(wName, bName string) []float64 {
+		out := make([]float64, h)
+		w, b := r.w.M[wName], r.w.B[bName]
+		for i := 0; i < h; i++ {
+			sum := b[i]
+			for j := 0; j < h; j++ {
+				sum += w[i*h+j] * x[j]
+			}
+			out[i] = sum
+		}
+		return out
+	}
+	q := proj("Wq", "bq")
+	k := proj("Wk", "bk")
+	v := proj("Wv", "bv")
+	y := make([]float64, h)
+	for i := 0; i < h; i++ {
+		e := math.Exp(k[i])
+		r.s[i] += e * v[i]
+		r.z[i] += e
+		y[i] = sigmoid(q[i]) * (r.s[i] / r.z[i])
+	}
+	newH := make([]float64, h)
+	wo, bo := r.w.M["Wo"], r.w.B["bo"]
+	for i := 0; i < h; i++ {
+		sum := bo[i]
+		for j := 0; j < h; j++ {
+			sum += wo[i*h+j] * y[j]
+		}
+		newH[i] = sum
 	}
 	r.h = newH
 	return append([]float64{}, newH...)

@@ -15,7 +15,7 @@ import (
 // count, as a migration would) finishes with outputs bit-identical to
 // the same stream run without interruption.
 func TestSnapshotRestoreBitIdentical(t *testing.T) {
-	for _, kind := range []RNNKind{LSTM, GRU} {
+	for _, kind := range []RNNKind{LSTM, GRU, Attention} {
 		t.Run(kind.String(), func(t *testing.T) {
 			w := RandomWeights(kind, 32, 17)
 			k, err := Build(w, 5, 1)

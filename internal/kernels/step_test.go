@@ -21,7 +21,7 @@ type stepSlot struct {
 // — including a stream admitted into a slot freed mid-run — produces
 // outputs bit-identical to the monolithic Prog run per stream.
 func TestStepProgramsMatchMonolithic(t *testing.T) {
-	for _, kind := range []RNNKind{LSTM, GRU} {
+	for _, kind := range []RNNKind{LSTM, GRU, Attention} {
 		t.Run(kind.String(), func(t *testing.T) {
 			w := RandomWeights(kind, 32, 9)
 			k, err := Build(w, 4, 1)

@@ -36,7 +36,7 @@ func FromStats(st accel.ExecStats, inst Instance, p Params) (Breakdown, error) {
 		switch op {
 		case isa.OpVVAdd, isa.OpVVSub, isa.OpVVMul,
 			isa.OpVSigm, isa.OpVTanh, isa.OpVRelu, isa.OpVPass,
-			isa.OpVConst, isa.OpVRsub:
+			isa.OpVConst, isa.OpVRsub, isa.OpVExp, isa.OpVRecip:
 			nVec += float64(count)
 		}
 	}

@@ -81,11 +81,26 @@ var ErrDoesNotFit = errors.New("perf: layer does not fit device")
 
 // WeightKb returns the on-chip weight storage a layer needs.
 func WeightKb(spec kernels.LayerSpec, p Params) float64 {
-	nMat := float64(2 * gateCount(spec.Kind))
+	nMat := float64(matCount(spec.Kind))
 	bits := nMat * float64(spec.Hidden) * float64(spec.Hidden) * p.WeightBitsPerValue
 	return bits / 1024
 }
 
+// matCount is the number of h×h weight matrices the cell holds resident:
+// W*+U* pairs for the recurrent cells, the four projections for attention
+// (whose recurrence runs through vector accumulators, not matrices).
+func matCount(kind kernels.RNNKind) int {
+	switch kind {
+	case kernels.LSTM:
+		return 8
+	case kernels.Attention:
+		return 4
+	}
+	return 6
+}
+
+// gateCount is the number of input-dependent (W*·x) products per step:
+// one per gate for LSTM/GRU, the q/k/v projections for attention.
 func gateCount(kind kernels.RNNKind) int {
 	if kind == kernels.LSTM {
 		return 4

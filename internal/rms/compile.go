@@ -130,6 +130,19 @@ func chooseTiles(spec kernels.LayerSpec) (int, error) {
 	return 0, fmt.Errorf("%w: %v", ErrUndeployable, spec)
 }
 
+// PlanKey returns the artifact key a deploy of the layer would ensure,
+// without compiling anything. Distinct layers that resolve to the same
+// accelerator instance share one key — and therefore one cached
+// compilation product — because the artifact is the virtualized
+// accelerator, not the model loaded onto it.
+func (c *Compiler) PlanKey(spec kernels.LayerSpec) (artifactstore.Key, error) {
+	opts, err := c.optionsFor(spec)
+	if err != nil {
+		return "", err
+	}
+	return core.CompileKey(opts), nil
+}
+
 // Ensure makes the layer's full compilation product present in the
 // artifact store and returns it. warm reports a cache hit: the deploy can
 // skip straight to placement. The returned artifact is shared and must be

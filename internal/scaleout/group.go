@@ -174,6 +174,9 @@ func BuildScaledGroup(w *kernels.Weights, timeSteps, tilesPerDevice, n int) (*Sc
 	if timeSteps <= 0 {
 		return nil, fmt.Errorf("scaleout: timeSteps = %d", timeSteps)
 	}
+	if w.Kind != kernels.LSTM && w.Kind != kernels.GRU {
+		return nil, fmt.Errorf("scaleout: no scaled step program for %v", w.Kind)
+	}
 	h := w.Hidden
 	if h%n != 0 {
 		return nil, fmt.Errorf("scaleout: hidden %d not divisible by %d", h, n)

@@ -68,8 +68,13 @@ func TwoFPGAStep(spec kernels.LayerSpec, device string, p perf.Params, opt TwoFP
 	// all four gates qualify; in the GRU the candidate gate's product
 	// serializes behind the reset gate, leaving two.
 	overlapGates := 4.0
-	if spec.Kind == kernels.GRU {
+	switch spec.Kind {
+	case kernels.GRU:
 		overlapGates = 2.0
+	case kernels.Attention:
+		// The three x-only projections (q, k, v) schedule ahead of the
+		// blocking receive; Wo waits on the normalized state.
+		overlapGates = 3.0
 	}
 	perMVM := h2 * h / macsPerCycle
 	windowCycles := overlapGates * (perMVM + p.MVMFillCycles +

@@ -61,6 +61,9 @@ func BuildScaledPair(w *kernels.Weights, timeSteps, tilesPerDevice int) (*Scaled
 	if timeSteps <= 0 {
 		return nil, fmt.Errorf("scaleout: timeSteps = %d", timeSteps)
 	}
+	if w.Kind != kernels.LSTM && w.Kind != kernels.GRU {
+		return nil, fmt.Errorf("scaleout: no scaled step program for %v", w.Kind)
+	}
 	h := w.Hidden
 	if h%2 != 0 {
 		return nil, fmt.Errorf("scaleout: hidden dimension %d must be even", h)

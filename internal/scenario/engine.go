@@ -1,0 +1,335 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mlvfpga/internal/simtest"
+	"mlvfpga/internal/wdsl"
+)
+
+// settle rounds after the described duration: heartbeats + ticks that let
+// evacuations and retry backoffs quiesce before the stranded audit (the
+// period must comfortably exceed the control plane's max backoff).
+const (
+	settleRounds = 12
+	settlePeriod = time.Second
+)
+
+// minService floors the queue model's service time, so a lease whose
+// modelled latency rounds to zero still accumulates backlog.
+const minService = 100 * time.Microsecond
+
+// lease is one deployed serving endpoint in the engine's model.
+type leaseInfo struct {
+	id     int
+	model  string
+	tenant string
+	class  string
+	// service is the queue model's per-request service time (the lease's
+	// modelled inference latency at deploy time).
+	service time.Duration
+}
+
+// arrival is one offered request, priced by the queue plane and
+// optionally executed on the stack.
+type arrival struct {
+	at      time.Duration
+	block   int // traffic block index
+	seq     int // sequence within the block
+	tenant  string
+	class   string
+	lease   int // index into leases
+	sampled bool
+}
+
+// Run executes one compiled scenario and returns its SLO report. The
+// report is a pure function of (spec, name): same spec and seed reproduce
+// the same trace hash and the same report bytes.
+func Run(spec *wdsl.Spec, name string) (*Report, error) {
+	ir := spec.Scenario
+	if ir == nil {
+		return nil, fmt.Errorf("scenario: spec %q has no scenario block", name)
+	}
+	if len(ir.Deploys) == 0 {
+		return nil, fmt.Errorf("scenario: spec %q deploys nothing", name)
+	}
+
+	o := simtest.DefaultOptions(ir.Seed)
+	o.Cluster = ir.Cluster
+	o.Tenants = spec.Tenants
+	o.Infer.Seed = ir.Seed
+	classOf := map[string]string{}
+	for _, t := range spec.Tenants {
+		classOf[t.ID] = t.Class.String()
+	}
+
+	stack, err := simtest.NewStack(o)
+	if err != nil {
+		return nil, err
+	}
+	defer stack.Close()
+	eng := stack.Engine()
+
+	// Deploy phase (virtual t=0): every replica of every layer of every
+	// deployed model becomes a lease. A shed deploy is a spec error (the
+	// described fleet cannot host the described models), not a violation.
+	var leases []leaseInfo
+	leasesByModel := map[string][]int{}
+	for _, d := range ir.Deploys {
+		m := spec.ByName[d.Model]
+		for rep := 0; rep < d.Replicas; rep++ {
+			for li, layer := range m.Layers {
+				l, ok := stack.Deploy(layer.Rnn, d.Tenant)
+				if !ok {
+					return nil, fmt.Errorf("scenario: deploy %q replica %d layer %d: invariant violation: %v",
+						d.Model, rep, li, stack.Violation())
+				}
+				if l == nil {
+					return nil, fmt.Errorf("scenario: deploy %q replica %d layer %d shed: fleet cannot host the described models",
+						d.Model, rep, li)
+				}
+				svc, _ := stack.LeaseLatency(l.ID)
+				if svc < minService {
+					svc = minService
+				}
+				class := classOf[d.Tenant]
+				if class == "" {
+					class = "latency"
+				}
+				leasesByModel[d.Model] = append(leasesByModel[d.Model], len(leases))
+				leases = append(leases, leaseInfo{
+					id: l.ID, model: d.Model, tenant: d.Tenant, class: class, service: svc,
+				})
+			}
+		}
+	}
+
+	// Storm victims: deterministic, disjoint across storms, never
+	// reducing the beating fleet below two devices.
+	devices := stack.Devices()
+	rng := rand.New(rand.NewSource(ir.Seed ^ 0x5ca1ab1e))
+	victims, err := stormVictims(ir.Storms, devices, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Arrivals: generate each traffic block's point process, then merge.
+	arrivals := genArrivals(ir, spec, classOf, leasesByModel, leases)
+
+	// --- Lay the timeline onto the DES engine. ---
+	for t := ir.Heartbeat; t <= ir.Duration; t += ir.Heartbeat {
+		eng.At(t, func(time.Duration) { stack.HeartbeatAll() })
+	}
+	for t := ir.Tick; t <= ir.Duration; t += ir.Tick {
+		eng.At(t, func(time.Duration) { stack.Tick() })
+	}
+	for si, st := range ir.Storms {
+		vs := victims[si]
+		kind := st.Kind
+		eng.At(st.At, func(time.Duration) {
+			for _, d := range vs {
+				if kind == "kill" {
+					stack.Kill(d)
+				} else {
+					stack.Drain(d)
+				}
+			}
+		})
+		if st.For > 0 {
+			end := st.At + st.For
+			if end > ir.Duration {
+				end = ir.Duration
+			}
+			eng.At(end, func(time.Duration) {
+				for _, d := range vs {
+					if kind == "kill" {
+						stack.Revive(d)
+					} else {
+						stack.Undrain(d)
+					}
+				}
+			})
+		}
+	}
+
+	// The queue plane prices every arrival now (it is virtual-time math,
+	// not stack work); sampled, un-shed arrivals additionally execute on
+	// the stack at their arrival instant.
+	busyUntil := map[int]time.Duration{}
+	tenants := map[string]*rollup{}
+	classes := map[string]*rollup{}
+	sampled := 0
+	for i := range arrivals {
+		a := &arrivals[i]
+		li := leases[a.lease]
+		tr := getRollup(tenants, a.tenant)
+		cr := getRollup(classes, a.class)
+		tr.requests++
+		cr.requests++
+		wait := busyUntil[a.lease] - a.at
+		if wait < 0 {
+			wait = 0
+		}
+		if wait > time.Duration(ir.QueueCap)*li.service {
+			tr.shed++
+			cr.shed++
+			continue
+		}
+		busyUntil[a.lease] = a.at + wait + li.service
+		sojournMs := float64(wait+li.service) / float64(time.Millisecond)
+		tr.served++
+		cr.served++
+		tr.sojourns = append(tr.sojourns, sojournMs)
+		cr.sojourns = append(cr.sojourns, sojournMs)
+		if a.sampled {
+			sampled++
+			id, who, seed := li.id, a.tenant, int64(a.seq%8)
+			eng.At(a.at, func(time.Duration) { stack.Serve(id, who, []int64{seed}) })
+		}
+	}
+
+	for k := 0; k < settleRounds; k++ {
+		eng.At(ir.Duration+time.Duration(k+1)*settlePeriod, func(time.Duration) { stack.Settle() })
+	}
+
+	eng.Run(0)
+	stack.CheckStranded()
+
+	// --- Assemble the report. ---
+	rep := &Report{
+		Spec:      name,
+		Seed:      ir.Seed,
+		Devices:   ir.DeviceCount,
+		Duration:  ir.Duration.String(),
+		Leases:    len(leases),
+		Arrivals:  len(arrivals),
+		Sampled:   sampled,
+		TraceHash: fmt.Sprintf("%016x", stack.TraceHash()),
+		Tenants:   map[string]*SLO{},
+		Classes:   map[string]*SLO{},
+		Counters:  stack.CounterDeltas(),
+	}
+	for name, r := range tenants {
+		if name == "" {
+			continue // tenantless runs roll up under Classes only
+		}
+		rep.Tenants[name] = r.slo()
+	}
+	for name, r := range classes {
+		rep.Classes[name] = r.slo()
+	}
+	violatedFamily := ""
+	if v := stack.Violation(); v != nil {
+		rep.Violation = v.String()
+		violatedFamily = v.Invariant
+	}
+	seen := false
+	for _, fam := range simtest.InvariantFamilies() {
+		verdict := Verdict{Invariant: fam, Status: "green"}
+		if fam == violatedFamily {
+			verdict.Status = "violated"
+			verdict.Detail = rep.Violation
+			seen = true
+		}
+		rep.Invariants = append(rep.Invariants, verdict)
+	}
+	if violatedFamily != "" && !seen {
+		// Operation-error pseudo-families (deploy-error, ...) are not in
+		// the fixed list; attach them so the verdicts stay consistent.
+		rep.Invariants = append(rep.Invariants,
+			Verdict{Invariant: violatedFamily, Status: "violated", Detail: rep.Violation})
+	}
+	rep.Valid = rep.Violation == ""
+	return rep, nil
+}
+
+func getRollup(m map[string]*rollup, key string) *rollup {
+	r := m[key]
+	if r == nil {
+		r = &rollup{}
+		m[key] = r
+	}
+	return r
+}
+
+// stormVictims picks each storm's victim devices: deterministic under the
+// seed, disjoint across storms, and never leaving fewer than two devices
+// untouched by storms.
+func stormVictims(storms []wdsl.StormIR, devices []int, rng *rand.Rand) ([][]int, error) {
+	pool := append([]int(nil), devices...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	need := 0
+	for _, s := range storms {
+		need += s.Devices
+	}
+	if need > len(devices)-2 {
+		return nil, fmt.Errorf("scenario: storms touch %d devices, fleet of %d must keep 2 untouched",
+			need, len(devices))
+	}
+	out := make([][]int, len(storms))
+	next := 0
+	for i, s := range storms {
+		vs := append([]int(nil), pool[next:next+s.Devices]...)
+		sort.Ints(vs)
+		out[i] = vs
+		next += s.Devices
+	}
+	return out, nil
+}
+
+// genArrivals expands every traffic block into a merged, time-ordered
+// arrival sequence. Each block gets its own derived PRNG, so adding a
+// block never perturbs another block's draw sequence.
+func genArrivals(ir *wdsl.ScenarioIR, spec *wdsl.Spec, classOf map[string]string,
+	leasesByModel map[string][]int, leases []leaseInfo) []arrival {
+	var out []arrival
+	for bi, tr := range ir.Traffic {
+		rng := rand.New(rand.NewSource(ir.Seed ^ (int64(bi+1) * 0x9e3779b9)))
+		class := classOf[tr.Tenant]
+		if class == "" {
+			class = "latency"
+		}
+		pool := leasesByModel[tr.Model]
+		seq := 0
+		// Poisson process at peak rate; diurnal blocks thin it against
+		// the day curve λ(t) = rate·(trough + (1−trough)·½(1−cos 2πt/T)).
+		for t := time.Duration(0); ; {
+			t += time.Duration(rng.ExpFloat64() / tr.Rate * float64(time.Second))
+			if t >= ir.Duration {
+				break
+			}
+			if tr.Shape == "diurnal" {
+				phase := 2 * math.Pi * float64(t) / float64(tr.Period)
+				accept := tr.Trough + (1-tr.Trough)*0.5*(1-math.Cos(phase))
+				if rng.Float64() >= accept {
+					continue
+				}
+			}
+			out = append(out, arrival{
+				at:      t,
+				block:   bi,
+				seq:     seq,
+				tenant:  tr.Tenant,
+				class:   class,
+				lease:   pool[rng.Intn(len(pool))],
+				sampled: rng.Float64() < ir.Sample,
+			})
+			seq++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.block != b.block {
+			return a.block < b.block
+		}
+		return a.seq < b.seq
+	})
+	return out
+}

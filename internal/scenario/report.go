@@ -1,0 +1,197 @@
+// Package scenario runs compiled workload descriptions (internal/wdsl)
+// against the simtest stack: the described fleet is built on the DES
+// engine, deploys and arrival processes are laid onto the virtual
+// timeline, fault storms kill and drain devices mid-run, and every event
+// is audited against the full simtest invariant suite. The run emits a
+// machine-readable SLO report.
+//
+// Two planes cooperate:
+//
+//   - The analytic queue plane prices every arrival: each lease is a FIFO
+//     server whose service time is the lease's modelled inference latency,
+//     arrivals queue or shed (when the backlog exceeds queue_cap service
+//     times), and per-tenant/class latency percentiles and shed rates come
+//     from this plane. It is a pure function of the spec, so reports are
+//     bit-reproducible.
+//   - The execution plane samples a fraction of arrivals (sample=) and
+//     runs them as real inferences on the accelerator-simulator stack,
+//     under the golden-equivalence, tenant-accounting and counter
+//     invariants. Storms and control-plane reconciliation run here.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+)
+
+// SLO aggregates one tenant's (or QoS class's) traffic outcome.
+type SLO struct {
+	Requests int     `json:"requests"`
+	Served   int     `json:"served"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Verdict is one invariant family's outcome over the whole run.
+type Verdict struct {
+	Invariant string `json:"invariant"`
+	Status    string `json:"status"` // "green" | "violated"
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Report is the machine-readable outcome of one scenario run.
+type Report struct {
+	Spec     string `json:"spec"`
+	Seed     int64  `json:"seed"`
+	Devices  int    `json:"devices"`
+	Duration string `json:"duration"`
+	Leases   int    `json:"leases"`
+	// Arrivals counts every offered request; Sampled the subset executed
+	// as real inferences on the stack under test.
+	Arrivals int `json:"arrivals"`
+	Sampled  int `json:"sampled"`
+	// TraceHash digests the deterministic event trace (16 hex digits);
+	// identical spec+seed must reproduce it bit-for-bit.
+	TraceHash string `json:"trace_hash"`
+	// Tenants and Classes hold the SLO rollups; Classes keys are
+	// "latency" and "batch" (only "latency" for tenantless runs).
+	Tenants map[string]*SLO `json:"tenants"`
+	Classes map[string]*SLO `json:"classes"`
+	// Counters are the stack's metric deltas over the run (migrations,
+	// preemption captures/restores, heartbeat misses, ...).
+	Counters map[string]int64 `json:"counters"`
+	// Invariants has one verdict per simtest invariant family.
+	Invariants []Verdict `json:"invariants"`
+	// Violation is the first invariant breach ("" when green).
+	Violation string `json:"violation,omitempty"`
+	// Valid is the run's overall verdict: true iff no invariant family
+	// was violated. Validate() recomputes it from the rest of the report.
+	Valid bool `json:"valid"`
+}
+
+var traceHashRE = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// Validate checks the report's internal consistency: the Valid flag, the
+// per-SLO arithmetic, the rollup sums and the invariant verdicts must all
+// agree. A report that passes Validate is self-consistent; a hand-edited
+// or truncated one is rejected.
+func (r *Report) Validate() error {
+	if r.Devices <= 0 {
+		return fmt.Errorf("scenario report: devices = %d", r.Devices)
+	}
+	if !traceHashRE.MatchString(r.TraceHash) {
+		return fmt.Errorf("scenario report: malformed trace hash %q", r.TraceHash)
+	}
+	if r.Sampled > r.Arrivals {
+		return fmt.Errorf("scenario report: sampled %d exceeds arrivals %d", r.Sampled, r.Arrivals)
+	}
+	violated := map[string]bool{}
+	green := 0
+	for _, v := range r.Invariants {
+		switch v.Status {
+		case "green":
+			green++
+		case "violated":
+			violated[v.Invariant] = true
+		default:
+			return fmt.Errorf("scenario report: invariant %q has status %q", v.Invariant, v.Status)
+		}
+	}
+	if len(r.Invariants) == 0 {
+		return fmt.Errorf("scenario report: no invariant verdicts")
+	}
+	if (r.Violation == "") != (len(violated) == 0) {
+		return fmt.Errorf("scenario report: violation %q inconsistent with %d violated verdicts",
+			r.Violation, len(violated))
+	}
+	if want := r.Violation == ""; r.Valid != want {
+		return fmt.Errorf("scenario report: valid=%v but violation=%q", r.Valid, r.Violation)
+	}
+	sumReq := 0
+	for name, s := range r.Tenants {
+		if err := s.check(name); err != nil {
+			return err
+		}
+		sumReq += s.Requests
+	}
+	if len(r.Tenants) > 0 && sumReq != r.Arrivals {
+		return fmt.Errorf("scenario report: tenant requests sum to %d, arrivals = %d", sumReq, r.Arrivals)
+	}
+	sumReq = 0
+	for name, s := range r.Classes {
+		if err := s.check("class " + name); err != nil {
+			return err
+		}
+		sumReq += s.Requests
+	}
+	if sumReq != r.Arrivals {
+		return fmt.Errorf("scenario report: class requests sum to %d, arrivals = %d", sumReq, r.Arrivals)
+	}
+	for _, key := range []string{"mlv_infers_served", "mlv_migrations", "mlv_snapshot_captures"} {
+		if v, ok := r.Counters[key]; !ok || v < 0 {
+			return fmt.Errorf("scenario report: counter %q = %d (present=%v)", key, v, ok)
+		}
+	}
+	return nil
+}
+
+func (s *SLO) check(name string) error {
+	if s.Requests != s.Served+s.Shed {
+		return fmt.Errorf("scenario report: %s: %d requests != %d served + %d shed",
+			name, s.Requests, s.Served, s.Shed)
+	}
+	wantRate := 0.0
+	if s.Requests > 0 {
+		wantRate = float64(s.Shed) / float64(s.Requests)
+	}
+	if math.Abs(s.ShedRate-wantRate) > 1e-9 {
+		return fmt.Errorf("scenario report: %s: shed rate %v, want %v", name, s.ShedRate, wantRate)
+	}
+	if s.P50Ms < 0 || s.P99Ms < s.P50Ms {
+		return fmt.Errorf("scenario report: %s: percentiles p50=%v p99=%v", name, s.P50Ms, s.P99Ms)
+	}
+	return nil
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// rollup accumulates sojourn samples for one tenant or class.
+type rollup struct {
+	requests int
+	served   int
+	shed     int
+	sojourns []float64 // milliseconds
+}
+
+func (a *rollup) slo() *SLO {
+	sort.Float64s(a.sojourns)
+	rate := 0.0
+	if a.requests > 0 {
+		rate = float64(a.shed) / float64(a.requests)
+	}
+	return &SLO{
+		Requests: a.requests,
+		Served:   a.served,
+		Shed:     a.shed,
+		ShedRate: rate,
+		P50Ms:    percentile(a.sojourns, 0.50),
+		P99Ms:    percentile(a.sojourns, 0.99),
+	}
+}

@@ -271,6 +271,16 @@ type harness struct {
 	slotBase map[string]int64
 	snapBase map[string]int64
 
+	// Multi-spec model: which layer each live lease serves, and the set of
+	// distinct artifact keys ever sent to the deploy path. The compile runs
+	// before admission (and its artifact survives a failed placement), so
+	// the expected artifact-store compute count is exactly len(keySeen).
+	// Keys, not specs: distinct layers resolving to the same accelerator
+	// instance share one compilation product.
+	comp      *rms.Compiler
+	leaseSpec map[int]kernels.LayerSpec
+	keySeen   map[artifactstore.Key]bool
+
 	// Tenant model: who owns each live lease, plus per-tenant expected
 	// counter deltas mirroring mlv_tenant_{requests,infers_served,
 	// rejections}. tenantBase snapshots the process-wide per-tenant
@@ -319,7 +329,7 @@ func (p simPlane) Resize(leaseID, machines int) error {
 	return p.h.dp.Resize(leaseID, machines)
 }
 
-func newHarness(o Options) (*harness, error) {
+func newHarness(o Options, preamble bool) (*harness, error) {
 	eng := des.New()
 	db := rms.NewDatabase(rms.Flexible, perf.DefaultParams(), scaleout.DefaultOptions())
 	svc, err := rms.NewService(o.Cluster, db)
@@ -330,7 +340,8 @@ func newHarness(o Options) (*harness, error) {
 	// store, so every deploy after the preamble's first must be a cache
 	// hit — the artifact-cache and warm-deploy invariants pin that.
 	store := artifactstore.NewMemory(artifactstore.Options{})
-	svc.SetCompiler(rms.NewCompiler(store, rms.CompilerOptions{Parallelism: 1}))
+	comp := rms.NewCompiler(store, rms.CompilerOptions{Parallelism: 1})
+	svc.SetCompiler(comp)
 	dp := rms.NewDataPlane(svc, o.Infer)
 	h := &harness{
 		o:               o,
@@ -338,11 +349,14 @@ func newHarness(o Options) (*harness, error) {
 		svc:             svc,
 		dp:              dp,
 		store:           store,
+		comp:            comp,
 		loads:           map[int]rms.LoadStats{},
 		killed:          map[int]bool{},
 		drained:         map[int]bool{},
 		golden:          map[goldenKey]uint64{},
 		excused:         map[int]bool{},
+		leaseSpec:       map[int]kernels.LayerSpec{},
+		keySeen:         map[artifactstore.Key]bool{},
 		leaseTenant:     map[int]string{},
 		expTenantReq:    map[string]int64{},
 		expTenantServed: map[string]int64{},
@@ -386,21 +400,25 @@ func newHarness(o Options) (*harness, error) {
 	// Preamble: two leases exist before the first event, so even a
 	// one-event minimal schedule has something to act on. With tenants
 	// configured they alternate owners, so both tenants hold state from
-	// step zero.
-	for i := 0; i < 2 && i < o.MaxLeases; i++ {
-		var po rms.PlaceOptions
-		if len(o.Tenants) > 0 {
-			po.Tenant = o.Tenants[i%len(o.Tenants)].ID
+	// step zero. (The scenario engine skips it and deploys from its spec.)
+	if preamble {
+		for i := 0; i < 2 && i < o.MaxLeases; i++ {
+			var po rms.PlaceOptions
+			if len(o.Tenants) > 0 {
+				po.Tenant = o.Tenants[i%len(o.Tenants)].ID
+			}
+			h.markSpec(o.Spec)
+			l, err := svc.DeployWith(o.Spec, po)
+			if err != nil {
+				return nil, fmt.Errorf("simtest: preamble deploy: %w", err)
+			}
+			if po.Tenant != "" {
+				h.expTenantReq[po.Tenant]++
+				h.leaseTenant[l.ID] = po.Tenant
+			}
+			h.leaseSpec[l.ID] = o.Spec
+			h.live = append(h.live, l.ID)
 		}
-		l, err := svc.DeployWith(o.Spec, po)
-		if err != nil {
-			return nil, fmt.Errorf("simtest: preamble deploy: %w", err)
-		}
-		if po.Tenant != "" {
-			h.expTenantReq[po.Tenant]++
-			h.leaseTenant[l.ID] = po.Tenant
-		}
-		h.live = append(h.live, l.ID)
 	}
 	return h, nil
 }
@@ -409,7 +427,7 @@ func newHarness(o Options) (*harness, error) {
 // minimizer; Run derives the schedule from the seed). The events are laid
 // onto the DES engine at fixed spacing, followed by the settle rounds.
 func runSchedule(o Options, sched []Event) (*outcome, error) {
-	h, err := newHarness(o)
+	h, err := newHarness(o, true)
 	if err != nil {
 		return nil, err
 	}
@@ -634,6 +652,19 @@ func (h *harness) serveBatch(step int, r uint64, kind string, mid func(id int)) 
 		// the golden memo gets real coverage.
 		seeds[j] = int64(((r >> 32) + uint64(j)) % 8)
 	}
+	h.serveOn(step, id, who, seeds, kind, mid)
+}
+
+// serveOn serves one explicit concurrent batch on a lease: the core of
+// serveBatch, also driven directly by the scenario engine with its own
+// (lease, tenant, seeds) choices.
+func (h *harness) serveOn(step, id int, who string, seeds []int64, kind string, mid func(id int)) {
+	n := len(seeds)
+	spec, ok := h.leaseSpec[id]
+	if !ok {
+		h.fail(step, "lease-conservation", "serve on lease %d the model never deployed", id)
+		return
+	}
 	results := make([]*rms.InferResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -642,7 +673,7 @@ func (h *harness) serveBatch(step int, r uint64, kind string, mid func(id int)) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[j], errs[j] = h.dp.InferAs(who, id, inputsFor(h.o.Spec, id, seeds[j]))
+			results[j], errs[j] = h.dp.InferAs(who, id, inputsFor(spec, id, seeds[j]))
 		}()
 	}
 	if mid != nil {
@@ -719,7 +750,7 @@ func (h *harness) doDeploy(step int, r uint64) {
 		return
 	}
 	who := h.tenantFor(r >> 24)
-	l, ok := h.deployAs(step, who)
+	l, ok := h.deployAs(step, h.o.Spec, who)
 	if !ok {
 		return
 	}
@@ -730,16 +761,35 @@ func (h *harness) doDeploy(step int, r uint64) {
 	h.tracef(step, "deploy lease=%d depth=%d tenant=%s", l.ID, l.Depth, who)
 }
 
+// markSpec records a deploy attempt for the spec's compile plan and
+// reports whether its artifact was already ensured — i.e. whether the
+// deploy must come back warm. Undeployable specs resolve to no plan and
+// trigger no compile.
+func (h *harness) markSpec(spec kernels.LayerSpec) bool {
+	key, err := h.comp.PlanKey(spec)
+	if err != nil {
+		return false
+	}
+	seen := h.keySeen[key]
+	h.keySeen[key] = true
+	return seen
+}
+
 // deployAs runs one attributed deploy and audits the admission decision
 // against the quota model. Returns (lease, true) on admission, (nil, true)
 // on a correctly-shed attempt (quota or capacity), and (nil, false) after
 // recording a violation.
-func (h *harness) deployAs(step int, who string) (*rms.Lease, bool) {
+func (h *harness) deployAs(step int, spec kernels.LayerSpec, who string) (*rms.Lease, bool) {
 	atCap := h.tenantAtLeaseCap(who)
 	if who != "" {
 		h.expTenantReq[who]++
 	}
-	l, err := h.svc.DeployWith(h.o.Spec, rms.PlaceOptions{Tenant: who})
+	// The compile runs before admission, so even a deploy that will be shed
+	// on quota or capacity leaves its artifact behind: mark the spec's plan
+	// seen before the attempt, and expect a warm lease exactly when its
+	// artifact was already ensured.
+	wantWarm := h.markSpec(spec)
+	l, err := h.svc.DeployWith(spec, rms.PlaceOptions{Tenant: who})
 	if errors.Is(err, rms.ErrQuotaExceeded) {
 		h.expTenantRej[who]++
 		if !atCap {
@@ -759,13 +809,15 @@ func (h *harness) deployAs(step int, who string) (*rms.Lease, bool) {
 		h.fail(step, "quota-conservation", "tenant %s admitted past MaxLeases as lease %d", who, l.ID)
 		return nil, false
 	}
-	if !l.WarmDeploy {
-		h.fail(step, "warm-deploy", "lease %d compiled cold with a populated artifact store", l.ID)
+	if wantWarm != l.WarmDeploy {
+		h.fail(step, "warm-deploy", "lease %d warm=%v, want %v (artifact store had %d plans)",
+			l.ID, l.WarmDeploy, wantWarm, len(h.keySeen))
 		return nil, false
 	}
 	if who != "" {
 		h.leaseTenant[l.ID] = who
 	}
+	h.leaseSpec[l.ID] = spec
 	h.live = append(h.live, l.ID)
 	return l, true
 }
@@ -792,10 +844,11 @@ func (h *harness) doRedeploy(step int, r uint64) {
 	}
 	delete(h.loads, id)
 	delete(h.leaseTenant, id)
+	delete(h.leaseSpec, id)
 	// The replacement lease may land on a different tenant than the one
 	// released, so redeploys also churn ownership.
 	who := h.tenantFor(r >> 24)
-	l, ok := h.deployAs(step, who)
+	l, ok := h.deployAs(step, h.o.Spec, who)
 	if !ok {
 		return
 	}
@@ -824,6 +877,7 @@ func (h *harness) doRelease(step int, r uint64) {
 	}
 	delete(h.loads, id)
 	delete(h.leaseTenant, id)
+	delete(h.leaseSpec, id)
 	h.tracef(step, "release lease=%d", id)
 }
 
@@ -1013,7 +1067,7 @@ func (h *harness) checkInvariants(step int) {
 	// equal the sum of lease placements, with no device used twice by one
 	// lease and exactly one placement per piece.
 	occupied := map[int]int{}
-	ladder, lerr := h.svc.FeasibleDepths(h.o.Spec)
+	ladders := map[kernels.LayerSpec][]int{}
 	for _, l := range leases {
 		if len(l.Placements) != l.Depth {
 			h.fail(step, "placement-shape", "lease %d: %d placements at depth %d", l.ID, len(l.Placements), l.Depth)
@@ -1028,9 +1082,15 @@ func (h *harness) checkInvariants(step int) {
 			seen[pl.FPGA] = true
 			occupied[pl.FPGA] += pl.Blocks
 		}
-		if lerr != nil {
-			h.fail(step, "feasible-depth", "FeasibleDepths: %v", lerr)
-			return
+		ladder, ok := ladders[l.Spec]
+		if !ok {
+			var lerr error
+			ladder, lerr = h.svc.FeasibleDepths(l.Spec)
+			if lerr != nil {
+				h.fail(step, "feasible-depth", "FeasibleDepths(%v): %v", l.Spec, lerr)
+				return
+			}
+			ladders[l.Spec] = ladder
 		}
 		onLadder := false
 		for _, d := range ladder {
@@ -1121,12 +1181,13 @@ func (h *harness) checkInvariants(step int) {
 		}
 	}
 
-	// Artifact-cache conservation: every run serves one spec, so the
-	// preamble's first deploy is the only compile the whole run may ever
-	// perform, and nothing may be dropped as corrupt.
-	if st := h.store.Stats(); st.Computes != 1 || st.CorruptDropped != 0 {
+	// Artifact-cache conservation: the compile runs once per distinct
+	// compile plan ever attempted (the singleflight memo absorbs every
+	// repeat, including deploys later shed on quota or capacity), and
+	// nothing may be dropped as corrupt.
+	if st, want := h.store.Stats(), int64(len(h.keySeen)); st.Computes != want || st.CorruptDropped != 0 {
 		h.fail(step, "artifact-cache",
-			"computes=%d corrupt=%d, want exactly 1 compile and 0 corrupt drops", st.Computes, st.CorruptDropped)
+			"computes=%d corrupt=%d, want exactly %d compiles and 0 corrupt drops", st.Computes, st.CorruptDropped, want)
 		return
 	}
 

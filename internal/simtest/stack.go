@@ -1,0 +1,270 @@
+package simtest
+
+import (
+	"time"
+
+	"mlvfpga/internal/des"
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/metrics"
+	"mlvfpga/internal/rms"
+)
+
+// InvariantFamilies lists every invariant the harness audits after each
+// event, in the order checkInvariants runs them. Scenario reports embed
+// the list so a report is self-describing about what "green" certified.
+func InvariantFamilies() []string {
+	return []string{
+		"lease-conservation",
+		"placement-shape",
+		"duplicate-device",
+		"placement-conservation",
+		"feasible-depth",
+		"engine-tombstone",
+		"quota-conservation",
+		"tenant-accounting",
+		"artifact-cache",
+		"warm-deploy",
+		"snapshot-conservation",
+		"counter-conservation",
+		"batch-conservation",
+		"slot-conservation",
+		"golden-equivalence",
+		"infer-served",
+		"stranded-placement",
+	}
+}
+
+// Stack is the exported face of the simtest harness: one fresh
+// service + data plane + control plane wired to one DES engine, with the
+// model-based invariant checkers attached. The random-schedule sweep in
+// this package drives the same harness through Run; Stack exposes it to
+// deterministic external drivers (the scenario engine) that choose their
+// own events — explicit devices, explicit leases, explicit request seeds —
+// instead of drawing them from a PRNG.
+//
+// The Stack starts empty: no preamble leases, no specs compiled. All
+// methods must be called from the DES goroutine (timer callbacks or
+// between Run calls); the only internal concurrency is inside Serve,
+// which joins before returning.
+type Stack struct {
+	h *harness
+	// step is the event counter stamped on traces and violations; external
+	// drivers advance it via Step.
+	step int
+}
+
+// NewStack builds a fresh stack from the options. Unlike the sweep
+// harness, no preamble leases are deployed — the driver owns every deploy.
+func NewStack(o Options) (*Stack, error) {
+	h, err := newHarness(o, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{h: h}, nil
+}
+
+// Close shuts the data plane down. After Close the stack must not be used.
+func (s *Stack) Close() { s.h.dp.Close() }
+
+// Engine returns the DES engine the control plane's clock reads. Drivers
+// lay their timeline onto it and call Run.
+func (s *Stack) Engine() *des.Engine { return s.h.eng }
+
+// Service exposes the resource-management service for read-side queries
+// (lease latency, placements, cluster status).
+func (s *Stack) Service() *rms.Service { return s.h.svc }
+
+// Step advances and returns the event counter used in traces/violations.
+func (s *Stack) Step() int { s.step++; return s.step }
+
+// Devices returns the device IDs in the simulated cluster, ascending.
+func (s *Stack) Devices() []int { return append([]int(nil), s.h.devices...) }
+
+// Live returns the IDs of leases the model says are live, in deploy order.
+func (s *Stack) Live() []int { return append([]int(nil), s.h.live...) }
+
+// Violation returns the first invariant breach, or nil while green.
+func (s *Stack) Violation() *Violation { return s.h.violation }
+
+// Trace returns the resolved deterministic event log so far.
+func (s *Stack) Trace() []string { return append([]string(nil), s.h.trace...) }
+
+// TraceHash folds the trace into the same FNV-64a digest Result uses.
+func (s *Stack) TraceHash() uint64 { return hashTrace(s.h.trace) }
+
+// Deploy deploys one lease of the given spec for the given tenant (empty
+// for a tenantless run) and audits the admission decision. Returns
+// (lease, true) on admission, (nil, true) on a correctly-shed attempt, and
+// (nil, false) after recording a violation.
+func (s *Stack) Deploy(spec kernels.LayerSpec, who string) (*rms.Lease, bool) {
+	step := s.Step()
+	l, ok := s.h.deployAs(step, spec, who)
+	if !ok {
+		return nil, false
+	}
+	if l == nil {
+		s.h.tracef(step, "deploy shed tenant=%s", who)
+		return nil, true
+	}
+	s.h.tracef(step, "deploy lease=%d depth=%d tenant=%s", l.ID, l.Depth, who)
+	s.h.checkInvariants(step)
+	return l, s.h.violation == nil
+}
+
+// Release releases a lease and audits the teardown. Reports whether the
+// stack is still green.
+func (s *Stack) Release(id int) bool {
+	step := s.Step()
+	if err := s.h.dp.Release(id); err != nil {
+		s.h.fail(step, "release-error", "lease %d: %v", id, err)
+		return false
+	}
+	for i, v := range s.h.live {
+		if v == id {
+			s.h.live = append(s.h.live[:i], s.h.live[i+1:]...)
+			break
+		}
+	}
+	delete(s.h.loads, id)
+	delete(s.h.leaseTenant, id)
+	delete(s.h.leaseSpec, id)
+	s.h.tracef(step, "release lease=%d", id)
+	s.h.checkInvariants(step)
+	return s.h.violation == nil
+}
+
+// Serve runs one concurrent batch of len(seeds) requests on the lease,
+// attributed to tenant who, joins it, and audits the outputs against the
+// golden (lease, seed) memo plus every invariant family. Reports whether
+// the stack is still green.
+func (s *Stack) Serve(id int, who string, seeds []int64) bool {
+	step := s.Step()
+	s.h.serveOn(step, id, who, seeds, "infer", nil)
+	if s.h.violation == nil {
+		s.h.checkInvariants(step)
+	}
+	return s.h.violation == nil
+}
+
+// OfferLoad scripts the queue depth the autoscaler sees for a lease.
+func (s *Stack) OfferLoad(id, queueDepth int) {
+	step := s.Step()
+	s.h.loads[id] = rms.LoadStats{QueueDepth: queueDepth}
+	s.h.tracef(step, "load lease=%d queue=%d", id, queueDepth)
+}
+
+// Kill marks a device dead: it stops heartbeating until Revive. The
+// registry notices after Control's SuspectAfter/DeadAfter windows.
+func (s *Stack) Kill(device int) {
+	s.h.killed[device] = true
+	s.h.tracef(s.Step(), "kill dev=%d", device)
+}
+
+// Revive brings a killed device back and beats it once immediately.
+func (s *Stack) Revive(device int) bool {
+	step := s.Step()
+	delete(s.h.killed, device)
+	if err := s.h.cp.Heartbeat(device); err != nil {
+		s.h.fail(step, "heartbeat-error", "device %d: %v", device, err)
+		return false
+	}
+	s.h.tracef(step, "revive dev=%d", device)
+	return true
+}
+
+// Drain starts an administrative drain of a device.
+func (s *Stack) Drain(device int) bool {
+	step := s.Step()
+	if err := s.h.cp.Drain(device); err != nil {
+		s.h.fail(step, "drain-error", "device %d: %v", device, err)
+		return false
+	}
+	s.h.drained[device] = true
+	s.h.tracef(step, "drain dev=%d", device)
+	return true
+}
+
+// Undrain returns a draining device to service.
+func (s *Stack) Undrain(device int) bool {
+	step := s.Step()
+	if err := s.h.cp.Undrain(device); err != nil {
+		s.h.fail(step, "undrain-error", "device %d: %v", device, err)
+		return false
+	}
+	delete(s.h.drained, device)
+	s.h.tracef(step, "undrain dev=%d", device)
+	return true
+}
+
+// HeartbeatAll beats every device not currently killed.
+func (s *Stack) HeartbeatAll() bool {
+	step := s.Step()
+	if s.h.violation != nil {
+		return false
+	}
+	s.h.doHeartbeat(step)
+	return s.h.violation == nil
+}
+
+// Tick runs one control-plane reconciliation round (health decay,
+// evacuations, autoscaling) and folds its report into the counter model.
+func (s *Stack) Tick() bool {
+	step := s.Step()
+	if s.h.violation != nil {
+		return false
+	}
+	s.h.doTick(step)
+	s.h.checkInvariants(step)
+	return s.h.violation == nil
+}
+
+// Settle runs one quiesce round: heartbeat survivors, tick, check. The
+// stack enters settling mode, so evacuations that verifiably fail for
+// lack of capacity excuse their lease from the stranded check.
+func (s *Stack) Settle() bool {
+	s.h.settle(s.Step())
+	return s.h.violation == nil
+}
+
+// CheckStranded runs the end-of-run stranded-placement audit.
+func (s *Stack) CheckStranded() bool {
+	if s.h.violation == nil {
+		s.h.checkStranded(s.Step())
+	}
+	return s.h.violation == nil
+}
+
+// Check audits every invariant family immediately.
+func (s *Stack) Check() bool {
+	if s.h.violation == nil {
+		s.h.checkInvariants(s.Step())
+	}
+	return s.h.violation == nil
+}
+
+// LeaseLatency returns the modelled per-inference latency of a live
+// lease — the scenario engine's queueing service time.
+func (s *Stack) LeaseLatency(id int) (time.Duration, bool) {
+	l, ok := s.h.svc.Lease(id)
+	if !ok {
+		return 0, false
+	}
+	return l.Latency, true
+}
+
+// CounterDeltas returns the process-global counters as deltas from the
+// stack's birth (the counters are shared across stacks in one process, so
+// only deltas are meaningful).
+func (s *Stack) CounterDeltas() map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range metrics.Counters() {
+		out[name] = v - s.h.base[name]
+	}
+	for name, v := range metrics.SlotCounters() {
+		out[name] = v - s.h.slotBase[name]
+	}
+	for name, v := range metrics.SnapshotCounters() {
+		out[name] = v - s.h.snapBase[name]
+	}
+	return out
+}

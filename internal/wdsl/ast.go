@@ -1,0 +1,284 @@
+package wdsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ValueKind discriminates the literal forms an attribute value can take.
+type ValueKind int
+
+// Value kinds.
+const (
+	IntVal ValueKind = iota
+	FloatVal
+	DurationVal // 500ms, 1h30m — Go duration syntax
+	PercentVal  // 12.5% — stored as the stated number, not the fraction
+	RateVal     // 40/s — events per second
+	IdentVal    // bare word: latency, poisson, ...
+	StringVal   // quoted
+)
+
+// Value is one attribute value with its source position.
+type Value struct {
+	Pos   Pos
+	Kind  ValueKind
+	Int   int64         // IntVal
+	Float float64       // FloatVal, PercentVal, RateVal
+	Dur   time.Duration // DurationVal
+	Str   string        // IdentVal, StringVal
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case IntVal:
+		return strconv.FormatInt(v.Int, 10)
+	case FloatVal:
+		return formatFloat(v.Float)
+	case DurationVal:
+		return v.Dur.String()
+	case PercentVal:
+		return formatFloat(v.Float) + "%"
+	case RateVal:
+		return formatFloat(v.Float) + "/s"
+	case IdentVal:
+		return v.Str
+	case StringVal:
+		return strconv.Quote(v.Str)
+	}
+	return "<invalid>"
+}
+
+func formatFloat(f float64) string {
+	// 'f' (never scientific): the grammar has no exponent form. An
+	// integer-valued float prints like an int, which re-parses as IntVal;
+	// keep a trailing .0 so the kind survives the print→parse round trip.
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+// equalValue compares semantic content (position excluded).
+func equalValue(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	return a.Int == b.Int && a.Float == b.Float && a.Dur == b.Dur && a.Str == b.Str
+}
+
+// Attr is one `name = value` attribute.
+type Attr struct {
+	Pos   Pos
+	Name  string
+	Value Value
+}
+
+// Layer is one `layer <kind> k=v ...` line inside a model.
+type Layer struct {
+	Pos   Pos
+	Kind  string // lstm | gru | attention | mlp
+	Attrs []Attr
+}
+
+// Model is a named graph of layers.
+type Model struct {
+	Pos    Pos
+	Name   string
+	Layers []Layer
+}
+
+// Tenant is a `tenant "id" k=v ...` declaration.
+type Tenant struct {
+	Pos   Pos
+	Name  string
+	Attrs []Attr
+}
+
+// Deploy is a `deploy "model" k=v ...` item inside the scenario.
+type Deploy struct {
+	Pos   Pos
+	Model string
+	Attrs []Attr
+}
+
+// Traffic is a `traffic <shape> k=v ...` item (shape: poisson | diurnal).
+type Traffic struct {
+	Pos   Pos
+	Shape string
+	Attrs []Attr
+}
+
+// Storm is a `storm <kind> k=v ...` item (kind: kill | drain).
+type Storm struct {
+	Pos   Pos
+	Kind  string
+	Attrs []Attr
+}
+
+// Scenario is the single `scenario { ... }` block.
+type Scenario struct {
+	Pos      Pos
+	Settings []Attr         // seed = 7, duration = 30s, ...
+	Devices  map[string]int // nil unless a devices block/setting appeared
+	// DeviceCount is set instead of Devices for `devices = N` shorthand.
+	DeviceCount int
+	DevicesPos  Pos
+	Deploys     []Deploy
+	Traffic     []Traffic
+	Storms      []Storm
+}
+
+// File is one parsed .mlw file.
+type File struct {
+	Models   []Model
+	Tenants  []Tenant
+	Scenario *Scenario
+}
+
+// Print renders the file in canonical form: parsing the output yields a
+// semantically identical File (Equal reports true), and printing again
+// yields the same bytes.
+func (f *File) Print() string {
+	var b strings.Builder
+	for _, m := range f.Models {
+		fmt.Fprintf(&b, "model %s {\n", strconv.Quote(m.Name))
+		for _, l := range m.Layers {
+			b.WriteString("  layer " + l.Kind)
+			printAttrs(&b, l.Attrs)
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n")
+	}
+	for _, t := range f.Tenants {
+		b.WriteString("tenant " + strconv.Quote(t.Name))
+		printAttrs(&b, t.Attrs)
+		b.WriteString("\n")
+	}
+	if s := f.Scenario; s != nil {
+		b.WriteString("scenario {\n")
+		for _, a := range s.Settings {
+			fmt.Fprintf(&b, "  %s = %s\n", a.Name, a.Value)
+		}
+		if s.Devices != nil {
+			b.WriteString("  devices {\n")
+			for _, name := range sortedKeys(s.Devices) {
+				fmt.Fprintf(&b, "    %s = %d\n", name, s.Devices[name])
+			}
+			b.WriteString("  }\n")
+		} else if s.DeviceCount > 0 {
+			fmt.Fprintf(&b, "  devices = %d\n", s.DeviceCount)
+		}
+		for _, d := range s.Deploys {
+			b.WriteString("  deploy " + strconv.Quote(d.Model))
+			printAttrs(&b, d.Attrs)
+			b.WriteString("\n")
+		}
+		for _, tr := range s.Traffic {
+			b.WriteString("  traffic " + tr.Shape)
+			printAttrs(&b, tr.Attrs)
+			b.WriteString("\n")
+		}
+		for _, st := range s.Storms {
+			b.WriteString("  storm " + st.Kind)
+			printAttrs(&b, st.Attrs)
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func printAttrs(b *strings.Builder, attrs []Attr) {
+	for _, a := range attrs {
+		fmt.Fprintf(b, " %s=%s", a.Name, a.Value)
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Equal reports semantic equality of two files (positions excluded).
+func (f *File) Equal(g *File) bool {
+	if len(f.Models) != len(g.Models) || len(f.Tenants) != len(g.Tenants) {
+		return false
+	}
+	for i := range f.Models {
+		a, b := f.Models[i], g.Models[i]
+		if a.Name != b.Name || len(a.Layers) != len(b.Layers) {
+			return false
+		}
+		for j := range a.Layers {
+			if a.Layers[j].Kind != b.Layers[j].Kind || !equalAttrs(a.Layers[j].Attrs, b.Layers[j].Attrs) {
+				return false
+			}
+		}
+	}
+	for i := range f.Tenants {
+		if f.Tenants[i].Name != g.Tenants[i].Name || !equalAttrs(f.Tenants[i].Attrs, g.Tenants[i].Attrs) {
+			return false
+		}
+	}
+	if (f.Scenario == nil) != (g.Scenario == nil) {
+		return false
+	}
+	if f.Scenario == nil {
+		return true
+	}
+	a, b := f.Scenario, g.Scenario
+	if !equalAttrs(a.Settings, b.Settings) || a.DeviceCount != b.DeviceCount {
+		return false
+	}
+	if (a.Devices == nil) != (b.Devices == nil) || len(a.Devices) != len(b.Devices) {
+		return false
+	}
+	for k, v := range a.Devices {
+		if b.Devices[k] != v {
+			return false
+		}
+	}
+	if len(a.Deploys) != len(b.Deploys) || len(a.Traffic) != len(b.Traffic) || len(a.Storms) != len(b.Storms) {
+		return false
+	}
+	for i := range a.Deploys {
+		if a.Deploys[i].Model != b.Deploys[i].Model || !equalAttrs(a.Deploys[i].Attrs, b.Deploys[i].Attrs) {
+			return false
+		}
+	}
+	for i := range a.Traffic {
+		if a.Traffic[i].Shape != b.Traffic[i].Shape || !equalAttrs(a.Traffic[i].Attrs, b.Traffic[i].Attrs) {
+			return false
+		}
+	}
+	for i := range a.Storms {
+		if a.Storms[i].Kind != b.Storms[i].Kind || !equalAttrs(a.Storms[i].Attrs, b.Storms[i].Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalAttrs(a, b []Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !equalValue(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package wdsl
+
+import (
+	"testing"
+	"time"
+
+	"mlvfpga/internal/kernels"
+	"mlvfpga/internal/tenant"
+)
+
+func TestCompileExample(t *testing.T) {
+	f, err := Parse(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.ByName["echo-lstm"]
+	if m == nil || len(m.Layers) != 2 {
+		t.Fatalf("echo-lstm = %+v", m)
+	}
+	if got := m.Layers[0].Rnn; got != (kernels.LayerSpec{Kind: kernels.LSTM, Hidden: 64, TimeSteps: 2}) {
+		t.Errorf("layer 0 = %+v", got)
+	}
+	if aft := spec.ByName["aft"]; aft.Layers[0].Rnn.Kind != kernels.Attention {
+		t.Errorf("aft kind = %v", aft.Layers[0].Rnn.Kind)
+	}
+	if sc := spec.ByName["scorer"]; sc.Leasable() || sc.Layers[0].Mlp.Dim != 16 {
+		t.Errorf("scorer = %+v leasable=%v", sc.Layers[0], sc.Leasable())
+	}
+	if len(spec.Tenants) != 2 || spec.Tenants[1].Class != tenant.Batch || spec.Tenants[1].Weight != 2 {
+		t.Errorf("tenants = %+v", spec.Tenants)
+	}
+	s := spec.Scenario
+	if s.Seed != 7 || s.Duration != 30*time.Second || s.Sample != 0.25 || s.QueueCap != 8 {
+		t.Errorf("scenario = %+v", s)
+	}
+	if s.Cluster["XCVU37P"] != 9 || s.Cluster["XCKU115"] != 3 || s.DeviceCount != 12 {
+		t.Errorf("cluster = %v count=%d", s.Cluster, s.DeviceCount)
+	}
+	if s.Deploys[0].Replicas != 2 || s.Deploys[1].Tenant != "bat-0" {
+		t.Errorf("deploys = %+v", s.Deploys)
+	}
+	tr := s.Traffic[1]
+	if tr.Shape != "diurnal" || tr.Rate != 20 || tr.Trough != 0.20 || tr.Period != 10*time.Second {
+		t.Errorf("diurnal traffic = %+v", tr)
+	}
+	if s.Storms[0].Kind != "kill" || s.Storms[0].At != 10*time.Second || s.Storms[0].For != 5*time.Second {
+		t.Errorf("storm 0 = %+v", s.Storms[0])
+	}
+}
+
+// TestCompileDefaults pins the scenario defaults a minimal file gets.
+func TestCompileDefaults(t *testing.T) {
+	f, err := Parse("scenario { duration = 1s }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.Scenario
+	if s.Seed != 1 || s.Heartbeat != 500*time.Millisecond || s.Tick != time.Second {
+		t.Errorf("defaults = %+v", s)
+	}
+	if s.Sample != 0.10 || s.QueueCap != 8 {
+		t.Errorf("sample/queue defaults = %v/%d", s.Sample, s.QueueCap)
+	}
+	// No devices declared: the paper's 4-device cluster.
+	if s.Cluster["XCVU37P"] != 3 || s.Cluster["XCKU115"] != 1 || s.DeviceCount != 4 {
+		t.Errorf("default cluster = %v", s.Cluster)
+	}
+}
+
+// TestBuildKernels proves every layer kind in the example compiles down
+// to an executable AS-ISA program.
+func TestBuildKernels(t *testing.T) {
+	f, err := Parse(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := BuildKernels(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("kernel sets = %v", counts)
+	}
+	for name, cs := range counts {
+		for i, n := range cs {
+			if n <= 0 {
+				t.Errorf("model %s layer %d compiled to %d instructions", name, i, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package wdsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrors is the table-driven diagnostics suite: every malformed
+// input must produce a positioned *Error naming the production that
+// rejected it — and must never panic.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		src        string
+		line, col  int
+		production string
+		msgPart    string
+	}{
+		{"stray token", "42", 1, 1, "file", "expected 'model', 'tenant' or 'scenario'"},
+		{"unknown decl", "banana \"x\"", 1, 1, "file", "expected 'model', 'tenant' or 'scenario'"},
+		{"model missing name", "model {", 1, 7, "model", "expected string"},
+		{"model missing brace", "model \"m\" layer", 1, 11, "model", "expected '{'"},
+		{"model unclosed", "model \"m\" {\n  layer lstm hidden=1 steps=1\n", 3, 1, "model", "expected 'layer' or '}'"},
+		{"bad layer kind", "model \"m\" {\n  layer cnn hidden=4\n}", 2, 9, "layer", "unknown layer kind \"cnn\""},
+		{"layer attr no value", "model \"m\" {\n  layer lstm hidden=\n}", 3, 1, "layer", "expected a value"},
+		{"tenant missing name", "tenant class=batch", 1, 8, "tenant", "expected string"},
+		{"duplicate attribute", "tenant \"t\" class=batch class=latency", 1, 24, "tenant", "duplicate attribute \"class\""},
+		{"duplicate scenario", "scenario { }\nscenario { }", 2, 1, "file", "duplicate scenario block"},
+		{"scenario junk", "scenario { 7 }", 1, 12, "scenario", "expected a setting"},
+		{"devices bad count", "scenario { devices = blue }", 1, 22, "devices", "expected number"},
+		{"devices zero", "scenario { devices = 0 }", 1, 22, "devices", "positive integer"},
+		{"devices dup part", "scenario { devices { XCVU37P = 1 XCVU37P = 2 } }", 1, 34, "devices", "duplicate device part"},
+		{"devices dup decl", "scenario { devices = 4 devices = 8 }", 1, 24, "devices", "duplicate devices declaration"},
+		{"deploy missing model", "scenario { deploy tenant=\"t\" }", 1, 19, "deploy", "expected string"},
+		{"traffic bad shape", "scenario { traffic burst rate=1/s }", 1, 20, "traffic", "unknown arrival shape \"burst\""},
+		{"storm bad kind", "scenario { storm flood at=1s }", 1, 18, "storm", "unknown storm kind \"flood\""},
+		{"bad rate unit", "scenario { x = 5/m }", 1, 18, "setting", "rate unit must be /s"},
+		{"percent on string", `tenant "t" p="x"%`, 1, 17, "file", ""},
+		{"malformed number", "tenant \"t\" a=12q", 1, 14, "tenant", "malformed number"},
+		{"huge integer", "tenant \"t\" a=99999999999999999999", 1, 14, "tenant", "out of range"},
+		{"unterminated string", "model \"oops", 1, 7, "model", "unterminated string"},
+		{"bad escape", `tenant "a\q"`, 1, 8, "tenant", "unknown escape"},
+		{"stray character", "model @", 1, 7, "model", "unexpected character"},
+		{"value at eof", "tenant \"t\" a=", 1, 14, "tenant", "expected a value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded: %+v", tc.src, f)
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error is %T, want *wdsl.Error", err)
+			}
+			if perr.Pos.Line != tc.line || perr.Pos.Col != tc.col {
+				t.Errorf("position = %s, want %d:%d (%v)", perr.Pos, tc.line, tc.col, perr)
+			}
+			if perr.Production == "" {
+				t.Errorf("diagnostic has no production: %v", perr)
+			}
+			if tc.production != "" && perr.Production != tc.production {
+				t.Errorf("production = %q, want %q (%v)", perr.Production, tc.production, perr)
+			}
+			if tc.msgPart != "" && !strings.Contains(perr.Msg, tc.msgPart) {
+				t.Errorf("message %q does not contain %q", perr.Msg, tc.msgPart)
+			}
+			if !strings.Contains(perr.Error(), ":") {
+				t.Errorf("rendered error %q lacks position", perr.Error())
+			}
+		})
+	}
+}
+
+// TestCompileErrors covers the semantic layer: schema violations and
+// dangling references also carry positions and productions.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		src        string
+		production string
+		msgPart    string
+	}{
+		{"empty model", `model "m" { }`, "model", "no layers"},
+		{"layer missing attrs", "model \"m\" {\n layer lstm hidden=4\n}", "layer", "needs hidden= and steps="},
+		{"layer unknown attr", "model \"m\" {\n layer lstm hidden=4 steps=1 depth=2\n}", "layer", "unknown attribute \"depth\""},
+		{"layer negative-ish", "model \"m\" {\n layer gru hidden=0 steps=1\n}", "layer", "positive integer"},
+		{"mlp bad act", "model \"m\" {\n layer mlp dim=4 layers=2 act=softmax\n}", "layer", "unknown activation"},
+		{"duplicate model", "model \"m\" { layer lstm hidden=4 steps=1 }\nmodel \"m\" { layer lstm hidden=4 steps=1 }", "model", "duplicate model"},
+		{"duplicate tenant", "tenant \"t\"\ntenant \"t\"", "tenant", "duplicate tenant"},
+		{"tenant bad class", `tenant "t" class=gold`, "tenant", "want latency or batch"},
+		{"scenario no duration", "scenario { seed = 1 }", "scenario", "needs duration="},
+		{"unknown setting", "scenario { duration = 1s warp = 9 }", "setting", "unknown attribute"},
+		{"deploy unknown model", "scenario { duration = 1s deploy \"ghost\" }", "deploy", "unknown model"},
+		{"deploy mlp model", "model \"s\" { layer mlp dim=4 layers=2 }\nscenario { duration = 1s deploy \"s\" }", "deploy", "no lease form"},
+		{"deploy unknown tenant", "model \"m\" { layer lstm hidden=4 steps=1 }\ntenant \"t\"\nscenario { duration = 1s deploy \"m\" tenant=\"ghost\" }", "deploy", "unknown tenant"},
+		{"deploy tenantless", "model \"m\" { layer lstm hidden=4 steps=1 }\ntenant \"t\"\nscenario { duration = 1s deploy \"m\" }", "deploy", "needs tenant="},
+		{"traffic no model", "scenario { duration = 1s traffic poisson rate=1/s }", "traffic", "needs model="},
+		{"traffic undeployed", "model \"m\" { layer lstm hidden=4 steps=1 }\nscenario { duration = 1s traffic poisson rate=1/s model=\"m\" }", "traffic", "never deploys"},
+		{"traffic no rate", "model \"m\" { layer lstm hidden=4 steps=1 }\nscenario { duration = 1s deploy \"m\" traffic poisson model=\"m\" }", "traffic", "needs rate="},
+		{"storm no devices", "scenario { duration = 10s storm kill at=1s }", "storm", "needs devices="},
+		{"storm outside run", "scenario { duration = 10s storm kill at=20s devices=1 }", "storm", "inside the run"},
+		{"unknown part", "scenario { duration = 1s devices { XC7Z020 = 4 } }", "devices", "unknown device part"},
+		{"sample too big", "scenario { duration = 1s sample = 150% }", "setting", "[0%, 100%]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse failed before compile: %v", err)
+			}
+			_, err = Compile(f)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", tc.src)
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error is %T, want *wdsl.Error", err)
+			}
+			if perr.Pos.Line == 0 || perr.Pos.Col == 0 {
+				t.Errorf("compile diagnostic missing position: %v", perr)
+			}
+			if perr.Production != tc.production {
+				t.Errorf("production = %q, want %q (%v)", perr.Production, tc.production, perr)
+			}
+			if !strings.Contains(perr.Msg, tc.msgPart) {
+				t.Errorf("message %q does not contain %q", perr.Msg, tc.msgPart)
+			}
+		})
+	}
+}

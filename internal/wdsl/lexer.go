@@ -1,0 +1,233 @@
+// Package wdsl implements the workload description language: small text
+// files (conventionally `.mlw`) that describe model graphs, tenants,
+// arrival processes and fault storms for the scenario engine. The
+// language is parsed by a hand-written recursive-descent parser over a
+// separate lexer; every diagnostic carries a line/column position and the
+// name of the grammar production that rejected the input, and the printer
+// is canonical (parse → print → parse is a fixpoint).
+package wdsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned diagnostic naming the grammar production that
+// rejected the input.
+type Error struct {
+	Pos        Pos
+	Production string
+	Msg        string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Production, e.Msg)
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // "..." with \-escapes
+	tokNumber // digits, optionally dotted and/or unit-suffixed: 42, 0.5, 500ms, 1h30m
+	tokLBrace
+	tokRBrace
+	tokEq
+	tokSlash
+	tokPercent
+	tokErr // lexical error; text holds the message
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokEq:
+		return "'='"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	}
+	return "invalid token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer scans the whole input up front; the parser works on the token
+// slice with two-token lookahead.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func lex(src string) []token {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []token
+	for {
+		t := l.next()
+		toks = append(toks, t)
+		if t.kind == tokEOF || t.kind == tokErr {
+			return toks
+		}
+	}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.off >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.off:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) next() token {
+	// Skip whitespace and #-comments.
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return token{kind: tokEOF, pos: Pos{l.line, l.col}}
+		}
+		if r == '#' {
+			for {
+				r, size = l.peekRune()
+				if size == 0 || r == '\n' {
+					break
+				}
+				l.advance(r, size)
+			}
+			continue
+		}
+		if unicode.IsSpace(r) {
+			l.advance(r, size)
+			continue
+		}
+		break
+	}
+	pos := Pos{l.line, l.col}
+	r, size := l.peekRune()
+	switch {
+	case r == '{':
+		l.advance(r, size)
+		return token{kind: tokLBrace, text: "{", pos: pos}
+	case r == '}':
+		l.advance(r, size)
+		return token{kind: tokRBrace, text: "}", pos: pos}
+	case r == '=':
+		l.advance(r, size)
+		return token{kind: tokEq, text: "=", pos: pos}
+	case r == '/':
+		l.advance(r, size)
+		return token{kind: tokSlash, text: "/", pos: pos}
+	case r == '%':
+		l.advance(r, size)
+		return token{kind: tokPercent, text: "%", pos: pos}
+	case r == '"':
+		return l.lexString(pos)
+	case r >= '0' && r <= '9':
+		return l.lexNumber(pos)
+	case r == '_' || unicode.IsLetter(r):
+		return l.lexIdent(pos)
+	}
+	return token{kind: tokErr, text: fmt.Sprintf("unexpected character %q", r), pos: pos}
+}
+
+func (l *lexer) lexIdent(pos Pos) token {
+	var b strings.Builder
+	for {
+		r, size := l.peekRune()
+		if size == 0 || !(r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			break
+		}
+		b.WriteRune(r)
+		l.advance(r, size)
+	}
+	return token{kind: tokIdent, text: b.String(), pos: pos}
+}
+
+// lexNumber scans digits plus any dotted/lettered tail as one token:
+// "42", "0.5", "500ms" and "1h30m" each arrive whole and the parser
+// decides which value kind the raw text denotes.
+func (l *lexer) lexNumber(pos Pos) token {
+	var b strings.Builder
+	for {
+		r, size := l.peekRune()
+		if size == 0 || !(r == '.' || r == 'µ' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			break
+		}
+		b.WriteRune(r)
+		l.advance(r, size)
+	}
+	return token{kind: tokNumber, text: b.String(), pos: pos}
+}
+
+func (l *lexer) lexString(pos Pos) token {
+	r, size := l.peekRune() // opening quote
+	l.advance(r, size)
+	var b strings.Builder
+	for {
+		r, size = l.peekRune()
+		if size == 0 || r == '\n' {
+			return token{kind: tokErr, text: "unterminated string", pos: pos}
+		}
+		l.advance(r, size)
+		if r == '"' {
+			return token{kind: tokString, text: b.String(), pos: pos}
+		}
+		if r == '\\' {
+			esc, esize := l.peekRune()
+			if esize == 0 {
+				return token{kind: tokErr, text: "unterminated string", pos: pos}
+			}
+			l.advance(esc, esize)
+			switch esc {
+			case '"', '\\':
+				b.WriteRune(esc)
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			default:
+				return token{kind: tokErr, text: fmt.Sprintf("unknown escape \\%c", esc), pos: pos}
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}
